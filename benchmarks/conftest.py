@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints its rows (run with ``-s`` to see them).  ``pytest-benchmark`` times
+the regeneration itself; the *content* assertions live in
+``tests/test_experiment_shapes.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiments are deterministic and virtual-time based, so repeated
+    rounds measure the same work; one round keeps the harness fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def print_result():
+    """Print an ExperimentResult table beneath the benchmark output."""
+    def _print(result, columns=None):
+        print()
+        print(result.render(columns))
+    return _print

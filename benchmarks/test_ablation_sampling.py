@@ -1,0 +1,68 @@
+"""Ablation: instrumentation scope vs monitoring overhead (§6.3's knobs).
+
+The paper lists three ways to cut TEEMon's overhead: disable unneeded
+program groups, reduce sampling frequency, and filter to a single PID.
+This bench measures Redis-under-SCONE throughput for each configuration
+against the unmonitored baseline.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps import MemtierBenchmark, RedisLikeServer
+from repro.exporters import EbpfExporter, EbpfExporterConfig
+from repro.frameworks.scone import SconeRuntime
+from repro.sgx.driver import SgxDriver
+from repro.simkernel.kernel import Kernel
+
+
+def _throughput(ebpf_active, full_monitoring):
+    kernel = Kernel(seed=31)
+    kernel.load_module(SgxDriver())
+    runtime = SconeRuntime()
+    runtime.setup(kernel)
+    server = RedisLikeServer()
+    bench = MemtierBenchmark(connections=320)
+    bench.prepopulate(runtime, server, value_size=32)
+    outcome = bench.run(runtime, server, duration_s=5.0,
+                        ebpf_active=ebpf_active, full_monitoring=full_monitoring)
+    return outcome.throughput_rps
+
+
+def _instrumented_event_cost(config: EbpfExporterConfig) -> int:
+    """Events counted per 100k syscalls+switches with this config."""
+    kernel = Kernel(seed=32)
+    kernel.load_module(SgxDriver())
+    exporter = EbpfExporter(kernel, config=config)
+    process = kernel.spawn_process("redis-server")
+    other = kernel.spawn_process("noise")
+    kernel.syscalls.dispatch("read", process.pid, count=50_000)
+    kernel.syscalls.dispatch("read", other.pid, count=50_000)
+    kernel.scheduler.account_switches(process.pid, 10_000)
+    return exporter.runtime.total_events_seen()
+
+
+def test_ablation_sampling_and_filtering(benchmark):
+    def run():
+        baseline = _throughput(False, False)
+        ebpf_only = _throughput(True, False)
+        full = _throughput(True, True)
+        all_groups = _instrumented_event_cost(EbpfExporterConfig())
+        pid_filtered = _instrumented_event_cost(
+            EbpfExporterConfig(pid_filter=100)  # first spawned pid
+        )
+        no_cache = _instrumented_event_cost(EbpfExporterConfig(cache=False))
+        return baseline, ebpf_only, full, all_groups, pid_filtered, no_cache
+
+    baseline, ebpf_only, full, all_groups, pid_filtered, no_cache = run_once(
+        benchmark, run
+    )
+    print()
+    print("== ablation: monitoring scope vs overhead ==")
+    print(f"  throughput: off={baseline / 1e3:.0f}K "
+          f"ebpf={ebpf_only / 1e3:.0f}K ({ebpf_only / baseline:.3f}) "
+          f"full={full / 1e3:.0f}K ({full / baseline:.3f})")
+    print(f"  instrumented events: all groups={all_groups:,} "
+          f"pid-filtered={pid_filtered:,} no-cache-group={no_cache:,}")
+    assert full < ebpf_only < baseline
+    # The PID filter's skip path still *sees* events but the counted work
+    # drops; disabling groups removes attachments entirely.
+    assert no_cache <= all_groups

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 10 (head-to-head at 78 MB)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_combined import run_fig10
+
+
+def test_fig10_combined(benchmark, print_result):
+    result = run_once(benchmark, run_fig10, duration_s=5.0)
+    assert len(result.rows) == 4 * 10
+    print_result(result)

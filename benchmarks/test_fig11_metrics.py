@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 11 (metric analytics, 4 runtimes x 6 configs,
+measured through the deployed TEEMon stack)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_metrics import run_fig11
+
+
+def test_fig11_metrics(benchmark, print_result):
+    result = run_once(benchmark, run_fig11, duration_s=20.0)
+    assert len(result.rows) == 4 * 6
+    scone_peak = result.rows_where(framework="scone", config="584C-L")[0]
+    assert scone_peak["epc_evictions"] > 100
+    print_result(result)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 3 (the SGX dashboard screenshot)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_dashboard import run_fig3
+
+
+def test_fig3_dashboard(benchmark, print_result):
+    result, rendered = run_once(benchmark, run_fig3)
+    # Every panel of the dashboard shows data for the monitored run.
+    assert all(row["has_data"] == "yes" for row in result.rows)
+    print_result(result)
+    print()
+    print(rendered)

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (component CPU/memory footprint, 24 h)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_footprint import run_fig4
+
+
+def test_fig4_footprint(benchmark, print_result):
+    result = run_once(benchmark, run_fig4, hours=24.0)
+    total = [r for r in result.rows if r["component"] == "TOTAL"][0]
+    assert 650 <= total["memory_mb"] <= 750
+    print_result(result)

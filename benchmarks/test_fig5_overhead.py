@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 5 (monitoring overhead on applications)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_overhead import run_fig5
+
+
+def test_fig5_overhead(benchmark, print_result):
+    result = run_once(benchmark, run_fig5)
+    full_rows = result.rows_where(config="full")
+    assert all(0.80 <= row["normalized"] <= 0.97 for row in full_rows)
+    print_result(result)

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 6 (syscalls across SCONE versions)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_syscalls import run_fig6
+
+
+def test_fig6_syscalls(benchmark, print_result):
+    result = run_once(benchmark, run_fig6)
+    before = result.rows_where(commit="572bd1a5", syscall="clock_gettime")[0]
+    after = result.rows_where(commit="09fea91", syscall="clock_gettime")[0]
+    assert before["per_second"] > 1000 * after["per_second"]
+    print_result(result)

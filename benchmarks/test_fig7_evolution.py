@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 7 (throughput across code evolution)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_evolution import run_fig7
+
+
+def test_fig7_evolution(benchmark, print_result):
+    result = run_once(benchmark, run_fig7)
+    by_config = {row["configuration"]: row["iops"] for row in result.rows}
+    assert by_config["scone @ 09fea91"] > 2 * by_config["scone @ 572bd1a5"]
+    print_result(result)

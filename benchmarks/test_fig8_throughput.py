@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 8 (throughput vs connections, 4 runtimes x
+3 database sizes x 10 connection counts)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_throughput import run_fig8
+
+
+def test_fig8_throughput(benchmark, print_result):
+    result = run_once(benchmark, run_fig8, duration_s=5.0)
+    assert len(result.rows) == 4 * 3 * 10
+    native_peak = max(
+        row["kiops"] for row in result.rows_where(framework="native", db_mb=78)
+    )
+    assert native_peak > 1_000
+    print_result(result)

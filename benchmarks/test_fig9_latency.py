@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 9 (latency vs connections)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_latency import run_fig9
+
+
+def test_fig9_latency(benchmark, print_result):
+    result = run_once(benchmark, run_fig9, duration_s=5.0)
+    graphene_320 = result.rows_where(
+        framework="graphene-sgx", db_mb=78, connections=320
+    )[0]
+    assert graphene_320["latency_ms"] > 150
+    print_result(result)

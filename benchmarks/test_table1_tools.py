@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (tool survey)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_tools import run_table1
+
+
+def test_table1_tools(benchmark, print_result):
+    result = run_once(benchmark, run_table1)
+    assert len(result.rows) == 9  # 8 surveyed tools + TEEMon
+    print_result(result)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 2 (SME metric/hook catalogue)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_metrics import run_table2
+
+
+def test_table2_metrics(benchmark, print_result):
+    result = run_once(benchmark, run_table2)
+    assert all(row["hook_registered"] == "yes" for row in result.rows)
+    print_result(result)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of SGX frameworks, diagnosed through TEEMon.
+
+Reproduces the §6.5 story in miniature: run the same Redis workload under
+native execution, SCONE, SGX-LKL and Graphene-SGX at two database sizes
+(one inside, one beyond the ~94 MB EPC), report throughput and latency,
+and then use TEEMon's metrics — not the workload model — to explain *why*
+each framework behaves the way it does.
+
+Run:  python examples/sgx_framework_comparison.py
+"""
+
+from repro.apps import MemtierBenchmark, RedisLikeServer
+from repro.experiments.fig11_metrics import run_cell
+from repro.frameworks import ALL_FRAMEWORKS, create_runtime
+from repro.sgx import SgxDriver
+from repro.simkernel import Kernel
+
+CONNECTIONS = 320
+VALUE_SIZES = (32, 64)  # 78 MB (fits EPC) and 105 MB (exceeds it)
+
+
+def run_benchmark(framework: str, value_size: int):
+    kernel = Kernel(seed=13, hostname="server")
+    kernel.load_module(SgxDriver())
+    runtime = create_runtime(framework)
+    runtime.setup(kernel)
+    server = RedisLikeServer()
+    bench = MemtierBenchmark(connections=CONNECTIONS)
+    bench.prepopulate(runtime, server, value_size=value_size)
+    return bench.run(runtime, server, duration_s=10.0)
+
+
+def main() -> None:
+    print(f"{'framework':>14} {'db':>6} {'KIOP/s':>9} {'lat ms':>8}")
+    for framework in ALL_FRAMEWORKS:
+        for value_size in VALUE_SIZES:
+            result = run_benchmark(framework, value_size)
+            print(
+                f"{framework:>14} {result.db_bytes // (1024 * 1024):>4}MB "
+                f"{result.throughput_rps / 1000:>9.1f} {result.latency_ms:>8.2f}"
+            )
+
+    print("\nwhy? — TEEMon metric analytics at 320 connections, 105 MB db")
+    print(f"{'framework':>14} {'evict/100':>10} {'ctx-host/100':>13} "
+          f"{'LLC/100':>8} {'faults/100':>11}")
+    for framework in ALL_FRAMEWORKS:
+        stats = run_cell(framework, CONNECTIONS, 64, duration_s=10.0)
+        print(
+            f"{framework:>14} {stats['epc_evictions']:>10.3f} "
+            f"{stats['ctx_host']:>13.1f} {stats['llc_misses']:>8.1f} "
+            f"{stats['user_faults']:>11.4f}"
+        )
+
+    print(
+        "\nreading the table, as in the paper: SCONE's eviction churn marks"
+        "\nits EPC pressure; Graphene's host context switches (OCALL ping-"
+        "\npong) explain its latency; all enclave runtimes pay elevated LLC"
+        "\nmisses to the memory-encryption engine."
+    )
+
+
+if __name__ == "__main__":
+    main()

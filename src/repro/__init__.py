@@ -1,0 +1,14 @@
+"""TEEMon reproduction.
+
+A production-quality reproduction of "TEEMon: A continuous performance
+monitoring framework for TEEs" (Krahn et al., MIDDLEWARE 2020), built on a
+deterministic simulated substrate: a Linux-like kernel with tracepoints and
+kprobes, an eBPF virtual machine, an Intel SGX model (EPC, enclaves,
+transitions, driver counters), the SCONE / Graphene-SGX / SGX-LKL framework
+models, and the full TEEMon pipeline (exporters, a Prometheus-like TSDB,
+threshold analysis, and dashboards).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

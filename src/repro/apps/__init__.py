@@ -1,0 +1,32 @@
+"""Workload applications and load generators.
+
+The paper evaluates TEEMon with three real applications — Redis, NGINX and
+MongoDB (§6.3) — driven by memtier_benchmark / redis-benchmark (§6.4-6.5).
+This package provides executable models of all of them:
+
+* :class:`~repro.apps.kvstore.RedisLikeServer` — an in-memory key-value
+  store with a real command set and RESP-style byte accounting;
+* :class:`~repro.apps.webserver.NginxLikeServer` — a static web server
+  with a page-cache-backed document root;
+* :class:`~repro.apps.docstore.MongoLikeServer` — a document store with
+  collections, filter queries and disk-flush behaviour;
+* :class:`~repro.apps.clients.MemtierBenchmark` and
+  :class:`~repro.apps.clients.RedisBenchmark` — load generators matching
+  the paper's configurations (8 client threads, a pipeline of 8, GET
+  workloads over 720 000 pre-populated keys).
+"""
+
+from repro.apps.clients import BenchmarkResult, MemtierBenchmark, RedisBenchmark
+from repro.apps.docstore import MongoLikeServer
+from repro.apps.kvstore import RedisLikeServer, db_bytes_for
+from repro.apps.webserver import NginxLikeServer
+
+__all__ = [
+    "RedisLikeServer",
+    "NginxLikeServer",
+    "MongoLikeServer",
+    "MemtierBenchmark",
+    "RedisBenchmark",
+    "BenchmarkResult",
+    "db_bytes_for",
+]

@@ -1,0 +1,142 @@
+"""An NGINX-like static web server model.
+
+Used by the Figure-5 overhead experiment.  NGINX's request path is
+syscall-dense relative to its compute — accept, read, open/stat of the
+document, sendfile-ish writes, close — which is exactly why it shows the
+*highest* monitoring overhead in the paper (87 % of baseline): every one of
+those syscalls is an instrumented event.
+
+The server keeps a real document root; GETs read documents through the
+kernel page cache, producing the page-cache kprobe traffic TEEMon's cache
+metrics count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.frameworks.base import SgxFramework
+from repro.simkernel.clock import NANOS_PER_SEC
+
+#: Syscalls per HTTP request (keep-alive connections, small static files).
+SYSCALLS_PER_REQUEST: Tuple[Tuple[str, float], ...] = (
+    ("read", 1.0),        # request read
+    ("open", 0.5),        # document open (fd cache misses)
+    ("close", 0.5),
+    ("writev", 1.5),      # response header + body
+    ("epoll_wait", 1.0),
+    ("clock_gettime", 2.0),  # access-log timestamps + keepalive timers
+    ("accept4", 0.1),
+)
+
+#: In-enclave service cost per request under SCONE, ns (≈ 80 K req/s peak).
+REQUEST_COST_NS = 12_000.0
+
+
+@dataclass
+class HttpStats:
+    """Request counters."""
+
+    requests: int = 0
+    not_found: int = 0
+    bytes_sent: int = 0
+
+
+class NginxLikeServer:
+    """Static file server over the simulated page cache."""
+
+    def __init__(self, name: str = "nginx") -> None:
+        self.name = name
+        self._documents: Dict[str, bytes] = {}
+        self._inode_by_path: Dict[str, int] = {}
+        self._next_inode = 1
+        self.stats = HttpStats()
+
+    # ------------------------------------------------------------------
+    def put_document(self, path: str, content: bytes) -> None:
+        """Install a document at ``path``."""
+        if not path.startswith("/"):
+            raise ReproError(f"document paths are absolute: {path!r}")
+        self._documents[path] = content
+        if path not in self._inode_by_path:
+            self._inode_by_path[path] = self._next_inode
+            self._next_inode += 1
+
+    def handle_get(self, runtime: SgxFramework, path: str) -> Tuple[int, bytes]:
+        """Serve one GET through the kernel (page cache + syscalls)."""
+        kernel = runtime._require_setup()  # noqa: SLF001 - harness-level access
+        pid = runtime.process.pid
+        kernel.syscalls.dispatch("read", pid)
+        self.stats.requests += 1
+        content = self._documents.get(path)
+        if content is None:
+            self.stats.not_found += 1
+            kernel.syscalls.dispatch("writev", pid)
+            return 404, b"not found"
+        inode = self._inode_by_path[path]
+        pages = max(1, len(content) // 4096)
+        for page_index in range(pages):
+            kernel.page_cache.read(inode, page_index, pid=pid)
+        kernel.syscalls.dispatch("writev", pid)
+        self.stats.bytes_sent += len(content)
+        return 200, content
+
+    # ------------------------------------------------------------------
+    # Aggregate load (Figure 5 overhead experiment)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def events_per_request() -> float:
+        """Instrumented syscall events per request."""
+        return sum(rate for _, rate in SYSCALLS_PER_REQUEST)
+
+    def run_load_slice(
+        self,
+        runtime: SgxFramework,
+        requests: int,
+        duration_ns: int,
+        document_bytes: int = 4096,
+    ) -> None:
+        """Replay ``requests`` worth of HTTP traffic in aggregate."""
+        if requests <= 0:
+            return
+        kernel = runtime._require_setup()  # noqa: SLF001
+        pid = runtime.process.pid
+        for name, per_request in SYSCALLS_PER_REQUEST:
+            count = int(per_request * requests)
+            if count > 0:
+                runtime._dispatch_syscalls(name, count)  # noqa: SLF001
+        kernel.page_cache.account_activity(
+            pid, reads=requests * max(1, document_bytes // 4096), hit_ratio=0.97
+        )
+        self.stats.requests += requests
+        self.stats.bytes_sent += requests * document_bytes
+
+    def achievable_rate(
+        self,
+        runtime: SgxFramework,
+        ebpf_active: bool = False,
+        full_monitoring: bool = False,
+    ) -> float:
+        """Requests/s under the runtime and monitoring configuration."""
+        overhead = _monitoring_factor(
+            self.events_per_request(), REQUEST_COST_NS, ebpf_active, full_monitoring
+        )
+        return (1e9 / REQUEST_COST_NS) * overhead
+
+
+def _monitoring_factor(
+    events_per_request: float,
+    request_cost_ns: float,
+    ebpf_active: bool,
+    full_monitoring: bool,
+) -> float:
+    """Shared overhead model (same shape as the framework one)."""
+    if not ebpf_active and not full_monitoring:
+        return 1.0
+    from repro.frameworks.base import EBPF_EVENT_COST_NS
+
+    share = events_per_request * EBPF_EVENT_COST_NS / request_cost_ns
+    overhead = share * (2.0 if full_monitoring else 1.0)
+    return 1.0 / (1.0 + overhead)

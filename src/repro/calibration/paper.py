@@ -1,0 +1,79 @@
+"""The paper's reported numbers, verbatim.
+
+Used by EXPERIMENTS.md generation and by the shape-checking tests: the
+reproduction's measured values are compared against these for *shape*
+(ordering, ratios, crossover locations), not absolute equality.
+"""
+
+from __future__ import annotations
+
+MIB = 1024 * 1024
+
+#: §6.2 / Fig. 4 — component footprints.
+FIG4_CADVISOR_CPU_FRACTION = 0.03       # "at most 3% on average"
+FIG4_TOTAL_MEMORY_BYTES = 700 * MIB     # "overall memory footprint ~700 MB"
+FIG4_PROMETHEUS_MEMORY_FACTOR = 4.0     # "Prometheus allocates 4x as much"
+FIG4_OTHER_COMPONENT_MEMORY = 100 * MIB
+
+#: §6.3 / Fig. 5 — normalized throughput under monitoring (SCONE apps).
+FIG5_NORMALIZED_THROUGHPUT = {
+    "nginx": 0.87,     # worst case: 87% of baseline
+    "redis": 0.90,
+    "mongodb": 0.95,   # best case
+}
+FIG5_EBPF_SHARE_OF_OVERHEAD = 0.5  # "eBPF programs contribute half"
+OVERHEAD_RANGE = (0.05, 0.17)      # abstract: "5% to 17%"
+
+#: §6.4 / Fig. 6 — syscall rates for the two SCONE commits (per second).
+FIG6_COMMITS = ("572bd1a5", "09fea91")
+FIG6_CLOCK_GETTIME_BEFORE = 370_000.0   # "peaked at over 370000/sec"
+FIG6_CLOCK_GETTIME_AFTER = 100.0        # "at most 100 ... per second"
+FIG6_READ_WRITE_BEFORE = 23_000.0       # read/write "at a tenth" of clock
+FIG6_READ_WRITE_AFTER = 32_000.0        # "increased from 23 to 32"
+
+#: §6.4 / Fig. 7 — Redis throughput across the commits (IOP/s).
+FIG7_THROUGHPUT_BEFORE = 267_952.22
+FIG7_THROUGHPUT_AFTER = 621_504.0
+
+#: §6.5 / Figs. 8-10 — head-to-head (memtier, GETs, pipeline 8).
+FIG8_CONNECTIONS = (8, 80, 160, 240, 320, 400, 480, 560, 640, 720)
+FIG8_DB_SIZES_BYTES = (78 * MIB, 105 * MIB, 127 * MIB)
+FIG8_VALUE_SIZES = {78 * MIB: 32, 105 * MIB: 64, 127 * MIB: 96}
+FIG8_PREPOPULATED_KEYS = 720_000
+
+FIG8_NATIVE_PEAK_RANGE = (1_010_000.0, 1_200_000.0)
+FIG8_NATIVE_PEAK_CONNECTIONS = 320
+FIG8_SCONE_PEAK = 278_000.0
+FIG8_SCONE_PEAK_CONNECTIONS = 560
+FIG8_SCONE_105MB_PEAK_DROP = 32_000.0
+FIG8_SGXLKL_PEAK = 121_000.0
+FIG8_SGXLKL_PEAK_CONNECTIONS = 320
+FIG8_SGXLKL_DIP_CONNECTIONS = 560
+FIG8_GRAPHENE_PEAK = 20_000.0
+FIG8_GRAPHENE_PEAK_CONNECTIONS = 8
+FIG8_GRAPHENE_105MB_SINGLE_CLIENT = 12_000.0
+
+#: Fig. 9 — latency at 320 connections, milliseconds.
+FIG9_LATENCY_AT_320_MS = {
+    "native": 2.0,
+    "scone": 9.0,
+    "sgx-lkl": 20.0,
+    "graphene-sgx": 249.0,
+}
+
+#: Fig. 11 — selected per-100-GET statistics called out in the text.
+FIG11_CONFIGS = ("8C-S", "8C-L", "320C-S", "320C-L", "580C-S", "580C-L")
+FIG11_SCONE_USER_FAULTS_320C_L = 0.069
+FIG11_SCONE_USER_FAULTS_580C_L = 0.064
+FIG11_NATIVE_TOTAL_FAULTS_8C = 607.0
+FIG11_GRAPHENE_TOTAL_FAULTS_580C_L = 8_996.0
+FIG11_NATIVE_LLC_RANGE = (1.8, 23.0)
+FIG11_SCONE_SGXLKL_LLC_RANGE = (29.0, 103.0)
+FIG11_GRAPHENE_LLC_MAX = 161.0
+FIG11_SCONE_EVICTIONS_580C_L = 137.0
+FIG11_SGXLKL_EVICTIONS_MAX = 1.7
+FIG11_GRAPHENE_EVICTIONS_MAX = 0.03
+FIG11_NATIVE_CTX_PROC_8C = 0.14
+FIG11_GRAPHENE_CTX_HOST_580C_L = 304.0
+FIG11_NATIVE_CTX_HOST_580C = 37.0
+FIG11_OTHERS_CTX_HOST_MAX = 125.0

@@ -1,0 +1,231 @@
+"""A textual assembler for eBPF programs.
+
+Custom-metric authors (§5.1: "custom eBPF programs can be added if
+necessary") can write programs as text instead of builder calls::
+
+    ; count large syscall bursts per pid
+        ld_ctx  r6, count
+        jle     r6, 1000, drop
+        ld_ctx  r2, pid
+        mov     r3, 1
+        mov     r1, %map
+        call    map_add
+        exit    0
+    drop:
+        exit    0
+
+Syntax:
+
+* one instruction per line; ``;`` or ``#`` start comments;
+* ``label:`` lines define jump targets; conditional jumps take a label;
+* registers are ``r0``..``r9``; ``%name`` placeholders are substituted
+  from the ``substitutions`` mapping (map fds, thresholds);
+* convenience mnemonics: ``jle a, b, label`` assembles to the primitive
+  ``jgt`` with inverted fall-through, and ``mov``/``add``/... pick the
+  imm/reg form from the operand.
+
+The assembler resolves labels to forward offsets and returns a
+:class:`~repro.ebpf.program.Program` ready for the verifier (backward
+labels assemble fine and are then rejected by the verifier, same division
+of labour as clang vs the kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EbpfError
+from repro.ebpf.instructions import Helper, Instruction, Opcode, Reg
+from repro.ebpf.program import Program
+
+_ALU_MNEMONICS = {
+    "mov": (Opcode.MOV_IMM, Opcode.MOV_REG),
+    "add": (Opcode.ADD_IMM, Opcode.ADD_REG),
+    "sub": (Opcode.SUB_IMM, Opcode.SUB_REG),
+    "mul": (Opcode.MUL_IMM, Opcode.MUL_REG),
+    "div": (Opcode.DIV_IMM, Opcode.DIV_REG),
+    "and": (Opcode.AND_IMM, None),
+    "or": (Opcode.OR_IMM, None),
+    "rsh": (Opcode.RSH_IMM, None),
+    "lsh": (Opcode.LSH_IMM, None),
+}
+
+_JUMP_MNEMONICS = {
+    "jeq": (Opcode.JEQ_IMM, Opcode.JEQ_REG),
+    "jne": (Opcode.JNE_IMM, Opcode.JNE_REG),
+    "jgt": (Opcode.JGT_IMM, None),
+    "jlt": (Opcode.JLT_IMM, None),
+}
+
+_HELPERS = {h.value: h for h in Helper}
+
+
+def _parse_reg(token: str) -> Optional[Reg]:
+    token = token.strip().lower()
+    if len(token) == 2 and token[0] == "r" and token[1].isdigit():
+        index = int(token[1])
+        if index < len(Reg):
+            return Reg(index)
+    return None
+
+
+def _parse_operand(token: str, substitutions: Dict[str, int], line_no: int):
+    token = token.strip()
+    reg = _parse_reg(token)
+    if reg is not None:
+        return reg
+    if token.startswith("%"):
+        name = token[1:]
+        if name not in substitutions:
+            raise EbpfError(f"line {line_no}: unknown substitution %{name}")
+        return int(substitutions[name])
+    try:
+        return int(token, 0)  # decimal or 0x hex
+    except ValueError:
+        raise EbpfError(f"line {line_no}: bad operand {token!r}") from None
+
+
+def assemble(
+    text: str,
+    name: str = "asm",
+    substitutions: Optional[Dict[str, int]] = None,
+    map_fds: Tuple[int, ...] = (),
+) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    substitutions = dict(substitutions or {})
+
+    def statement_size(code: str) -> int:
+        """Emitted instruction count: `exit N` expands to mov + exit."""
+        pieces = code.replace(",", " ").split()
+        if pieces and pieces[0].lower() == "exit" and len(pieces) > 1:
+            return 2
+        return 1
+
+    # Pass 1: strip comments, collect statements and label positions in
+    # *emitted-instruction* space (statements may emit more than one).
+    raw: List[Tuple[int, str]] = []  # (line number, text)
+    labels: Dict[str, int] = {}
+    emitted = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        code = line.split(";")[0].split("#")[0].strip()
+        if not code:
+            continue
+        while code.endswith(":") or (":" in code and code.split(":")[0].isidentifier()):
+            label, _, rest = code.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                break
+            if label in labels:
+                raise EbpfError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = emitted
+            code = rest.strip()
+            if not code:
+                break
+        if code:
+            raw.append((line_no, code))
+            emitted += statement_size(code)
+
+    # Pass 2: assemble.
+    instructions: List[Instruction] = []
+    for line_no, code in raw:
+        pieces = code.replace(",", " ").split()
+        mnemonic = pieces[0].lower()
+        operands = pieces[1:]
+
+        def resolve_label(label_token: str) -> int:
+            if label_token not in labels:
+                raise EbpfError(
+                    f"line {line_no}: unknown label {label_token!r}"
+                )
+            # Jump statements emit exactly one instruction, at the current
+            # position; offsets are relative to the next instruction.
+            return labels[label_token] - len(instructions) - 1
+
+        if mnemonic == "exit":
+            if operands:
+                value = _parse_operand(operands[0], substitutions, line_no)
+                if isinstance(value, Reg):
+                    raise EbpfError(f"line {line_no}: exit takes an immediate")
+                instructions.append(Instruction(Opcode.MOV_IMM, dst=Reg.R0, imm=value))
+            instructions.append(Instruction(Opcode.EXIT))
+        elif mnemonic == "call":
+            if len(operands) != 1 or operands[0] not in _HELPERS:
+                raise EbpfError(
+                    f"line {line_no}: call needs a helper name "
+                    f"({sorted(_HELPERS)})"
+                )
+            instructions.append(
+                Instruction(Opcode.CALL, helper=_HELPERS[operands[0]])
+            )
+        elif mnemonic == "ld_ctx":
+            if len(operands) != 2:
+                raise EbpfError(f"line {line_no}: ld_ctx needs reg, field")
+            dst = _parse_reg(operands[0])
+            if dst is None:
+                raise EbpfError(f"line {line_no}: bad register {operands[0]!r}")
+            instructions.append(
+                Instruction(Opcode.LD_CTX, dst=dst, field=operands[1])
+            )
+        elif mnemonic == "jmp":
+            if len(operands) != 1:
+                raise EbpfError(f"line {line_no}: jmp needs a label")
+            instructions.append(
+                Instruction(Opcode.JMP, offset=resolve_label(operands[0]))
+            )
+        elif mnemonic in _JUMP_MNEMONICS or mnemonic in ("jge", "jle"):
+            if len(operands) != 3:
+                raise EbpfError(f"line {line_no}: {mnemonic} needs a, b, label")
+            dst = _parse_reg(operands[0])
+            if dst is None:
+                raise EbpfError(f"line {line_no}: bad register {operands[0]!r}")
+            operand = _parse_operand(operands[1], substitutions, line_no)
+            offset = resolve_label(operands[2])
+            if mnemonic in ("jge", "jle"):
+                if isinstance(operand, Reg):
+                    raise EbpfError(
+                        f"line {line_no}: {mnemonic} supports immediates only"
+                    )
+                # jge a,b == jgt a,b-1 ; jle a,b == jlt a,b+1 (unsigned-safe
+                # for the in-range immediates programs use).
+                opcode = Opcode.JGT_IMM if mnemonic == "jge" else Opcode.JLT_IMM
+                adjusted = operand - 1 if mnemonic == "jge" else operand + 1
+                instructions.append(
+                    Instruction(opcode, dst=dst, imm=adjusted, offset=offset)
+                )
+            else:
+                imm_op, reg_op = _JUMP_MNEMONICS[mnemonic]
+                if isinstance(operand, Reg):
+                    if reg_op is None:
+                        raise EbpfError(
+                            f"line {line_no}: {mnemonic} has no register form"
+                        )
+                    instructions.append(
+                        Instruction(reg_op, dst=dst, src=operand, offset=offset)
+                    )
+                else:
+                    instructions.append(
+                        Instruction(imm_op, dst=dst, imm=operand, offset=offset)
+                    )
+        elif mnemonic in _ALU_MNEMONICS:
+            if len(operands) != 2:
+                raise EbpfError(f"line {line_no}: {mnemonic} needs dst, src")
+            dst = _parse_reg(operands[0])
+            if dst is None:
+                raise EbpfError(f"line {line_no}: bad register {operands[0]!r}")
+            operand = _parse_operand(operands[1], substitutions, line_no)
+            imm_op, reg_op = _ALU_MNEMONICS[mnemonic]
+            if isinstance(operand, Reg):
+                if reg_op is None:
+                    raise EbpfError(
+                        f"line {line_no}: {mnemonic} has no register form"
+                    )
+                instructions.append(Instruction(reg_op, dst=dst, src=operand))
+            else:
+                instructions.append(Instruction(imm_op, dst=dst, imm=operand))
+        else:
+            raise EbpfError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+    if not instructions:
+        raise EbpfError("no instructions assembled")
+    return Program(name=name, instructions=tuple(instructions),
+                   map_fds=tuple(sorted(map_fds)))

@@ -1,0 +1,112 @@
+"""Canned eBPF programs used by the System Metrics Exporter.
+
+These are the programs TEEMon ships (based on Cloudflare's ebpf_exporter
+examples): per-key event counters, optionally filtered to a single PID —
+the paper's §6.3 notes that a PID-filter macro is provided to cut overhead
+— and log2 histograms.
+
+Every builder returns a :class:`~repro.ebpf.program.Program` that passes
+the verifier; the tests assert this for each one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ebpf.instructions import Helper, Reg
+from repro.ebpf.program import Program, ProgramBuilder
+
+
+def counter_program(
+    name: str,
+    map_fd: int,
+    key_field: Optional[str] = None,
+    fixed_key: int = 0,
+    pid_filter: Optional[int] = None,
+) -> Program:
+    """Count events into ``map_fd``.
+
+    The key is either read from a context field (``key_field``, e.g.
+    ``"syscall_nr"``) or fixed (``fixed_key``).  Each run adds the firing's
+    event multiplicity (``count``), so batch-fired hooks are counted
+    exactly.  With ``pid_filter`` set, events from other PIDs are skipped —
+    the PID-filter macro from the paper.
+    """
+    builder = ProgramBuilder(name).uses_map(map_fd)
+    if pid_filter is not None:
+        builder.ld_ctx(Reg.R6, "pid")
+        # if pid != filter: exit(0)   [jump over the 2 exit instructions]
+        builder.jeq_imm(Reg.R6, pid_filter, 2)
+        builder.mov_imm(Reg.R0, 0)
+        builder.exit()
+    if key_field is not None:
+        builder.ld_ctx(Reg.R2, key_field)
+    else:
+        builder.mov_imm(Reg.R2, fixed_key)
+    builder.ld_ctx(Reg.R3, "count")
+    builder.mov_imm(Reg.R1, map_fd)
+    builder.call(Helper.MAP_ADD)
+    builder.exit(0)
+    return builder.build()
+
+
+def log2_histogram_program(
+    name: str,
+    map_fd: int,
+    value_field: str,
+    max_bucket: int = 32,
+) -> Program:
+    """Bucket a context value into a log2 histogram map.
+
+    Emits an unrolled binary-search-free bucketing: repeatedly shift right
+    and count, bounded by ``max_bucket`` — loops are forbidden, so the
+    shift chain is unrolled exactly like real BPF histogram programs.
+    """
+    builder = ProgramBuilder(name).uses_map(map_fd)
+    builder.ld_ctx(Reg.R6, value_field)   # value
+    builder.mov_imm(Reg.R7, 0)            # bucket index
+    for _ in range(max_bucket):
+        # if value < 2: done (bucket found); offset patched to the epilogue
+        builder.jlt_imm(Reg.R6, 2, 0)
+        builder.rsh_imm(Reg.R6, 1)
+        builder.add_imm(Reg.R7, 1)
+    # Patch the placeholder jumps to land on the epilogue.
+    instructions = list(builder._instructions)  # noqa: SLF001 - assembler internals
+    epilogue_start = len(instructions)
+    from repro.ebpf.instructions import Instruction, Opcode  # local to avoid cycle noise
+
+    patched = []
+    for index, instruction in enumerate(instructions):
+        if instruction.opcode is Opcode.JLT_IMM and instruction.offset == 0:
+            patched.append(
+                Instruction(
+                    Opcode.JLT_IMM,
+                    dst=instruction.dst,
+                    imm=instruction.imm,
+                    offset=epilogue_start - index - 1,
+                )
+            )
+        else:
+            patched.append(instruction)
+    builder._instructions = patched  # noqa: SLF001
+
+    builder.ld_ctx(Reg.R3, "count")
+    builder.mov_reg(Reg.R2, Reg.R7)
+    builder.mov_imm(Reg.R1, map_fd)
+    builder.call(Helper.MAP_ADD)
+    builder.exit(0)
+    return builder.build()
+
+
+def pid_attributed_counter_program(name: str, map_fd: int) -> Program:
+    """Count events keyed by the PID that caused them.
+
+    Backs the per-process views (context switches by PID in Figure 11(e)).
+    """
+    builder = ProgramBuilder(name).uses_map(map_fd)
+    builder.ld_ctx(Reg.R2, "pid")
+    builder.ld_ctx(Reg.R3, "count")
+    builder.mov_imm(Reg.R1, map_fd)
+    builder.call(Helper.MAP_ADD)
+    builder.exit(0)
+    return builder.build()

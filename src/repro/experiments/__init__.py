@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows reproduce
+the corresponding artifact.  :mod:`repro.experiments.runner` runs them all
+and renders the paper-vs-measured comparison that EXPERIMENTS.md records.
+
+==========  =============================================  =====================
+id          paper artifact                                 module
+==========  =============================================  =====================
+table1      Table 1 (tool survey)                          table1_tools
+table2      Table 2 (SME metrics and hooks)                table2_metrics
+fig3        Fig. 3 (the SGX dashboard screenshot)          fig3_dashboard
+fig4        Fig. 4 (component CPU / memory footprint)      fig4_footprint
+fig5        Fig. 5 (monitoring overhead on applications)   fig5_overhead
+fig6        Fig. 6 (syscalls across SCONE versions)        fig6_syscalls
+fig7        Fig. 7 (throughput across code evolution)      fig7_evolution
+fig8        Fig. 8 (throughput vs connections)             fig8_throughput
+fig9        Fig. 9 (latency vs connections)                fig9_latency
+fig10       Fig. 10 (head-to-head at 78 MB)                fig10_combined
+fig11       Fig. 11 (detailed metric analytics)            fig11_metrics
+==========  =============================================  =====================
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

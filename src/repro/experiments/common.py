@@ -1,0 +1,84 @@
+"""Shared experiment machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sgx.driver import SgxDriver
+from repro.simkernel.kernel import Kernel
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class ExperimentResult:
+    """Rows reproducing one table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a note (substitutions, deviations)."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        """Values of one column across all rows."""
+        return [row.get(name) for row in self.rows]
+
+    def rows_where(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Rows matching all equality filters."""
+        return [
+            row for row in self.rows
+            if all(row.get(k) == v for k, v in filters.items())
+        ]
+
+    def render(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Plain-text table of the rows."""
+        if not self.rows:
+            return f"{self.experiment_id}: (no rows)"
+        cols = list(columns) if columns else list(self.rows[0].keys())
+        header = [c for c in cols]
+        body = [
+            [_format_cell(row.get(c)) for c in cols]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def make_sgx_host(seed: int, hostname: str = "testbed") -> Tuple[Kernel, SgxDriver]:
+    """A fresh host with the SGX driver loaded (the paper's server)."""
+    kernel = Kernel(seed=seed, hostname=hostname)
+    driver = SgxDriver()
+    kernel.load_module(driver)
+    return kernel, driver

@@ -1,0 +1,31 @@
+"""Figure 10: head-to-head throughput and latency at 78 MB.
+
+The 78 MB (value size 32) slice of the Figure 8/9 sweep with all four
+runtimes on shared axes — the "overall performance trends" view the paper
+uses to motivate the Figure 11 metric analytics.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, MIB
+from repro.experiments.fig8_throughput import run_sweep
+
+
+def run_fig10(duration_s: float = 5.0, seed: int = 8) -> ExperimentResult:
+    """Combined rows (throughput + latency) at the 78 MB database size."""
+    result = ExperimentResult(
+        "fig10", "Head-to-head at 78 MB: throughput and latency"
+    )
+    for bench in run_sweep(duration_s=duration_s, seed=seed):
+        if bench.db_bytes != 78 * MIB:
+            continue
+        result.add(
+            framework=bench.framework,
+            connections=bench.connections,
+            kiops=round(bench.throughput_rps / 1000.0, 1),
+            latency_ms=round(bench.latency_ms, 2),
+        )
+    result.note(
+        "Subset of the Figure 8/9 sweep; same paper anchors apply."
+    )
+    return result

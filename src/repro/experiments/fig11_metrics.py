@@ -1,0 +1,139 @@
+"""Figure 11: detailed performance-metric analytics per 100 GET requests.
+
+The six configurations of §6.5 — {8, 320, 580} connections x {78 MB (S),
+105 MB (L)} databases — for each runtime, reporting six statistics per 100
+GET requests:
+
+(a) user-space page faults        (d) evicted EPC pages
+(b) total (host-wide) page faults (e) process context switches
+(c) LLC misses                    (f) host-wide context switches
+
+Crucially, the numbers are measured **through TEEMon**: each cell deploys
+the stack, runs the benchmark under monitoring, and derives the statistics
+from TSDB counter deltas (the same query the paper's dashboards plot) —
+not from the workload model's internal counters.  The monitoring pipeline
+is therefore part of what this experiment validates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.clients import MemtierBenchmark
+from repro.apps.kvstore import RedisLikeServer
+from repro.experiments.common import ExperimentResult, MIB, make_sgx_host
+from repro.frameworks import ALL_FRAMEWORKS, create_runtime
+from repro.teemon import TeemonConfig, deploy
+
+#: The paper's six configurations: (label, connections, value size).
+CONFIGS: Tuple[Tuple[str, int, int], ...] = (
+    ("8C-S", 8, 32),
+    ("8C-L", 8, 64),
+    ("320C-S", 320, 32),
+    ("320C-L", 320, 64),
+    ("584C-S", 584, 32),
+    ("584C-L", 584, 64),
+)
+# (the paper uses 580 connections; memtier requires a multiple of the 8
+#  client threads, so the closest valid count is 584 — the paper's own
+#  "the indicated number of connections is always a factor of 8" implies
+#  the same rounding.)
+
+
+def _latest(session, metric: str, **labels) -> float:
+    vector = session.query(metric if not labels else _selector(metric, labels))
+    return vector[0][1] if vector else 0.0
+
+
+def _selector(metric: str, labels: Dict[str, str]) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return f"{metric}{{{inner}}}"
+
+
+def run_cell(
+    framework: str, connections: int, value_size: int,
+    duration_s: float = 30.0, seed: int = 11,
+) -> Dict[str, float]:
+    """One Figure-11 cell: returns the six statistics per 100 GETs."""
+    kernel, _driver = make_sgx_host(seed=seed)
+    deployment = deploy(kernel, TeemonConfig())
+    runtime = create_runtime(framework)
+    runtime.setup(kernel, container_id="redis")
+    server = RedisLikeServer()
+    bench = MemtierBenchmark(connections=connections)
+    bench.prepopulate(runtime, server, value_size=value_size)
+    session = deployment.session
+    pid = str(runtime.process.pid)
+
+    # Counter baselines after population, before the GET phase.  One scrape
+    # is forced so the TSDB has the post-population values.
+    deployment.scrape_manager.scrape_once()
+    before = _read_counters(session, pid)
+    outcome = bench.run(
+        runtime, server, duration_s=duration_s, slice_s=1.0,
+        ebpf_active=True, full_monitoring=True,
+    )
+    deployment.scrape_manager.scrape_once()
+    after = _read_counters(session, pid)
+    deployment.shutdown()
+
+    requests = max(1, outcome.requests_total)
+    per100 = 100.0 / requests
+    return {
+        "user_faults": (after["user_faults"] - before["user_faults"]) * per100,
+        "total_faults": (after["total_faults"] - before["total_faults"]) * per100,
+        "llc_misses": (after["llc_misses"] - before["llc_misses"]) * per100,
+        "epc_evictions": (after["epc_evictions"] - before["epc_evictions"]) * per100,
+        "ctx_process": (after["ctx_process"] - before["ctx_process"]) * per100,
+        "ctx_host": (after["ctx_host"] - before["ctx_host"]) * per100,
+    }
+
+
+def _read_counters(session, pid: str) -> Dict[str, float]:
+    return {
+        "user_faults": _latest(
+            session, "ebpf_page_faults_user_pid_total", pid=pid
+        ),
+        "total_faults": _latest(session, "ebpf_page_faults_total"),
+        "llc_misses": _latest(session, "ebpf_llc_misses_total"),
+        "epc_evictions": _latest(session, "sgx_epc_pages_evicted_total"),
+        "ctx_process": _latest(
+            session, "ebpf_context_switches_pid_total", pid=pid
+        ),
+        "ctx_host": _latest(session, "ebpf_context_switches_total"),
+    }
+
+
+def run_fig11(
+    frameworks: Tuple[str, ...] = ALL_FRAMEWORKS,
+    duration_s: float = 30.0,
+    seed: int = 11,
+) -> ExperimentResult:
+    """All cells: framework x configuration, six statistics each."""
+    result = ExperimentResult(
+        "fig11", "Detailed metrics per 100 GET requests (measured via TEEMon)"
+    )
+    for framework in frameworks:
+        for label, connections, value_size in CONFIGS:
+            stats = run_cell(
+                framework, connections, value_size,
+                duration_s=duration_s, seed=seed,
+            )
+            result.add(
+                framework=framework,
+                config=label,
+                user_faults=round(stats["user_faults"], 4),
+                total_faults=round(stats["total_faults"], 1),
+                llc_misses=round(stats["llc_misses"], 1),
+                epc_evictions=round(stats["epc_evictions"], 4),
+                ctx_process=round(stats["ctx_process"], 3),
+                ctx_host=round(stats["ctx_host"], 1),
+            )
+    result.note(
+        "Paper anchors: SCONE user faults 0.069/0.064 per 100 GETs at "
+        "320C/580C-L; SCONE evictions up to 137 at 580C-L vs <= 1.7 "
+        "(SGX-LKL) and <= 0.03 (Graphene); Graphene total faults up to "
+        "8,996 and host context switches up to 304 (12x others); native "
+        "LLC 1.8-23 vs 29-103 (SCONE/SGX-LKL) and up to 161 (Graphene)."
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 4: CPU and memory consumption of TEEMon's components.
+
+The paper runs TEEMon idle on the desktop machine for 24 hours and
+measures each component's CPU utilisation and memory.  The reproduction
+does the same on virtual time: deploy, let the scrape/analysis loops run
+for 24 virtual hours, then read each component process's *accumulated CPU
+time* (charged by the exporters as they serve scrapes and by the service
+accounting tick) and resident memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, MIB, make_sgx_host
+from repro.simkernel.clock import NANOS_PER_SEC, seconds
+from repro.teemon import TeemonConfig, deploy
+
+DEFAULT_HOURS = 24.0
+
+
+def run_fig4(hours: float = DEFAULT_HOURS, seed: int = 4) -> ExperimentResult:
+    """Deploy idle, run ``hours`` of virtual time, measure footprints."""
+    kernel, _driver = make_sgx_host(seed=seed, hostname="desktop")
+    deployment = deploy(kernel, TeemonConfig())
+    start_ns = kernel.clock.now_ns
+    kernel.clock.advance(seconds(hours * 3600.0))
+    elapsed_ns = kernel.clock.now_ns - start_ns
+
+    result = ExperimentResult(
+        "fig4", f"TEEMon component footprint over {hours:g} h (virtual)"
+    )
+    components = []
+    for exporter in deployment.exporters.values():
+        components.append((exporter.PROCESS_NAME, exporter.process))
+    for service in deployment.services.values():
+        components.append((service.name, service.process))
+    for name, process in components:
+        cpu_fraction = process.cpu_time_ns / elapsed_ns if elapsed_ns else 0.0
+        result.add(
+            component=name,
+            cpu_percent=round(cpu_fraction * 100.0, 3),
+            memory_mb=round(process.rss_bytes / MIB, 1),
+        )
+    total_memory = sum(row["memory_mb"] for row in result.rows)
+    result.add(component="TOTAL", cpu_percent=None, memory_mb=round(total_memory, 1))
+    result.note(
+        "Paper: cAdvisor highest CPU (~3% avg); total memory ~700 MB with "
+        "Prometheus ~4x the other components."
+    )
+    deployment.shutdown()
+    return result

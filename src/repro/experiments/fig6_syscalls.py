@@ -1,0 +1,100 @@
+"""Figure 6: syscall occurrences across two SCONE versions.
+
+§6.4 runs redis-benchmark against Redis compiled with two consecutive
+SCONE commits, with TEEMon monitoring the execution:
+
+* commit ``572bd1a5``: clock_gettime peaks over 370 000/s — ten times the
+  read/write rate — because every call crosses to the kernel;
+* commit ``09fea91``: clock_gettime is handled inside the enclave; at
+  most ~100/s reach the kernel, read/write rise from ~23 K to ~32 K/s.
+
+The experiment reproduces the *measurement path* too: rates are obtained
+by querying the deployed TEEMon's TSDB (``rate(ebpf_syscalls_total[1m])``),
+not by asking the workload model directly.
+
+The §6.4 benchmark is single-host (loopback, no 1 GbE cap), so it uses a
+local calibration: the same SCONE mechanism with the request cost measured
+on the loopback path (1.61 us/request after the fix — which the pre-fix
+commit's 1.38 queue-trips of clock_gettime per request push to 3.72 us,
+reproducing the paper's 268 K -> 622 K IOP/s doubling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.apps.clients import RedisBenchmark
+from repro.apps.kvstore import RedisLikeServer
+from repro.calibration.profiles import SCONE_CALIBRATION
+from repro.experiments.common import ExperimentResult, make_sgx_host
+from repro.frameworks.scone import COMMIT_AFTER, COMMIT_BEFORE, SconeRuntime
+from repro.teemon import TeemonConfig, deploy
+
+#: Loopback request cost after the clock_gettime fix (no network stack).
+#: Chosen so the *monitored* throughput matches the paper's 621,504 IOP/s
+#: (the paper measured Figure 7 with TEEMon active).
+LOCAL_REQUEST_COST_NS = 1_333.0
+
+#: redis-benchmark configuration (§6.4: single host).
+BENCH_CONNECTIONS = 48
+BENCH_PIPELINE = 16
+
+SYSCALLS_OF_INTEREST = ("clock_gettime", "futex", "read", "write")
+
+
+def _local_calibration(version: str):
+    """The loopback variant of the SCONE calibration."""
+    base = replace(
+        SCONE_CALIBRATION,
+        request_cost_ns=LOCAL_REQUEST_COST_NS,
+        half_saturation_inflight=30.0,
+    )
+    if version == COMMIT_AFTER:
+        # Post-fix: deeper event-loop batching at the higher rate; the
+        # kernel-visible clock_gettime trickle is ~100/s total.
+        base = replace(
+            base,
+            syscalls_per_request=(
+                ("read", 0.053), ("write", 0.053), ("epoll_wait", 0.053),
+                ("futex", 0.9), ("clock_gettime", 0.0002),
+            ),
+        )
+    return base
+
+
+def run_commit(version: str, seed: int = 6) -> Tuple[float, Dict[str, float]]:
+    """Run one commit under full TEEMon; returns (throughput, syscall rates)."""
+    kernel, _driver = make_sgx_host(seed=seed)
+    deployment = deploy(kernel, TeemonConfig())
+    runtime = SconeRuntime(version=version, calibration=_local_calibration(version))
+    runtime.setup(kernel, container_id="redis")
+    server = RedisLikeServer()
+    bench = RedisBenchmark(connections=BENCH_CONNECTIONS, pipeline=BENCH_PIPELINE)
+    outcome = bench.run(
+        runtime, server, duration_s=90.0, slice_s=1.0,
+        ebpf_active=True, full_monitoring=True,
+    )
+    rates = deployment.session.syscall_rates(window="1m")
+    deployment.shutdown()
+    return outcome.throughput_rps, rates
+
+
+def run_fig6(seed: int = 6) -> ExperimentResult:
+    """Measure the syscall-rate comparison between the two commits."""
+    result = ExperimentResult(
+        "fig6", "Syscall occurrences per second, Redis with SCONE versions"
+    )
+    for version in (COMMIT_BEFORE, COMMIT_AFTER):
+        _throughput, rates = run_commit(version, seed=seed)
+        for name in SYSCALLS_OF_INTEREST:
+            result.add(
+                commit=version,
+                syscall=name,
+                per_second=round(rates.get(name, 0.0), 1),
+            )
+    result.note(
+        "Paper: clock_gettime peaked over 370,000/s on 572bd1a5 (10x the "
+        "read/write rates) and fell to at most ~100/s on 09fea91."
+    )
+    return result

@@ -1,0 +1,32 @@
+"""Figure 9: Redis latency under each runtime, vs connections.
+
+Shares the sweep with Figure 8.  The paper's anchor points at 320
+connections: ~2 ms native, ~9 ms SCONE, ~20 ms SGX-LKL, ~249 ms
+Graphene-SGX — which are, to first order, Little's law on the 2560
+in-flight requests (connections x pipeline) divided by each framework's
+throughput.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, MIB
+from repro.experiments.fig8_throughput import run_sweep
+
+
+def run_fig9(duration_s: float = 5.0, seed: int = 8) -> ExperimentResult:
+    """Latency rows for every framework / db size / connection count."""
+    result = ExperimentResult(
+        "fig9", "Redis latency: native vs SGX frameworks (ms)"
+    )
+    for bench in run_sweep(duration_s=duration_s, seed=seed):
+        result.add(
+            framework=bench.framework,
+            db_mb=bench.db_bytes // MIB,
+            connections=bench.connections,
+            latency_ms=round(bench.latency_ms, 2),
+        )
+    result.note(
+        "Paper at 320 connections: ~2 ms (native), ~9 ms (SCONE), ~20 ms "
+        "(SGX-LKL), ~249 ms (Graphene-SGX)."
+    )
+    return result

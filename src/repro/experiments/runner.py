@@ -1,0 +1,74 @@
+"""Run every experiment and render the paper-vs-measured report.
+
+``python -m repro.experiments.runner`` executes all ten experiments (with
+reduced durations by default so the full suite finishes in minutes) and
+prints each table; :func:`summary_markdown` renders the EXPERIMENTS.md
+comparison body.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3_dashboard import run_fig3
+from repro.experiments.fig4_footprint import run_fig4
+from repro.experiments.fig5_overhead import run_fig5
+from repro.experiments.fig6_syscalls import run_fig6
+from repro.experiments.fig7_evolution import run_fig7
+from repro.experiments.fig8_throughput import run_fig8
+from repro.experiments.fig9_latency import run_fig9
+from repro.experiments.fig10_combined import run_fig10
+from repro.experiments.fig11_metrics import run_fig11
+from repro.experiments.table1_tools import run_table1
+from repro.experiments.table2_metrics import run_table2
+
+ALL_EXPERIMENTS: Tuple[Tuple[str, Callable[[], ExperimentResult]], ...] = (
+    ("table1", run_table1),
+    ("table2", run_table2),
+    ("fig3", lambda: run_fig3()[0]),
+    ("fig4", lambda: run_fig4(hours=2.0)),
+    ("fig5", run_fig5),
+    ("fig6", run_fig6),
+    ("fig7", run_fig7),
+    ("fig8", lambda: run_fig8(duration_s=3.0)),
+    ("fig9", lambda: run_fig9(duration_s=3.0)),
+    ("fig10", lambda: run_fig10(duration_s=3.0)),
+    ("fig11", lambda: run_fig11(duration_s=10.0)),
+)
+
+
+def run_all(verbose: bool = True) -> Dict[str, ExperimentResult]:
+    """Execute every experiment; returns results keyed by id."""
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id, runner in ALL_EXPERIMENTS:
+        result = runner()
+        results[experiment_id] = result
+        if verbose:
+            print(result.render())
+            print()
+    return results
+
+
+def summary_markdown(results: Dict[str, ExperimentResult]) -> str:
+    """Markdown tables for EXPERIMENTS.md."""
+    lines: List[str] = []
+    for experiment_id, result in results.items():
+        lines.append(f"### {experiment_id}: {result.title}\n")
+        if result.rows:
+            columns = list(result.rows[0].keys())
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "---|" * len(columns))
+            for row in result.rows:
+                lines.append(
+                    "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+                )
+        for note in result.notes:
+            lines.append(f"\n> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    run_all(verbose=True)

@@ -1,0 +1,19 @@
+"""The native runtime: vanilla execution, the evaluation baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration.profiles import NATIVE_CALIBRATION, FrameworkCalibration
+from repro.frameworks.base import SgxFramework
+
+
+class NativeRuntime(SgxFramework):
+    """No enclave; syscalls go straight to the kernel."""
+
+    def __init__(self, calibration: Optional[FrameworkCalibration] = None) -> None:
+        super().__init__(calibration or NATIVE_CALIBRATION)
+
+    def _dispatch_syscalls(self, name: str, count: int) -> int:
+        kernel = self._require_setup()
+        return kernel.syscalls.dispatch(name, self.process.pid, count=count)

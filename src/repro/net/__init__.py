@@ -1,0 +1,17 @@
+"""Simulated networking: links with finite bandwidth and a tiny HTTP layer.
+
+Two things in the paper need a network model:
+
+* the evaluation testbed is two machines on **switched 1 GbE** (§6.1), and
+  native Redis tops out when "the host's network is squeezed at its
+  capacity of 1 GBps" — so the benchmark harness needs a bandwidth-capped
+  link to reproduce the native plateau in Figure 8(a);
+* Prometheus scrapes exporters over HTTP — so exporters publish
+  :class:`~repro.net.http.HttpEndpoint` objects on a
+  :class:`~repro.net.http.HttpNetwork` and the aggregator pulls them.
+"""
+
+from repro.net.http import HttpEndpoint, HttpNetwork, HttpResponse
+from repro.net.network import Link
+
+__all__ = ["Link", "HttpNetwork", "HttpEndpoint", "HttpResponse"]

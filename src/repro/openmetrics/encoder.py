@@ -1,0 +1,80 @@
+"""Render a collector registry to OpenMetrics exposition text."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Tuple
+
+from repro.openmetrics.registry import CollectorRegistry
+from repro.openmetrics.types import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricKind,
+    Summary,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_labels(names: Tuple[str, ...], values: Tuple[str, ...],
+                  extra: Mapping[str, str] = ()) -> str:
+    """Format a label set as ``{a="x",b="y"}`` (empty string when none)."""
+    pairs = list(zip(names, values))
+    if extra:
+        pairs.extend(sorted(extra.items()))
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def encode_family(family: MetricFamily) -> str:
+    """Encode one family, with # HELP and # TYPE headers."""
+    lines: List[str] = [
+        f"# HELP {family.name} {family.help_text}",
+        f"# TYPE {family.name} {family.kind.value}",
+    ]
+    for values, child in family.children():
+        labels = format_labels(family.label_names, values)
+        if family.kind in (MetricKind.COUNTER, MetricKind.GAUGE):
+            lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+        elif family.kind is MetricKind.HISTOGRAM:
+            for bound, cumulative in child.cumulative_buckets():
+                bucket_labels = format_labels(
+                    family.label_names + ("le",),
+                    values + (_format_value(bound),),
+                )
+                lines.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+            lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+            lines.append(f"{family.name}_count{labels} {child.count}")
+        elif family.kind is MetricKind.SUMMARY:
+            for quantile, estimate in child.quantile_values():
+                if math.isnan(estimate):
+                    continue
+                quantile_labels = format_labels(
+                    family.label_names + ("quantile",),
+                    values + (_format_value(quantile),),
+                )
+                lines.append(f"{family.name}{quantile_labels} {_format_value(estimate)}")
+            lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+            lines.append(f"{family.name}_count{labels} {child.count}")
+    return "\n".join(lines)
+
+
+def encode_registry(registry: CollectorRegistry) -> str:
+    """Encode a whole registry; ends with the OpenMetrics EOF marker."""
+    sections = [encode_family(family) for family in registry.collect()]
+    sections.append("# EOF")
+    return "\n".join(sections) + "\n"

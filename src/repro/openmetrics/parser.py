@@ -1,0 +1,124 @@
+"""Parse OpenMetrics exposition text into samples.
+
+This is the aggregator's ingest path: the scrape manager GETs an
+exporter's endpoint and feeds the body through :func:`parse_exposition`,
+getting back flat :class:`ParsedSample` records (name, labels, value) that
+the TSDB appends with the scrape timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import OpenMetricsError
+
+
+@dataclass(frozen=True)
+class ParsedSample:
+    """One sample line from an exposition."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def labels_dict(self) -> Dict[str, str]:
+        """Labels as a dict."""
+        return dict(self.labels)
+
+
+def _parse_value(text: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text.lower() == "nan":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        raise OpenMetricsError(f"bad sample value: {text!r}") from None
+
+
+def _parse_labels(text: str, line_no: int) -> Tuple[Tuple[str, str], ...]:
+    labels: List[Tuple[str, str]] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        eq = text.find("=", index)
+        if eq < 0:
+            raise OpenMetricsError(f"line {line_no}: malformed labels near {text[index:]!r}")
+        name = text[index:eq].strip().strip(",").strip()
+        if not name:
+            raise OpenMetricsError(f"line {line_no}: empty label name")
+        if eq + 1 >= length or text[eq + 1] != '"':
+            raise OpenMetricsError(f"line {line_no}: label value must be quoted")
+        # Scan the quoted value honouring escapes.
+        value_chars: List[str] = []
+        cursor = eq + 2
+        while cursor < length:
+            char = text[cursor]
+            if char == "\\" and cursor + 1 < length:
+                escape = text[cursor + 1]
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(escape, escape))
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            cursor += 1
+        else:
+            raise OpenMetricsError(f"line {line_no}: unterminated label value")
+        labels.append((name, "".join(value_chars)))
+        index = cursor + 1
+        while index < length and text[index] in ", ":
+            index += 1
+    return tuple(labels)
+
+
+def _find_closing_brace(text: str, line_no: int) -> int:
+    """Index of the label set's closing brace, honouring quoted values."""
+    in_quotes = False
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\\" and in_quotes:
+            index += 2
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        elif char == "}" and not in_quotes:
+            return index
+        index += 1
+    raise OpenMetricsError(f"line {line_no}: unterminated label set")
+
+
+def parse_exposition(body: str) -> List[ParsedSample]:
+    """Parse exposition text; comments and the EOF marker are skipped."""
+    samples: List[ParsedSample] = []
+    # Split on "\n" only: splitlines() would also split on exotic Unicode
+    # line breaks (\\x1e, \\u2028, ...) that may appear inside label values.
+    for line_no, raw_line in enumerate(body.split("\n"), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name_part, _, rest = line.partition("{")
+            close = _find_closing_brace(rest, line_no)
+            label_part, value_part = rest[:close], rest[close + 1:]
+            name = name_part.strip()
+            labels = _parse_labels(label_part, line_no)
+            value = _parse_value(value_part)
+        else:
+            pieces = line.split()
+            if len(pieces) < 2:
+                raise OpenMetricsError(f"line {line_no}: malformed sample: {line!r}")
+            name = pieces[0]
+            labels = ()
+            value = _parse_value(pieces[1])
+        if not name:
+            raise OpenMetricsError(f"line {line_no}: empty metric name")
+        samples.append(ParsedSample(name=name, labels=labels, value=value))
+    return samples

@@ -1,0 +1,102 @@
+"""Docker-like containers on one simulated host.
+
+An image declares what to run (an entrypoint factory that builds the
+in-simulation component) plus resource hints; the runtime instantiates
+containers from images, tracks their lifecycle, and labels the underlying
+processes with the container id so cAdvisor can attribute usage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import OrchestrationError
+from repro.simkernel.kernel import Kernel
+
+#: Entry point: builds the containerised component, returns an object with
+#: an optional ``shutdown()``.
+Entrypoint = Callable[[Kernel, str], Any]
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An image: name, entrypoint factory, resource hints."""
+
+    name: str
+    entrypoint: Entrypoint
+    memory_hint_bytes: int = 64 * 1024 * 1024
+    labels: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Container:
+    """A running (or exited) container."""
+
+    container_id: str
+    image: ContainerImage
+    name: str
+    component: Any = None
+    running: bool = False
+
+    def stop(self) -> None:
+        """Stop the containerised component."""
+        if not self.running:
+            raise OrchestrationError(f"container {self.name} is not running")
+        shutdown = getattr(self.component, "shutdown", None)
+        if callable(shutdown):
+            shutdown()
+        self.running = False
+
+
+class DockerRuntime:
+    """Per-host container runtime."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._containers: Dict[str, Container] = {}
+        self._ids = itertools.count(start=1)
+
+    def run(self, image: ContainerImage, name: Optional[str] = None) -> Container:
+        """Create and start a container from ``image``."""
+        container_name = name or f"{image.name}-{next(self._ids)}"
+        if container_name in self._containers:
+            raise OrchestrationError(f"container name in use: {container_name}")
+        container_id = f"{self.kernel.hostname}/{container_name}"
+        component = image.entrypoint(self.kernel, container_id)
+        container = Container(
+            container_id=container_id,
+            image=image,
+            name=container_name,
+            component=component,
+            running=True,
+        )
+        self._containers[container_name] = container
+        return container
+
+    def stop(self, name: str) -> None:
+        """Stop a running container."""
+        container = self.get(name)
+        container.stop()
+
+    def remove(self, name: str) -> None:
+        """Remove a stopped container."""
+        container = self.get(name)
+        if container.running:
+            raise OrchestrationError(f"container {name} still running; stop it first")
+        del self._containers[name]
+
+    def get(self, name: str) -> Container:
+        """Look up a container by name."""
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise OrchestrationError(f"no such container: {name}") from None
+
+    def containers(self, running_only: bool = False) -> List[Container]:
+        """All containers on this host."""
+        result = list(self._containers.values())
+        if running_only:
+            result = [c for c in result if c.running]
+        return result

@@ -1,0 +1,120 @@
+"""TSDB snapshot and restore — the archival functionality.
+
+The paper's §2.1 distinguishes TEEMon from SGX-TOP partly by "archival
+functionality": monitoring data survives and can be inspected after the
+fact.  This module serialises a TSDB to a compact binary snapshot (series
+labels + delta-encoded chunks, the on-disk format of
+:mod:`repro.pmag.chunks`) and restores it into a fresh database —
+supporting backup, transfer between deployments, and post-mortem analysis
+of a finished run.
+
+Format (version 1)::
+
+    header:  magic "TMSNAP" | u16 version | u32 series count
+    series:  u32 label count | (u16 len + utf8 key | u16 len + utf8 value)*
+             u32 chunk count | (u32 len | chunk bytes)*
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from repro.errors import TsdbError
+from repro.pmag.chunks import Chunk
+from repro.pmag.model import Labels
+from repro.pmag.tsdb import Tsdb
+
+MAGIC = b"TMSNAP"
+VERSION = 1
+
+
+def _pack_text(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise TsdbError(f"label component too long: {len(raw)} bytes")
+    return struct.pack("<H", len(raw)) + raw
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise TsdbError("truncated snapshot")
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def text(self) -> str:
+        return self.take(self.u16()).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._offset >= len(self._data)
+
+
+def snapshot(tsdb: Tsdb) -> bytes:
+    """Serialise every series of ``tsdb`` to bytes."""
+    pieces: List[bytes] = [
+        MAGIC, struct.pack("<HI", VERSION, len(tsdb._series))  # noqa: SLF001
+    ]
+    for labels, storage in tsdb._series.items():  # noqa: SLF001 - archival is a DB feature
+        items = labels.items()
+        pieces.append(struct.pack("<I", len(items)))
+        for key, value in items:
+            pieces.append(_pack_text(key))
+            pieces.append(_pack_text(value))
+        chunks = storage._chunks  # noqa: SLF001
+        pieces.append(struct.pack("<I", len(chunks)))
+        for chunk in chunks:
+            encoded = chunk.encode()
+            pieces.append(struct.pack("<I", len(encoded)))
+            pieces.append(encoded)
+    return b"".join(pieces)
+
+
+def restore(data: bytes) -> Tsdb:
+    """Rebuild a TSDB from :func:`snapshot` output."""
+    reader = _Reader(data)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise TsdbError("not a TEEMon snapshot (bad magic)")
+    version = reader.u16()
+    if version != VERSION:
+        raise TsdbError(f"unsupported snapshot version: {version}")
+    series_count = reader.u32()
+    tsdb = Tsdb()
+    for _ in range(series_count):
+        label_count = reader.u32()
+        mapping = {}
+        for _ in range(label_count):
+            key = reader.text()
+            value = reader.text()
+            mapping[key] = value
+        labels = Labels(mapping)
+        chunk_count = reader.u32()
+        for _ in range(chunk_count):
+            length = reader.u32()
+            chunk = Chunk.decode(reader.take(length))
+            for sample in chunk.samples():
+                tsdb.append(labels, sample.time_ns, sample.value)
+    return tsdb
+
+
+def snapshot_window(tsdb: Tsdb, start_ns: int, end_ns: int) -> bytes:
+    """Snapshot only the samples inside a time window (incident export)."""
+    if end_ns < start_ns:
+        raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+    trimmed = Tsdb()
+    for labels, storage in tsdb._series.items():  # noqa: SLF001
+        for sample in storage.window(start_ns, end_ns):
+            trimmed.append(labels, sample.time_ns, sample.value)
+    return snapshot(trimmed)

@@ -1,0 +1,173 @@
+"""Chunked sample storage.
+
+The paper: the PMAG "stores all metrics data samples locally and groups
+them into chunks for faster retrieval".  A :class:`Chunk` holds up to
+``CHUNK_SIZE`` samples with delta-encoded timestamps (scrape intervals are
+regular, so deltas are tiny and mostly constant) and can serialise itself
+to bytes for archival.  A :class:`ChunkedSeries` is an append-only list of
+chunks with binary-search retrieval over time ranges.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import TsdbError
+from repro.pmag.model import Sample
+
+CHUNK_SIZE = 120  # samples per chunk; 10 minutes at the 5 s default interval
+
+
+class Chunk:
+    """Up to CHUNK_SIZE samples with delta-encoded timestamps."""
+
+    __slots__ = ("start_ns", "_deltas", "_values", "_last_ns")
+
+    def __init__(self, start_ns: int) -> None:
+        self.start_ns = start_ns
+        self._deltas: List[int] = []
+        self._values: List[float] = []
+        self._last_ns = start_ns
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def full(self) -> bool:
+        """Whether the chunk has reached capacity."""
+        return len(self._values) >= CHUNK_SIZE
+
+    @property
+    def end_ns(self) -> int:
+        """Timestamp of the newest sample."""
+        return self._last_ns
+
+    def append(self, time_ns: int, value: float) -> None:
+        """Append one sample; timestamps must be strictly increasing."""
+        if self._values and time_ns <= self._last_ns:
+            raise TsdbError(
+                f"out-of-order append: {time_ns} <= {self._last_ns}"
+            )
+        if not self._values and time_ns != self.start_ns:
+            raise TsdbError("first sample must land at the chunk start time")
+        if self.full:
+            raise TsdbError("append to a full chunk")
+        self._deltas.append(time_ns - self._last_ns)
+        self._values.append(value)
+        self._last_ns = time_ns
+
+    def samples(self) -> Iterator[Sample]:
+        """Iterate samples in time order."""
+        current = self.start_ns
+        for delta, value in zip(self._deltas, self._values):
+            current += delta
+            yield Sample(current, value)
+
+    # Note: deltas include a leading 0 for the first sample.
+    def encode(self) -> bytes:
+        """Serialise to bytes (archival format)."""
+        header = struct.pack("<qI", self.start_ns, len(self._values))
+        deltas = b"".join(struct.pack("<q", d) for d in self._deltas)
+        values = b"".join(struct.pack("<d", v) for v in self._values)
+        return header + deltas + values
+
+    @staticmethod
+    def decode(data: bytes) -> "Chunk":
+        """Deserialise from :meth:`encode` output."""
+        if len(data) < 12:
+            raise TsdbError("chunk data too short")
+        start_ns, count = struct.unpack_from("<qI", data, 0)
+        expected = 12 + count * 8 + count * 8
+        if len(data) != expected:
+            raise TsdbError(f"chunk data length {len(data)} != expected {expected}")
+        chunk = Chunk(start_ns)
+        offset = 12
+        deltas = [struct.unpack_from("<q", data, offset + i * 8)[0] for i in range(count)]
+        offset += count * 8
+        values = [struct.unpack_from("<d", data, offset + i * 8)[0] for i in range(count)]
+        current = start_ns
+        for index, (delta, value) in enumerate(zip(deltas, values)):
+            current += delta
+            if index == 0:
+                # Re-anchor: first delta is 0 by construction.
+                chunk.append(chunk.start_ns + delta, value)
+            else:
+                chunk.append(current, value)
+        return chunk
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint."""
+        return 24 + len(self._values) * 16
+
+
+class ChunkedSeries:
+    """Append-only chunk list for one series."""
+
+    __slots__ = ("_chunks", "_starts")
+
+    def __init__(self) -> None:
+        self._chunks: List[Chunk] = []
+        self._starts: List[int] = []
+
+    @property
+    def sample_count(self) -> int:
+        """Total stored samples."""
+        return sum(len(chunk) for chunk in self._chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of chunks."""
+        return len(self._chunks)
+
+    def last_time_ns(self) -> Optional[int]:
+        """Newest timestamp, if any."""
+        return self._chunks[-1].end_ns if self._chunks else None
+
+    def append(self, time_ns: int, value: float) -> None:
+        """Append a sample, opening a new chunk when the head is full."""
+        last = self.last_time_ns()
+        if last is not None and time_ns <= last:
+            raise TsdbError(f"out-of-order append: {time_ns} <= {last}")
+        if not self._chunks or self._chunks[-1].full:
+            chunk = Chunk(time_ns)
+            self._chunks.append(chunk)
+            self._starts.append(time_ns)
+        self._chunks[-1].append(time_ns, value)
+
+    def window(self, start_ns: int, end_ns: int) -> List[Sample]:
+        """Samples with ``start_ns <= t <= end_ns``."""
+        if end_ns < start_ns:
+            raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+        # First chunk that may overlap: the one before the first start > start_ns.
+        first = max(0, bisect_right(self._starts, start_ns) - 1)
+        result: List[Sample] = []
+        for chunk in self._chunks[first:]:
+            if chunk.start_ns > end_ns:
+                break
+            if chunk.end_ns < start_ns:
+                continue
+            for sample in chunk.samples():
+                if sample.time_ns > end_ns:
+                    break
+                if sample.time_ns >= start_ns:
+                    result.append(sample)
+        return result
+
+    def drop_before(self, cutoff_ns: int) -> int:
+        """Retention: drop whole chunks entirely older than ``cutoff_ns``.
+
+        Returns the number of samples dropped.  Partial chunks are kept —
+        retention is chunk-granular, as in real TSDBs.
+        """
+        dropped = 0
+        while self._chunks and self._chunks[0].end_ns < cutoff_ns:
+            dropped += len(self._chunks[0])
+            self._chunks.pop(0)
+            self._starts.pop(0)
+        return dropped
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint."""
+        return sum(chunk.memory_bytes() for chunk in self._chunks)

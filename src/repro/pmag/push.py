@@ -1,0 +1,114 @@
+"""A statsd-style push gateway — the road not taken.
+
+§4 weighs push against pull and chooses pull.  The push design is
+implemented anyway, for two reasons: the ablation bench quantifies the
+paper's argument against a real implementation rather than a strawman,
+and mixed deployments (short-lived batch jobs that cannot be scraped) are
+a legitimate use the paper's "users can easily add their application
+metrics" sentence covers.
+
+:class:`PushGateway` accepts events over the simulated HTTP network
+(``POST``-like pushes via :meth:`PushGateway.push`), applies per-source
+rate limiting (the DoS concern §4 raises), and appends to the TSDB
+immediately — every push is aggregator work, which is exactly the
+burst-amplification the ablation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import TsdbError
+from repro.pmag.model import Labels, METRIC_NAME_LABEL
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+
+
+@dataclass
+class SourceQuota:
+    """Token bucket for one pushing source."""
+
+    rate_per_s: float
+    burst: float
+    tokens: float = 0.0
+    last_refill_ns: int = 0
+
+    def admit(self, now_ns: int, cost: float = 1.0) -> bool:
+        """Whether one push is within the quota."""
+        elapsed_s = max(0, now_ns - self.last_refill_ns) / NANOS_PER_SEC
+        self.tokens = min(self.burst, self.tokens + elapsed_s * self.rate_per_s)
+        self.last_refill_ns = now_ns
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class PushGateway:
+    """Event-push ingestion endpoint."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        tsdb: Tsdb,
+        default_rate_per_s: float = 100.0,
+        default_burst: float = 200.0,
+    ) -> None:
+        if default_rate_per_s <= 0 or default_burst <= 0:
+            raise TsdbError("push quota must be positive")
+        self._clock = clock
+        self._tsdb = tsdb
+        self._default_rate = default_rate_per_s
+        self._default_burst = default_burst
+        self._quotas: Dict[str, SourceQuota] = {}
+        self.pushes_accepted = 0
+        self.pushes_rejected = 0
+        #: Distinct timestamps are required per series; pushes landing in
+        #: the same nanosecond get a +1 ns nudge (sequence within instant).
+        self._last_push_ns: Dict[Labels, int] = {}
+
+    def set_quota(self, source: str, rate_per_s: float, burst: float) -> None:
+        """Override the quota for one source."""
+        if rate_per_s <= 0 or burst <= 0:
+            raise TsdbError("push quota must be positive")
+        self._quotas[source] = SourceQuota(
+            rate_per_s=rate_per_s, burst=burst, tokens=burst,
+            last_refill_ns=self._clock.now_ns,
+        )
+
+    def _quota(self, source: str) -> SourceQuota:
+        quota = self._quotas.get(source)
+        if quota is None:
+            quota = SourceQuota(
+                rate_per_s=self._default_rate, burst=self._default_burst,
+                tokens=self._default_burst, last_refill_ns=self._clock.now_ns,
+            )
+            self._quotas[source] = quota
+        return quota
+
+    def push(self, source: str, metric: str, value: float, **labels: str) -> bool:
+        """One pushed sample; returns False when rate-limited.
+
+        Rate-limited pushes are *dropped*, the §4 trade-off: protecting the
+        aggregator costs data completeness, which the pull model gets for
+        free.
+        """
+        now = self._clock.now_ns
+        if not self._quota(source).admit(now):
+            self.pushes_rejected += 1
+            return False
+        mapping = dict(labels)
+        mapping[METRIC_NAME_LABEL] = metric
+        mapping["source"] = source
+        full = Labels(mapping)
+        stamp = max(now, self._last_push_ns.get(full, -1) + 1)
+        self._last_push_ns[full] = stamp
+        self._tsdb.append(full, stamp, value)
+        self.pushes_accepted += 1
+        return True
+
+    def rejection_ratio(self) -> float:
+        """Fraction of pushes dropped by quotas."""
+        total = self.pushes_accepted + self.pushes_rejected
+        return self.pushes_rejected / total if total else 0.0

@@ -1,0 +1,21 @@
+"""A PromQL-subset query language for the PMAG TSDB.
+
+Supported surface (everything the dashboards and analysis components use):
+
+* instant selectors with label matchers: ``syscalls_total{name=~"clock.*"}``
+* range selectors: ``syscalls_total[5m]``
+* range functions: ``rate``, ``irate``, ``increase``, ``delta``,
+  ``avg_over_time``, ``min_over_time``, ``max_over_time``,
+  ``sum_over_time``, ``count_over_time``, ``quantile_over_time``
+* instant functions: ``abs``, ``clamp_min``, ``clamp_max``
+* aggregations with grouping: ``sum by (process) (rate(x[1m]))``, plus
+  ``avg``, ``min``, ``max``, ``count`` and ``without``
+* binary arithmetic between scalars and vectors: ``+ - * /``
+
+Entry point: :class:`~repro.pmag.query.engine.QueryEngine`.
+"""
+
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.query.parser import parse_query
+
+__all__ = ["QueryEngine", "parse_query"]

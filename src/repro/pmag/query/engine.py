@@ -1,0 +1,364 @@
+"""Query evaluation.
+
+Values flow through evaluation as one of:
+
+* a ``float`` scalar,
+* an **instant vector**: ``List[Tuple[Labels, float]]``,
+* a **range vector**: ``List[Series]`` (only as a function argument).
+
+Instant selectors use a 5-minute lookback (the Prometheus staleness
+window): the value of a series "now" is its newest sample within lookback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import QueryError
+from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Series
+from repro.pmag.query.functions import RANGE_FUNCTIONS, quantile_of
+from repro.pmag.query.nodes import (
+    Aggregation,
+    BinaryOp,
+    Comparison,
+    Expr,
+    FunctionCall,
+    NumberLiteral,
+    RangeSelector,
+    VectorSelector,
+)
+from repro.pmag.query.parser import parse_query
+from repro.pmag.tsdb import Tsdb
+
+LOOKBACK_NS = 5 * 60 * 1_000_000_000
+
+InstantVector = List[Tuple[Labels, float]]
+Value = Union[float, InstantVector]
+
+
+class QueryEngine:
+    """Evaluates query expressions against a :class:`Tsdb`."""
+
+    def __init__(self, tsdb: Tsdb, lookback_ns: int = LOOKBACK_NS) -> None:
+        self._tsdb = tsdb
+        self._lookback_ns = lookback_ns
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def instant(self, query: str, time_ns: int) -> InstantVector:
+        """Evaluate at one instant; scalars become a single unlabelled entry."""
+        value = self._eval(parse_query(query), time_ns)
+        if isinstance(value, float):
+            return [(Labels({}), value)]
+        return value
+
+    def scalar(self, query: str, time_ns: int) -> float:
+        """Evaluate a query expected to yield exactly one value."""
+        vector = self.instant(query, time_ns)
+        if len(vector) != 1:
+            raise QueryError(
+                f"expected a single value from {query!r}, got {len(vector)} series"
+            )
+        return vector[0][1]
+
+    def range_query(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> List[Series]:
+        """Evaluate at each step in [start, end]; returns one Series per label set."""
+        if step_ns <= 0:
+            raise QueryError(f"step must be positive, got {step_ns}")
+        if end_ns < start_ns:
+            raise QueryError(f"bad range: {start_ns}..{end_ns}")
+        expr = parse_query(query)
+        collected = {}
+        time_ns = start_ns
+        while time_ns <= end_ns:
+            value = self._eval(expr, time_ns)
+            if isinstance(value, float):
+                value = [(Labels({}), value)]
+            for labels, number in value:
+                collected.setdefault(labels, []).append((time_ns, number))
+            time_ns += step_ns
+        from repro.pmag.model import Sample  # local import to avoid cycle noise
+
+        return [
+            Series(labels=labels, samples=[Sample(t, v) for t, v in points])
+            for labels, points in sorted(collected.items(), key=lambda kv: kv[0].items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, time_ns: int) -> Value:
+        if isinstance(expr, NumberLiteral):
+            return expr.value
+        if isinstance(expr, VectorSelector):
+            return self._eval_instant_selector(expr, time_ns)
+        if isinstance(expr, RangeSelector):
+            raise QueryError("range selector used outside a range function")
+        if isinstance(expr, FunctionCall):
+            return self._eval_function(expr, time_ns)
+        if isinstance(expr, Aggregation):
+            return self._eval_aggregation(expr, time_ns)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, time_ns)
+        if isinstance(expr, Comparison):
+            return self._eval_comparison(expr, time_ns)
+        raise QueryError(f"cannot evaluate node {expr!r}")
+
+    def _select_range(self, selector: VectorSelector, start_ns: int, end_ns: int) -> List[Series]:
+        matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
+        matchers.extend(selector.matchers)
+        offset = selector.offset_ns
+        return self._tsdb.select(
+            matchers, max(0, start_ns - offset), max(0, end_ns - offset)
+        )
+
+    def _eval_instant_selector(self, selector: VectorSelector, time_ns: int) -> InstantVector:
+        series_list = self._select_range(selector, time_ns - self._lookback_ns, time_ns)
+        return [
+            (series.labels, series.samples[-1].value)
+            for series in series_list
+            if series.samples
+        ]
+
+    def _eval_function(self, call: FunctionCall, time_ns: int) -> Value:
+        name = call.name
+        if name in RANGE_FUNCTIONS:
+            if len(call.args) != 1 or not isinstance(call.args[0], RangeSelector):
+                raise QueryError(f"{name}() takes exactly one range selector")
+            return self._apply_range_function(name, call.args[0], time_ns)
+        if name == "quantile_over_time":
+            if (
+                len(call.args) != 2
+                or not isinstance(call.args[0], NumberLiteral)
+                or not isinstance(call.args[1], RangeSelector)
+            ):
+                raise QueryError("quantile_over_time(q, selector[range]) expected")
+            quantile = call.args[0].value
+            range_selector = call.args[1]
+            series_list = self._select_range(
+                range_selector.selector, time_ns - range_selector.range_ns, time_ns
+            )
+            result: InstantVector = []
+            for series in series_list:
+                values = [s.value for s in series.samples]
+                result.append(
+                    (series.labels.without(METRIC_NAME_LABEL),
+                     quantile_of(values, quantile))
+                )
+            return result
+        if name == "histogram_quantile":
+            return self._histogram_quantile(call, time_ns)
+        if name == "absent":
+            if len(call.args) != 1:
+                raise QueryError("absent() takes one argument")
+            value = self._eval(call.args[0], time_ns)
+            if isinstance(value, float) or value:
+                return []
+            return [(Labels({}), 1.0)]
+        if name == "abs":
+            return self._map_unary(call, time_ns, abs)
+        if name == "clamp_min":
+            return self._clamp(call, time_ns, is_min=True)
+        if name == "clamp_max":
+            return self._clamp(call, time_ns, is_min=False)
+        raise QueryError(f"unknown function: {name!r}")
+
+    def _apply_range_function(
+        self, name: str, range_selector: RangeSelector, time_ns: int
+    ) -> InstantVector:
+        function = RANGE_FUNCTIONS[name]
+        series_list = self._select_range(
+            range_selector.selector, time_ns - range_selector.range_ns, time_ns
+        )
+        result: InstantVector = []
+        for series in series_list:
+            try:
+                value = function(series.samples, range_selector.range_ns)
+            except QueryError:
+                continue  # not enough samples in this window; series is absent
+            result.append((series.labels.without(METRIC_NAME_LABEL), value))
+        return result
+
+    def _map_unary(self, call: FunctionCall, time_ns: int, function) -> Value:
+        if len(call.args) != 1:
+            raise QueryError(f"{call.name}() takes one argument")
+        value = self._eval(call.args[0], time_ns)
+        if isinstance(value, float):
+            return float(function(value))
+        return [(labels, float(function(number))) for labels, number in value]
+
+    def _clamp(self, call: FunctionCall, time_ns: int, is_min: bool) -> Value:
+        if len(call.args) != 2:
+            raise QueryError(f"{call.name}(vector, bound) expected")
+        bound = self._eval(call.args[1], time_ns)
+        if not isinstance(bound, float):
+            raise QueryError(f"{call.name}() bound must be a scalar")
+        clamp = (lambda v: max(v, bound)) if is_min else (lambda v: min(v, bound))
+        value = self._eval(call.args[0], time_ns)
+        if isinstance(value, float):
+            return clamp(value)
+        return [(labels, clamp(number)) for labels, number in value]
+
+    def _histogram_quantile(self, call: FunctionCall, time_ns: int) -> InstantVector:
+        """Prometheus histogram_quantile over _bucket series with `le` labels."""
+        if (len(call.args) != 2 or not isinstance(call.args[0], NumberLiteral)):
+            raise QueryError("histogram_quantile(q, vector) expected")
+        quantile = call.args[0].value
+        if not 0.0 <= quantile <= 1.0:
+            raise QueryError(f"histogram_quantile: q out of range: {quantile}")
+        vector = self._eval(call.args[1], time_ns)
+        if isinstance(vector, float):
+            raise QueryError("histogram_quantile() needs a vector of buckets")
+        # Group bucket series by their labels sans `le`.
+        groups: dict = {}
+        for labels, value in vector:
+            le_text = labels.get("le")
+            if not le_text:
+                continue
+            bound = float("inf") if le_text in ("+Inf", "inf") else float(le_text)
+            key = labels.without("le", METRIC_NAME_LABEL)
+            groups.setdefault(key, []).append((bound, value))
+        result: InstantVector = []
+        for key, buckets in groups.items():
+            buckets.sort()
+            if not buckets or buckets[-1][0] != float("inf"):
+                continue  # malformed histogram: no +Inf bucket
+            total = buckets[-1][1]
+            if total <= 0:
+                continue
+            rank = quantile * total
+            previous_bound, previous_count = 0.0, 0.0
+            estimate = buckets[-1][0]
+            for bound, cumulative in buckets:
+                if cumulative >= rank:
+                    if bound == float("inf"):
+                        estimate = previous_bound
+                        break
+                    width = bound - previous_bound
+                    in_bucket = cumulative - previous_count
+                    fraction = (
+                        (rank - previous_count) / in_bucket if in_bucket > 0 else 0.0
+                    )
+                    estimate = previous_bound + fraction * width
+                    break
+                previous_bound, previous_count = bound, cumulative
+            result.append((key, estimate))
+        result.sort(key=lambda pair: pair[0].items())
+        return result
+
+    def _eval_comparison(self, node: Comparison, time_ns: int) -> Value:
+        """Filtering comparison (PromQL semantics).
+
+        vector-scalar keeps the vector elements where the comparison holds;
+        scalar-scalar yields 1.0 / 0.0.
+        """
+        left = self._eval(node.left, time_ns)
+        right = self._eval(node.right, time_ns)
+        op = node.op
+
+        def holds(a: float, b: float) -> bool:
+            if op == ">":
+                return a > b
+            if op == "<":
+                return a < b
+            if op == ">=":
+                return a >= b
+            if op == "<=":
+                return a <= b
+            if op == "==":
+                return a == b
+            if op == "!=":
+                return a != b
+            raise QueryError(f"unknown comparison: {op!r}")
+
+        if isinstance(left, float) and isinstance(right, float):
+            return 1.0 if holds(left, right) else 0.0
+        if isinstance(right, float):
+            return [(labels, v) for labels, v in left if holds(v, right)]
+        if isinstance(left, float):
+            return [(labels, v) for labels, v in right if holds(left, v)]
+        right_index = {
+            labels.without(METRIC_NAME_LABEL): v for labels, v in right
+        }
+        return [
+            (labels, v) for labels, v in left
+            if labels.without(METRIC_NAME_LABEL) in right_index
+            and holds(v, right_index[labels.without(METRIC_NAME_LABEL)])
+        ]
+
+    def _eval_aggregation(self, node: Aggregation, time_ns: int) -> InstantVector:
+        value = self._eval(node.expr, time_ns)
+        if isinstance(value, float):
+            raise QueryError(f"{node.op}() needs a vector, got a scalar")
+        if node.op in ("topk", "bottomk"):
+            if node.parameter is None or node.parameter < 1:
+                raise QueryError(f"{node.op}() needs a positive k")
+            k = int(node.parameter)
+            ordered = sorted(
+                value, key=lambda pair: pair[1], reverse=(node.op == "topk")
+            )
+            return ordered[:k]
+        groups = {}
+        for labels, number in value:
+            if node.without:
+                key = labels.without(METRIC_NAME_LABEL, *node.grouping)
+            elif node.grouping:
+                key = labels.keep_only(node.grouping)
+            else:
+                key = Labels({})
+            groups.setdefault(key, []).append(number)
+        result: InstantVector = []
+        for key, numbers in groups.items():
+            if node.op == "sum":
+                aggregated = sum(numbers)
+            elif node.op == "avg":
+                aggregated = sum(numbers) / len(numbers)
+            elif node.op == "min":
+                aggregated = min(numbers)
+            elif node.op == "max":
+                aggregated = max(numbers)
+            elif node.op == "count":
+                aggregated = float(len(numbers))
+            else:
+                raise QueryError(f"unknown aggregation: {node.op!r}")
+            result.append((key, aggregated))
+        result.sort(key=lambda pair: pair[0].items())
+        return result
+
+    def _eval_binary(self, node: BinaryOp, time_ns: int) -> Value:
+        left = self._eval(node.left, time_ns)
+        right = self._eval(node.right, time_ns)
+        op = node.op
+
+        def apply(a: float, b: float) -> float:
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                if b == 0:
+                    return float("nan")
+                return a / b
+            raise QueryError(f"unknown operator: {op!r}")
+
+        if isinstance(left, float) and isinstance(right, float):
+            return apply(left, right)
+        if isinstance(left, float):
+            return [(labels, apply(left, number)) for labels, number in right]
+        if isinstance(right, float):
+            return [(labels, apply(number, right)) for labels, number in left]
+        # vector / vector: match on identical label sets sans __name__.
+        right_index = {
+            labels.without(METRIC_NAME_LABEL): number for labels, number in right
+        }
+        result: InstantVector = []
+        for labels, number in left:
+            key = labels.without(METRIC_NAME_LABEL)
+            if key in right_index:
+                result.append((key, apply(number, right_index[key])))
+        return result

@@ -1,0 +1,122 @@
+"""Range- and instant-vector functions.
+
+Range functions consume a list of samples within a window and produce one
+number per series.  ``rate``/``increase`` handle counter resets the way
+Prometheus does: a drop in value is treated as a reset and the running
+total is adjusted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import QueryError
+from repro.pmag.model import Sample
+
+NANOS_PER_SEC = 1_000_000_000
+
+
+def _increase_with_resets(samples: Sequence[Sample]) -> float:
+    total = 0.0
+    previous = samples[0].value
+    for sample in samples[1:]:
+        if sample.value < previous:
+            total += sample.value  # counter reset: count from zero
+        else:
+            total += sample.value - previous
+        previous = sample.value
+    return total
+
+
+def func_increase(samples: Sequence[Sample], range_ns: int) -> float:
+    """Total counter increase over the window."""
+    if len(samples) < 2:
+        raise QueryError("increase() needs at least two samples")
+    return _increase_with_resets(samples)
+
+
+def func_rate(samples: Sequence[Sample], range_ns: int) -> float:
+    """Per-second rate over the window (reset-aware)."""
+    if len(samples) < 2:
+        raise QueryError("rate() needs at least two samples")
+    elapsed_ns = samples[-1].time_ns - samples[0].time_ns
+    if elapsed_ns <= 0:
+        raise QueryError("rate() window has zero duration")
+    return _increase_with_resets(samples) * NANOS_PER_SEC / elapsed_ns
+
+
+def func_irate(samples: Sequence[Sample], range_ns: int) -> float:
+    """Instant rate from the last two samples."""
+    if len(samples) < 2:
+        raise QueryError("irate() needs at least two samples")
+    last, previous = samples[-1], samples[-2]
+    elapsed_ns = last.time_ns - previous.time_ns
+    if elapsed_ns <= 0:
+        raise QueryError("irate() samples share a timestamp")
+    delta = last.value - previous.value
+    if delta < 0:
+        delta = last.value  # reset
+    return delta * NANOS_PER_SEC / elapsed_ns
+
+
+def func_delta(samples: Sequence[Sample], range_ns: int) -> float:
+    """Gauge difference last - first (no reset handling)."""
+    if len(samples) < 2:
+        raise QueryError("delta() needs at least two samples")
+    return samples[-1].value - samples[0].value
+
+
+def func_avg_over_time(samples: Sequence[Sample], range_ns: int) -> float:
+    """Mean of samples in the window."""
+    return sum(s.value for s in samples) / len(samples)
+
+
+def func_min_over_time(samples: Sequence[Sample], range_ns: int) -> float:
+    """Minimum in the window."""
+    return min(s.value for s in samples)
+
+
+def func_max_over_time(samples: Sequence[Sample], range_ns: int) -> float:
+    """Maximum in the window."""
+    return max(s.value for s in samples)
+
+
+def func_sum_over_time(samples: Sequence[Sample], range_ns: int) -> float:
+    """Sum over the window."""
+    return sum(s.value for s in samples)
+
+
+def func_count_over_time(samples: Sequence[Sample], range_ns: int) -> float:
+    """Sample count in the window."""
+    return float(len(samples))
+
+
+def quantile_of(values: List[float], quantile: float) -> float:
+    """Linear-interpolation quantile (Prometheus semantics)."""
+    if not values:
+        raise QueryError("quantile of an empty set")
+    if not 0.0 <= quantile <= 1.0:
+        raise QueryError(f"quantile out of range: {quantile}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = quantile * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    # a + f*(b-a) rather than a*(1-f) + b*f: exact when a == b, and never
+    # leaves [a, b] under floating-point rounding.
+    return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
+
+
+RANGE_FUNCTIONS = {
+    "rate": func_rate,
+    "irate": func_irate,
+    "increase": func_increase,
+    "delta": func_delta,
+    "avg_over_time": func_avg_over_time,
+    "min_over_time": func_min_over_time,
+    "max_over_time": func_max_over_time,
+    "sum_over_time": func_sum_over_time,
+    "count_over_time": func_count_over_time,
+}

@@ -1,0 +1,170 @@
+"""Tokenizer for the query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import QueryError
+
+
+class TokenKind(enum.Enum):
+    """Token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    DURATION = "duration"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    OP_EQ = "="
+    OP_NE = "!="
+    OP_RE = "=~"
+    OP_NRE = "!~"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CMP_GT = ">"
+    CMP_LT = "<"
+    CMP_GTE = ">="
+    CMP_LTE = "<="
+    CMP_EQ = "=="
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+
+_DURATION_UNITS = {"ms": 1_000_000, "s": 1_000_000_000, "m": 60_000_000_000,
+                   "h": 3_600_000_000_000, "d": 86_400_000_000_000}
+
+
+def duration_to_ns(text: str) -> int:
+    """Parse a PromQL duration literal (``5m``, ``30s``, ``1h``) to ns."""
+    for unit in sorted(_DURATION_UNITS, key=len, reverse=True):
+        if text.endswith(unit):
+            number_text = text[: -len(unit)]
+            try:
+                number = float(number_text)
+            except ValueError:
+                raise QueryError(f"bad duration: {text!r}") from None
+            return int(number * _DURATION_UNITS[unit])
+    raise QueryError(f"bad duration: {text!r}")
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char in "_:"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_:"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query string."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, char, index)); index += 1
+        elif char == ")":
+            tokens.append(Token(TokenKind.RPAREN, char, index)); index += 1
+        elif char == "{":
+            tokens.append(Token(TokenKind.LBRACE, char, index)); index += 1
+        elif char == "}":
+            tokens.append(Token(TokenKind.RBRACE, char, index)); index += 1
+        elif char == "[":
+            # Scan a duration literal to the closing bracket.
+            close = text.find("]", index)
+            if close < 0:
+                raise QueryError(f"unterminated range selector at {index}")
+            tokens.append(Token(TokenKind.LBRACKET, "[", index))
+            tokens.append(Token(TokenKind.DURATION, text[index + 1:close].strip(), index + 1))
+            tokens.append(Token(TokenKind.RBRACKET, "]", close))
+            index = close + 1
+        elif char == ",":
+            tokens.append(Token(TokenKind.COMMA, char, index)); index += 1
+        elif char == "+":
+            tokens.append(Token(TokenKind.PLUS, char, index)); index += 1
+        elif char == "-":
+            tokens.append(Token(TokenKind.MINUS, char, index)); index += 1
+        elif char == "*":
+            tokens.append(Token(TokenKind.STAR, char, index)); index += 1
+        elif char == "/":
+            tokens.append(Token(TokenKind.SLASH, char, index)); index += 1
+        elif char == "=":
+            if index + 1 < length and text[index + 1] == "~":
+                tokens.append(Token(TokenKind.OP_RE, "=~", index)); index += 2
+            elif index + 1 < length and text[index + 1] == "=":
+                tokens.append(Token(TokenKind.CMP_EQ, "==", index)); index += 2
+            else:
+                tokens.append(Token(TokenKind.OP_EQ, "=", index)); index += 1
+        elif char == ">":
+            if index + 1 < length and text[index + 1] == "=":
+                tokens.append(Token(TokenKind.CMP_GTE, ">=", index)); index += 2
+            else:
+                tokens.append(Token(TokenKind.CMP_GT, ">", index)); index += 1
+        elif char == "<":
+            if index + 1 < length and text[index + 1] == "=":
+                tokens.append(Token(TokenKind.CMP_LTE, "<=", index)); index += 2
+            else:
+                tokens.append(Token(TokenKind.CMP_LT, "<", index)); index += 1
+        elif char == "!":
+            if index + 1 < length and text[index + 1] == "=":
+                tokens.append(Token(TokenKind.OP_NE, "!=", index)); index += 2
+            elif index + 1 < length and text[index + 1] == "~":
+                tokens.append(Token(TokenKind.OP_NRE, "!~", index)); index += 2
+            else:
+                raise QueryError(f"unexpected '!' at {index}")
+        elif char in "\"'":
+            quote = char
+            cursor = index + 1
+            chars: List[str] = []
+            while cursor < length and text[cursor] != quote:
+                if text[cursor] == "\\" and cursor + 1 < length:
+                    chars.append(text[cursor + 1])
+                    cursor += 2
+                    continue
+                chars.append(text[cursor])
+                cursor += 1
+            if cursor >= length:
+                raise QueryError(f"unterminated string at {index}")
+            tokens.append(Token(TokenKind.STRING, "".join(chars), index))
+            index = cursor + 1
+        elif char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            cursor = index
+            while cursor < length and (text[cursor].isdigit() or text[cursor] in ".eE"):
+                # Permit exponent signs.
+                if text[cursor] in "eE" and cursor + 1 < length and text[cursor + 1] in "+-":
+                    cursor += 1
+                cursor += 1
+            tokens.append(Token(TokenKind.NUMBER, text[index:cursor], index))
+            index = cursor
+        elif _is_ident_start(char):
+            cursor = index
+            while cursor < length and _is_ident_char(text[cursor]):
+                cursor += 1
+            tokens.append(Token(TokenKind.IDENT, text[index:cursor], index))
+            index = cursor
+        else:
+            raise QueryError(f"unexpected character {char!r} at {index}")
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

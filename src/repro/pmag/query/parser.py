@@ -1,0 +1,228 @@
+"""Recursive-descent parser for the query language."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import QueryError
+from repro.pmag.model import Matcher
+from repro.pmag.query.lexer import Token, TokenKind, duration_to_ns, tokenize
+from repro.pmag.query.nodes import (
+    Aggregation,
+    BinaryOp,
+    Comparison,
+    Expr,
+    FunctionCall,
+    NumberLiteral,
+    RangeSelector,
+    VectorSelector,
+)
+
+_COMPARISON_KINDS = {
+    TokenKind.CMP_GT: ">",
+    TokenKind.CMP_LT: "<",
+    TokenKind.CMP_GTE: ">=",
+    TokenKind.CMP_LTE: "<=",
+    TokenKind.CMP_EQ: "==",
+    TokenKind.OP_NE: "!=",
+}
+
+AGGREGATION_OPS = {"sum", "avg", "min", "max", "count", "topk", "bottomk"}
+
+FUNCTION_NAMES = {
+    "rate", "irate", "increase", "delta",
+    "avg_over_time", "min_over_time", "max_over_time",
+    "sum_over_time", "count_over_time", "quantile_over_time",
+    "abs", "clamp_min", "clamp_max",
+    "histogram_quantile", "absent",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._advance()
+        if token.kind is not kind:
+            raise QueryError(
+                f"expected {kind.value!r} at position {token.position} in "
+                f"{self._source!r}, got {token.text!r}"
+            )
+        return token
+
+    # expr := comparison ; comparison := additive (cmp additive)?
+    def parse(self) -> Expr:
+        expr = self._comparison()
+        self._expect(TokenKind.EOF)
+        return expr
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if self._peek().kind in _COMPARISON_KINDS:
+            op = _COMPARISON_KINDS[self._advance().kind]
+            right = self._additive()
+            return Comparison(op=op, left=left, right=right)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().text
+            right = self._multiplicative()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self._advance().text
+            right = self._unary()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            inner = self._unary()
+            return BinaryOp(op="-", left=NumberLiteral(0.0), right=inner)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            try:
+                return NumberLiteral(float(token.text))
+            except ValueError:
+                raise QueryError(f"bad number literal: {token.text!r}") from None
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._comparison()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            return self._ident_expr()
+        raise QueryError(
+            f"unexpected token {token.text!r} at position {token.position} "
+            f"in {self._source!r}"
+        )
+
+    def _ident_expr(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.text
+        if name in AGGREGATION_OPS:
+            return self._aggregation(name)
+        if self._peek().kind is TokenKind.LPAREN and name in FUNCTION_NAMES:
+            return self._function_call(name)
+        if self._peek().kind is TokenKind.LPAREN:
+            raise QueryError(f"unknown function: {name!r}")
+        return self._selector(name)
+
+    def _aggregation(self, op: str) -> Expr:
+        grouping: Tuple[str, ...] = ()
+        without = False
+        parameter = None
+        # by/without clause may come before or after the parenthesised expr.
+        if self._peek().kind is TokenKind.IDENT and self._peek().text in ("by", "without"):
+            without = self._advance().text == "without"
+            grouping = self._grouping_labels()
+        self._expect(TokenKind.LPAREN)
+        if op in ("topk", "bottomk"):
+            number = self._expect(TokenKind.NUMBER)
+            try:
+                parameter = float(number.text)
+            except ValueError:
+                raise QueryError(f"bad {op} parameter: {number.text!r}") from None
+            self._expect(TokenKind.COMMA)
+        inner = self._comparison()
+        self._expect(TokenKind.RPAREN)
+        if self._peek().kind is TokenKind.IDENT and self._peek().text in ("by", "without"):
+            without = self._advance().text == "without"
+            grouping = self._grouping_labels()
+        return Aggregation(op=op, expr=inner, grouping=grouping,
+                           without=without, parameter=parameter)
+
+    def _grouping_labels(self) -> Tuple[str, ...]:
+        self._expect(TokenKind.LPAREN)
+        labels: List[str] = []
+        while self._peek().kind is not TokenKind.RPAREN:
+            labels.append(self._expect(TokenKind.IDENT).text)
+            if self._peek().kind is TokenKind.COMMA:
+                self._advance()
+        self._expect(TokenKind.RPAREN)
+        return tuple(labels)
+
+    def _function_call(self, name: str) -> Expr:
+        self._expect(TokenKind.LPAREN)
+        args: List[Expr] = []
+        while self._peek().kind is not TokenKind.RPAREN:
+            args.append(self._comparison())
+            if self._peek().kind is TokenKind.COMMA:
+                self._advance()
+        self._expect(TokenKind.RPAREN)
+        return FunctionCall(name=name, args=tuple(args))
+
+    def _selector(self, metric_name: str) -> Expr:
+        matchers: List[Matcher] = []
+        if self._peek().kind is TokenKind.LBRACE:
+            self._advance()
+            while self._peek().kind is not TokenKind.RBRACE:
+                matchers.append(self._matcher())
+                if self._peek().kind is TokenKind.COMMA:
+                    self._advance()
+            self._expect(TokenKind.RBRACE)
+        range_ns = None
+        if self._peek().kind is TokenKind.LBRACKET:
+            self._advance()
+            duration_token = self._expect(TokenKind.DURATION)
+            self._expect(TokenKind.RBRACKET)
+            range_ns = duration_to_ns(duration_token.text)
+        offset_ns = 0
+        if self._peek().kind is TokenKind.IDENT and self._peek().text == "offset":
+            self._advance()
+            offset_ns = self._offset_duration()
+        selector = VectorSelector(
+            metric_name=metric_name, matchers=tuple(matchers),
+            offset_ns=offset_ns,
+        )
+        if range_ns is not None:
+            return RangeSelector(selector=selector, range_ns=range_ns)
+        return selector
+
+    def _offset_duration(self) -> int:
+        """Parse the `offset 5m` duration (NUMBER followed by a unit)."""
+        number = self._expect(TokenKind.NUMBER)
+        unit = self._expect(TokenKind.IDENT)
+        return duration_to_ns(number.text + unit.text)
+
+    def _matcher(self) -> Matcher:
+        label = self._expect(TokenKind.IDENT).text
+        op_token = self._advance()
+        value = self._expect(TokenKind.STRING).text
+        if op_token.kind is TokenKind.OP_EQ:
+            return Matcher.eq(label, value)
+        if op_token.kind is TokenKind.OP_NE:
+            return Matcher.ne(label, value)
+        if op_token.kind is TokenKind.OP_RE:
+            return Matcher.regex(label, value)
+        if op_token.kind is TokenKind.OP_NRE:
+            return Matcher.not_regex(label, value)
+        raise QueryError(
+            f"expected a matcher operator at position {op_token.position}, "
+            f"got {op_token.text!r}"
+        )
+
+
+def parse_query(text: str) -> Expr:
+    """Parse a query string into an AST."""
+    if not text or not text.strip():
+        raise QueryError("empty query")
+    return _Parser(tokenize(text), text).parse()

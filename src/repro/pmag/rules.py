@@ -1,0 +1,156 @@
+"""Recording rules: precomputed series.
+
+Prometheus-style recording rules evaluate an expression on a cadence and
+write the result back into the TSDB under a new metric name.  TEEMon-style
+deployments use them for the expensive dashboard queries (per-process
+syscall rates, eviction rates) so panels read cheap precomputed series.
+
+Rule-group semantics follow Prometheus: rules in a group evaluate in
+order at the same instant, so later rules can consume earlier rules'
+output from the *previous* cycle (same-cycle reads see the freshly written
+samples because evaluation time equals write time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import TsdbError
+from repro.pmag.model import Labels, METRIC_NAME_LABEL
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+
+DEFAULT_RULE_INTERVAL_NS = 15 * NANOS_PER_SEC
+
+
+@dataclass(frozen=True)
+class RecordingRule:
+    """One rule: evaluate ``expr`` and record it as ``record``."""
+
+    record: str
+    expr: str
+    static_labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.record or ":" not in self.record:
+            # Prometheus convention: recorded names carry a level:metric:op
+            # shape; require at least one colon to keep them distinguishable
+            # from scraped series.
+            raise TsdbError(
+                f"recording rule name should contain ':': {self.record!r}"
+            )
+
+
+class RuleGroup:
+    """An ordered set of rules evaluated together on one cadence."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: Sequence[RecordingRule],
+        interval_ns: int = DEFAULT_RULE_INTERVAL_NS,
+    ) -> None:
+        if not name:
+            raise TsdbError("rule group needs a name")
+        if interval_ns <= 0:
+            raise TsdbError("rule interval must be positive")
+        seen = set()
+        for rule in rules:
+            if rule.record in seen:
+                raise TsdbError(f"duplicate rule in group: {rule.record}")
+            seen.add(rule.record)
+        self.name = name
+        self.rules = list(rules)
+        self.interval_ns = interval_ns
+        self.evaluations = 0
+        self.last_error: Optional[str] = None
+
+    def evaluate(self, engine: QueryEngine, tsdb: Tsdb, now_ns: int) -> int:
+        """Evaluate every rule at ``now_ns``; returns samples recorded.
+
+        A failing rule is recorded in :attr:`last_error` and skipped — one
+        bad rule must not silence the rest of the group.
+        """
+        recorded = 0
+        self.evaluations += 1
+        for rule in self.rules:
+            try:
+                vector = engine.instant(rule.expr, now_ns)
+            except Exception as exc:  # noqa: BLE001 - rule-level fault barrier
+                self.last_error = f"{rule.record}: {exc}"
+                continue
+            for labels, value in vector:
+                mapping = dict(labels.items())
+                mapping[METRIC_NAME_LABEL] = rule.record
+                mapping.update(rule.static_labels)
+                try:
+                    tsdb.append(Labels(mapping), now_ns, value)
+                    recorded += 1
+                except TsdbError:
+                    pass  # duplicate timestamp (manual + scheduled eval)
+        return recorded
+
+
+class RuleEvaluator:
+    """Runs rule groups on the virtual clock."""
+
+    def __init__(self, clock: VirtualClock, engine: QueryEngine, tsdb: Tsdb) -> None:
+        self._clock = clock
+        self._engine = engine
+        self._tsdb = tsdb
+        self._groups: List[RuleGroup] = []
+        self._timers = {}
+        self._running = False
+        self.samples_recorded = 0
+
+    def add_group(self, group: RuleGroup) -> None:
+        """Register a group; scheduled when the evaluator starts."""
+        if any(g.name == group.name for g in self._groups):
+            raise TsdbError(f"rule group already registered: {group.name}")
+        self._groups.append(group)
+        if self._running:
+            self._schedule(group)
+
+    def groups(self) -> List[RuleGroup]:
+        """Registered groups."""
+        return list(self._groups)
+
+    def evaluate_all_once(self) -> int:
+        """Evaluate every group now (manual trigger)."""
+        now = self._clock.now_ns
+        return sum(
+            group.evaluate(self._engine, self._tsdb, now) for group in self._groups
+        )
+
+    def start(self) -> None:
+        """Begin periodic evaluation."""
+        if self._running:
+            raise TsdbError("rule evaluator already running")
+        self._running = True
+        for group in self._groups:
+            self._schedule(group)
+
+    def stop(self) -> None:
+        """Stop periodic evaluation."""
+        self._running = False
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    def _schedule(self, group: RuleGroup) -> None:
+        if not self._running:
+            return
+
+        def tick() -> None:
+            if not self._running:
+                return
+            self.samples_recorded += group.evaluate(
+                self._engine, self._tsdb, self._clock.now_ns
+            )
+            self._timers[group.name] = self._clock.call_later(
+                group.interval_ns, tick
+            )
+
+        self._timers[group.name] = self._clock.call_later(group.interval_ns, tick)

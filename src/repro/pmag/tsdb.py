@@ -1,0 +1,179 @@
+"""The time-series database."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import TsdbError
+from repro.pmag.chunks import ChunkedSeries
+from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Sample, Series
+
+
+class Tsdb:
+    """Labelled time-series storage with an inverted label index.
+
+    Append-only per series (out-of-order appends are rejected, as in
+    Prometheus), with chunk-granular retention and a postings-style index:
+    for every (label name, value) pair, the set of series carrying it.
+    Selection intersects postings for equality matchers, then filters the
+    survivors with the remaining matchers.
+    """
+
+    def __init__(self, retention_ns: Optional[int] = None) -> None:
+        self._series: Dict[Labels, ChunkedSeries] = {}
+        self._postings: Dict[tuple, Set[Labels]] = {}
+        self.retention_ns = retention_ns
+        self.total_appends = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def append(self, labels: Labels, time_ns: int, value: float) -> None:
+        """Append one sample to the series identified by ``labels``."""
+        if not labels.metric_name:
+            raise TsdbError(f"series needs a {METRIC_NAME_LABEL} label: {labels!r}")
+        storage = self._series.get(labels)
+        if storage is None:
+            storage = ChunkedSeries()
+            self._series[labels] = storage
+            for pair in labels.items():
+                self._postings.setdefault(pair, set()).add(labels)
+        storage.append(time_ns, value)
+        self.total_appends += 1
+
+    def append_sample(self, metric: str, time_ns: int, value: float, **labels: str) -> None:
+        """Convenience ingest by metric name and keyword labels.
+
+        The positional parameter is ``metric`` so ``name`` remains usable
+        as a keyword label.
+        """
+        self.append(Labels.of(metric, **labels), time_ns, value)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _candidates(self, matchers: Sequence[Matcher]) -> Iterable[Labels]:
+        equality = [m for m in matchers if m.op == "=" and m.value]
+        if equality:
+            sets = []
+            for matcher in equality:
+                postings = self._postings.get((matcher.name, matcher.value))
+                if not postings:
+                    return []
+                sets.append(postings)
+            smallest = min(sets, key=len)
+            return [
+                labels for labels in smallest
+                if all(labels in s for s in sets if s is not smallest)
+            ]
+        return list(self._series)
+
+    def select(
+        self,
+        matchers: Sequence[Matcher],
+        start_ns: int,
+        end_ns: int,
+    ) -> List[Series]:
+        """All series matching every matcher, with samples in the window."""
+        if end_ns < start_ns:
+            raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+        result: List[Series] = []
+        for labels in self._candidates(matchers):
+            if not all(matcher.matches(labels) for matcher in matchers):
+                continue
+            samples = self._series[labels].window(start_ns, end_ns)
+            if samples:
+                result.append(Series(labels=labels, samples=samples))
+        result.sort(key=lambda s: s.labels.items())
+        return result
+
+    def select_metric(
+        self, metric: str, start_ns: int, end_ns: int, **label_filters: str
+    ) -> List[Series]:
+        """Select by metric name plus equality label filters."""
+        matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
+        matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
+        return self.select(matchers, start_ns, end_ns)
+
+    def latest(self, metric: str, **label_filters: str) -> Optional[Sample]:
+        """Newest sample of the first series matching name + filters."""
+        matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
+        matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
+        best: Optional[Sample] = None
+        for labels in self._candidates(matchers):
+            if not all(matcher.matches(labels) for matcher in matchers):
+                continue
+            last_ns = self._series[labels].last_time_ns()
+            if last_ns is None:
+                continue
+            window = self._series[labels].window(last_ns, last_ns)
+            if window and (best is None or window[-1].time_ns > best.time_ns):
+                best = window[-1]
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    def series_count(self) -> int:
+        """Number of distinct series."""
+        return len(self._series)
+
+    def sample_count(self) -> int:
+        """Total stored samples."""
+        return sum(s.sample_count for s in self._series.values())
+
+    def label_values(self, label_name: str) -> List[str]:
+        """Distinct values of one label across all series."""
+        return sorted({
+            value for (name, value) in self._postings if name == label_name
+        })
+
+    def metric_names(self) -> List[str]:
+        """All metric names with at least one series."""
+        return self.label_values(METRIC_NAME_LABEL)
+
+    def memory_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return sum(s.memory_bytes() for s in self._series.values())
+
+    def delete_series(self, matchers: Sequence[Matcher]) -> int:
+        """Admin API: drop every series matching all matchers.
+
+        Returns the number of series deleted.  Mirrors Prometheus's
+        ``delete_series`` admin endpoint — used to purge a misbehaving
+        exporter's data or a mis-labelled ingest.
+        """
+        victims = [
+            labels for labels in self._candidates(matchers)
+            if all(matcher.matches(labels) for matcher in matchers)
+        ]
+        for labels in victims:
+            del self._series[labels]
+            for pair in labels.items():
+                postings = self._postings.get(pair)
+                if postings is not None:
+                    postings.discard(labels)
+                    if not postings:
+                        del self._postings[pair]
+        return len(victims)
+
+    def enforce_retention(self, now_ns: int) -> int:
+        """Drop chunks older than the retention horizon; returns samples dropped."""
+        if self.retention_ns is None:
+            return 0
+        cutoff = now_ns - self.retention_ns
+        dropped = 0
+        empty: List[Labels] = []
+        for labels, storage in self._series.items():
+            dropped += storage.drop_before(cutoff)
+            if storage.sample_count == 0:
+                empty.append(labels)
+        for labels in empty:
+            del self._series[labels]
+            for pair in labels.items():
+                postings = self._postings.get(pair)
+                if postings is not None:
+                    postings.discard(labels)
+                    if not postings:
+                        del self._postings[pair]
+        return dropped

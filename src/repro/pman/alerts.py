@@ -1,0 +1,131 @@
+"""Alert lifecycle and delivery.
+
+"PMAN supports handling anomalies in several ways including alerting,
+dashboard updating, and logging." (§4)  The :class:`AlertManager` owns the
+lifecycle — firing, deduplication while active, resolution when the
+condition clears — and fans out to pluggable sinks.  Two sinks ship: an
+in-memory log (the "logging" path; also what tests assert against) and a
+callback sink the PMV dashboards use for annotations (the "dashboard
+updating" path).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pmag.model import Labels
+
+
+class AlertSeverity(enum.Enum):
+    """Severity levels."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+    @staticmethod
+    def parse(text: str) -> "AlertSeverity":
+        """Parse a severity string (rule files use lowercase names)."""
+        return AlertSeverity(text.lower())
+
+
+@dataclass
+class Alert:
+    """One alert instance."""
+
+    name: str
+    labels: Labels
+    severity: AlertSeverity
+    message: str
+    fired_at_ns: int
+    value: float = 0.0
+    resolved_at_ns: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the alert has not yet resolved."""
+        return self.resolved_at_ns is None
+
+    def key(self) -> Tuple[str, Labels]:
+        """Deduplication identity."""
+        return (self.name, self.labels)
+
+
+AlertSink = Callable[[Alert, str], None]  # (alert, event) where event is fire|resolve
+
+
+class AlertManager:
+    """Fires, deduplicates and resolves alerts; fans out to sinks."""
+
+    def __init__(self) -> None:
+        self._active: Dict[Tuple[str, Labels], Alert] = {}
+        self._history: List[Alert] = []
+        self._sinks: List[AlertSink] = []
+        self.log: List[str] = []
+        self.add_sink(self._log_sink)
+
+    def add_sink(self, sink: AlertSink) -> None:
+        """Register a delivery sink."""
+        self._sinks.append(sink)
+
+    def _log_sink(self, alert: Alert, event: str) -> None:
+        self.log.append(
+            f"[{event.upper()}] {alert.severity.value}: {alert.message}"
+        )
+
+    def fire(
+        self,
+        name: str,
+        labels: Labels,
+        severity: AlertSeverity,
+        message: str,
+        now_ns: int,
+        value: float = 0.0,
+    ) -> Alert:
+        """Fire (or refresh) an alert; active duplicates are not re-sent."""
+        key = (name, labels)
+        existing = self._active.get(key)
+        if existing is not None:
+            existing.value = value  # refresh the observed value
+            return existing
+        alert = Alert(
+            name=name, labels=labels, severity=severity,
+            message=message, fired_at_ns=now_ns, value=value,
+        )
+        self._active[key] = alert
+        self._history.append(alert)
+        for sink in self._sinks:
+            sink(alert, "fire")
+        return alert
+
+    def resolve(self, name: str, labels: Labels, now_ns: int) -> Optional[Alert]:
+        """Resolve an active alert; returns it, or None if not active."""
+        alert = self._active.pop((name, labels), None)
+        if alert is None:
+            return None
+        alert.resolved_at_ns = now_ns
+        for sink in self._sinks:
+            sink(alert, "resolve")
+        return alert
+
+    def resolve_absent(
+        self, name: str, still_firing: List[Labels], now_ns: int
+    ) -> List[Alert]:
+        """Resolve every active alert of ``name`` not in ``still_firing``."""
+        current = set(still_firing)
+        resolved = []
+        for key in list(self._active):
+            rule_name, labels = key
+            if rule_name == name and labels not in current:
+                resolved.append(self.resolve(rule_name, labels, now_ns))
+        return [a for a in resolved if a is not None]
+
+    def active_alerts(self) -> List[Alert]:
+        """Currently firing alerts."""
+        return list(self._active.values())
+
+    def history(self) -> List[Alert]:
+        """All alerts ever fired, in firing order."""
+        return list(self._history)

@@ -1,0 +1,96 @@
+"""Statistical anomaly detectors.
+
+The paper's PMAN is threshold-based but "can be further extended to
+perform more advanced analytics" (§4).  Two standard extensions are
+implemented, both window-local and parameter-free beyond a sensitivity:
+
+* :class:`ZScoreDetector` — flags points more than k standard deviations
+  from the window mean;
+* :class:`MadDetector` — the robust variant using the median absolute
+  deviation, resilient to the very outliers it hunts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+from repro.pmag.model import Labels
+from repro.pman.window import WindowResult
+
+
+@dataclass(frozen=True)
+class AnomalousPoint:
+    """One flagged (labels, value) pair with its deviation score."""
+
+    labels: Labels
+    value: float
+    score: float
+
+
+class ZScoreDetector:
+    """Flags values with |z| above a sensitivity threshold."""
+
+    def __init__(self, sensitivity: float = 3.0) -> None:
+        if sensitivity <= 0:
+            raise AnalysisError(f"sensitivity must be positive, got {sensitivity}")
+        self.sensitivity = sensitivity
+
+    @staticmethod
+    def _scores(values: Sequence[float]) -> List[float]:
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        stddev = math.sqrt(variance)
+        if stddev == 0:
+            return [0.0] * n
+        return [(v - mean) / stddev for v in values]
+
+    def detect(self, window: WindowResult) -> List[AnomalousPoint]:
+        """Anomalous points across all series in the window."""
+        flagged: List[AnomalousPoint] = []
+        for labels, values in window.values_by_labels().items():
+            if len(values) < 3:
+                continue
+            for value, score in zip(values, self._scores(values)):
+                if abs(score) >= self.sensitivity:
+                    flagged.append(AnomalousPoint(labels, value, score))
+        return flagged
+
+
+class MadDetector:
+    """Median-absolute-deviation detector (robust z-score)."""
+
+    #: Consistency constant making MAD comparable to a standard deviation.
+    SCALE = 1.4826
+
+    def __init__(self, sensitivity: float = 3.5) -> None:
+        if sensitivity <= 0:
+            raise AnalysisError(f"sensitivity must be positive, got {sensitivity}")
+        self.sensitivity = sensitivity
+
+    @staticmethod
+    def _median(values: Sequence[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def detect(self, window: WindowResult) -> List[AnomalousPoint]:
+        """Anomalous points using robust deviation scores."""
+        flagged: List[AnomalousPoint] = []
+        for labels, values in window.values_by_labels().items():
+            if len(values) < 3:
+                continue
+            median = self._median(values)
+            mad = self._median([abs(v - median) for v in values])
+            if mad == 0:
+                continue
+            for value in values:
+                score = (value - median) / (self.SCALE * mad)
+                if abs(score) >= self.sensitivity:
+                    flagged.append(AnomalousPoint(labels, value, score))
+        return flagged

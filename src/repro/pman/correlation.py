@@ -1,0 +1,217 @@
+"""Correlation analysis and performance prediction.
+
+§4: "PMAN can be further extended to perform more advanced analytics,
+such as the correlation between SGX metrics and configuration parameters
+of applications, or performance prediction."  Both extensions are
+implemented here:
+
+* :func:`correlate` — Pearson correlation between two query expressions
+  over a shared time window (aligned on evaluation steps), answering
+  questions like *does throughput drop when EPC evictions rise?*;
+* :class:`CorrelationMatrix` — pairwise correlations over a metric set,
+  the screening step before a deeper investigation;
+* :class:`LinearPredictor` — ordinary least squares over windowed query
+  series: fit throughput against the metrics PMAN already collects, then
+  predict it for hypothetical metric values (the "what would eviction rate
+  X cost us" question).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.pmag.query.engine import QueryEngine
+from repro.simkernel.clock import NANOS_PER_SEC
+
+
+def _aligned_series(
+    engine: QueryEngine,
+    queries: Sequence[str],
+    start_ns: int,
+    end_ns: int,
+    step_ns: int,
+) -> List[List[float]]:
+    """Evaluate queries on a shared step grid; one value list per query.
+
+    Each query must resolve to exactly one series over the window (use
+    aggregations to collapse label sets first).
+    """
+    columns: List[List[float]] = []
+    for query in queries:
+        series_list = engine.range_query(query, start_ns, end_ns, step_ns)
+        if len(series_list) != 1:
+            raise AnalysisError(
+                f"correlation query must yield one series, got "
+                f"{len(series_list)}: {query!r}"
+            )
+        columns.append([s.value for s in series_list[0].samples])
+    lengths = {len(c) for c in columns}
+    if len(lengths) != 1:
+        raise AnalysisError(f"queries produced unequal sample counts: {lengths}")
+    return columns
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    if len(xs) != len(ys):
+        raise AnalysisError("correlation needs equal-length sequences")
+    n = len(xs)
+    if n < 3:
+        raise AnalysisError("correlation needs at least 3 points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise AnalysisError("correlation undefined for a constant series")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def correlate(
+    engine: QueryEngine,
+    query_a: str,
+    query_b: str,
+    end_ns: int,
+    window_ns: int = 5 * 60 * NANOS_PER_SEC,
+    step_ns: int = 15 * NANOS_PER_SEC,
+) -> float:
+    """Pearson correlation of two queries over the trailing window."""
+    start_ns = max(0, end_ns - window_ns)
+    a, b = _aligned_series(engine, (query_a, query_b), start_ns, end_ns, step_ns)
+    return pearson(a, b)
+
+
+@dataclass
+class CorrelationMatrix:
+    """Pairwise correlations over a set of named queries."""
+
+    names: Tuple[str, ...]
+    values: Dict[Tuple[str, str], float]
+
+    def get(self, a: str, b: str) -> float:
+        """Correlation between two named queries (order-insensitive)."""
+        if (a, b) in self.values:
+            return self.values[(a, b)]
+        if (b, a) in self.values:
+            return self.values[(b, a)]
+        raise AnalysisError(f"no correlation for pair ({a!r}, {b!r})")
+
+    def strongest_pairs(self, limit: int = 5) -> List[Tuple[str, str, float]]:
+        """Pairs ranked by |r| descending."""
+        ranked = sorted(
+            ((a, b, r) for (a, b), r in self.values.items()),
+            key=lambda t: -abs(t[2]),
+        )
+        return ranked[:limit]
+
+    @staticmethod
+    def compute(
+        engine: QueryEngine,
+        queries: Dict[str, str],
+        end_ns: int,
+        window_ns: int = 5 * 60 * NANOS_PER_SEC,
+        step_ns: int = 15 * NANOS_PER_SEC,
+    ) -> "CorrelationMatrix":
+        """All pairwise correlations over the window."""
+        names = tuple(queries)
+        start_ns = max(0, end_ns - window_ns)
+        columns = _aligned_series(
+            engine, [queries[n] for n in names], start_ns, end_ns, step_ns
+        )
+        values: Dict[Tuple[str, str], float] = {}
+        for i, a in enumerate(names):
+            for j in range(i + 1, len(names)):
+                values[(a, names[j])] = pearson(columns[i], columns[j])
+        return CorrelationMatrix(names=names, values=values)
+
+
+@dataclass
+class LinearPredictor:
+    """OLS model: target ~ intercept + sum(coef_i * feature_i)."""
+
+    feature_names: Tuple[str, ...]
+    coefficients: Tuple[float, ...]
+    intercept: float
+    r_squared: float
+
+    def predict(self, features: Dict[str, float]) -> float:
+        """Predict the target for given feature values."""
+        missing = set(self.feature_names) - set(features)
+        if missing:
+            raise AnalysisError(f"missing features: {sorted(missing)}")
+        return self.intercept + sum(
+            coef * features[name]
+            for name, coef in zip(self.feature_names, self.coefficients)
+        )
+
+    @staticmethod
+    def fit(
+        engine: QueryEngine,
+        target_query: str,
+        feature_queries: Dict[str, str],
+        end_ns: int,
+        window_ns: int = 5 * 60 * NANOS_PER_SEC,
+        step_ns: int = 15 * NANOS_PER_SEC,
+    ) -> "LinearPredictor":
+        """Fit from windowed query series (normal equations, pure Python)."""
+        if not feature_queries:
+            raise AnalysisError("predictor needs at least one feature")
+        names = tuple(feature_queries)
+        start_ns = max(0, end_ns - window_ns)
+        columns = _aligned_series(
+            engine,
+            [target_query] + [feature_queries[n] for n in names],
+            start_ns, end_ns, step_ns,
+        )
+        y = columns[0]
+        xs = columns[1:]
+        n = len(y)
+        k = len(xs) + 1  # + intercept
+        if n <= k:
+            raise AnalysisError(
+                f"need more samples ({n}) than parameters ({k})"
+            )
+        # Build X^T X and X^T y with an intercept column of ones.
+        design = [[1.0] + [col[row] for col in xs] for row in range(n)]
+        xtx = [[sum(design[r][i] * design[r][j] for r in range(n))
+                for j in range(k)] for i in range(k)]
+        xty = [sum(design[r][i] * y[r] for r in range(n)) for i in range(k)]
+        beta = _solve(xtx, xty)
+        predictions = [
+            sum(b * design[r][i] for i, b in enumerate(beta)) for r in range(n)
+        ]
+        mean_y = sum(y) / n
+        ss_total = sum((v - mean_y) ** 2 for v in y)
+        ss_resid = sum((v - p) ** 2 for v, p in zip(y, predictions))
+        r_squared = 1.0 - (ss_resid / ss_total if ss_total > 0 else 0.0)
+        return LinearPredictor(
+            feature_names=names,
+            coefficients=tuple(beta[1:]),
+            intercept=beta[0],
+            r_squared=r_squared,
+        )
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting."""
+    n = len(matrix)
+    augmented = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = max(range(col, n), key=lambda r: abs(augmented[r][col]))
+        if abs(augmented[pivot_row][col]) < 1e-12:
+            raise AnalysisError(
+                "singular design matrix (collinear or constant features)"
+            )
+        augmented[col], augmented[pivot_row] = augmented[pivot_row], augmented[col]
+        pivot = augmented[col][col]
+        for r in range(n):
+            if r == col:
+                continue
+            factor = augmented[r][col] / pivot
+            for c in range(col, n + 1):
+                augmented[r][c] -= factor * augmented[col][c]
+    return [augmented[i][n] / augmented[i][i] for i in range(n)]

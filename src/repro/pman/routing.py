@@ -1,0 +1,193 @@
+"""Alert routing and silences (Alertmanager-style).
+
+The base :class:`~repro.pman.alerts.AlertManager` fans out every event to
+every sink.  Production deployments need more: route critical alerts to a
+pager, warnings to a log, silence a noisy rule during maintenance.  This
+module layers both on top without changing the manager:
+
+* a :class:`Route` matches alerts (by severity and/or label matchers) and
+  owns its sinks; a :class:`Router` is an AlertSink that dispatches events
+  down the first matching route (with an optional catch-all);
+* a :class:`Silence` suppresses matching alerts for a time window; the
+  router consults its :class:`SilenceRegistry` before delivering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.pmag.model import Matcher
+from repro.pman.alerts import Alert, AlertSeverity, AlertSink
+
+
+@dataclass
+class Silence:
+    """Suppression window for matching alerts."""
+
+    matchers: Sequence[Matcher]
+    starts_at_ns: int
+    ends_at_ns: int
+    created_by: str = ""
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ends_at_ns <= self.starts_at_ns:
+            raise AnalysisError("silence must end after it starts")
+        if not self.matchers:
+            raise AnalysisError("silence needs at least one matcher")
+
+    def active_at(self, time_ns: int) -> bool:
+        """Whether the window covers ``time_ns``."""
+        return self.starts_at_ns <= time_ns < self.ends_at_ns
+
+    def matches(self, alert: Alert) -> bool:
+        """Whether the alert's labels satisfy every matcher."""
+        return all(m.matches(alert.labels) for m in self.matchers)
+
+
+class SilenceRegistry:
+    """Active silences, consulted at delivery time."""
+
+    def __init__(self) -> None:
+        self._silences: List[Silence] = []
+        self.suppressed_count = 0
+
+    def add(self, silence: Silence) -> Silence:
+        """Register a silence."""
+        self._silences.append(silence)
+        return silence
+
+    def expire(self, silence: Silence, now_ns: int) -> None:
+        """End a silence early."""
+        if silence not in self._silences:
+            raise AnalysisError("unknown silence")
+        silence.ends_at_ns = min(silence.ends_at_ns, max(now_ns, silence.starts_at_ns + 1))
+
+    def silenced(self, alert: Alert, now_ns: int) -> bool:
+        """Whether any active silence suppresses this alert."""
+        for silence in self._silences:
+            if silence.active_at(now_ns) and silence.matches(alert):
+                self.suppressed_count += 1
+                return True
+        return False
+
+    def active(self, now_ns: int) -> List[Silence]:
+        """Silences covering ``now_ns``."""
+        return [s for s in self._silences if s.active_at(now_ns)]
+
+
+@dataclass
+class Route:
+    """One routing rule: match conditions + sinks."""
+
+    name: str
+    sinks: List[AlertSink] = field(default_factory=list)
+    min_severity: Optional[AlertSeverity] = None
+    matchers: Sequence[Matcher] = ()
+    #: Continue evaluating later routes after a match (Alertmanager's
+    #: `continue: true`).
+    continue_matching: bool = False
+    delivered: int = 0
+
+    _SEVERITY_ORDER = {
+        AlertSeverity.INFO: 0,
+        AlertSeverity.WARNING: 1,
+        AlertSeverity.CRITICAL: 2,
+    }
+
+    def matches(self, alert: Alert) -> bool:
+        """Whether this route accepts the alert."""
+        if self.min_severity is not None:
+            if (self._SEVERITY_ORDER[alert.severity]
+                    < self._SEVERITY_ORDER[self.min_severity]):
+                return False
+        return all(m.matches(alert.labels) for m in self.matchers)
+
+    def deliver(self, alert: Alert, event: str) -> None:
+        """Send to every sink of this route."""
+        self.delivered += 1
+        for sink in self.sinks:
+            sink(alert, event)
+
+
+class Router:
+    """An AlertSink that routes events and honours silences.
+
+    Attach it to an :class:`~repro.pman.alerts.AlertManager` with
+    ``manager.add_sink(router.sink(clock))``.
+    """
+
+    def __init__(self, silences: Optional[SilenceRegistry] = None) -> None:
+        self._routes: List[Route] = []
+        self.silences = silences if silences is not None else SilenceRegistry()
+        self.unrouted: List[Alert] = []
+
+    def add_route(self, route: Route) -> Route:
+        """Append a route (evaluated in order)."""
+        if any(r.name == route.name for r in self._routes):
+            raise AnalysisError(f"route name in use: {route.name}")
+        self._routes.append(route)
+        return route
+
+    def routes(self) -> List[Route]:
+        """Registered routes, in evaluation order."""
+        return list(self._routes)
+
+    def dispatch(self, alert: Alert, event: str, now_ns: int) -> List[str]:
+        """Route one event; returns the names of routes that delivered.
+
+        Resolve events bypass silences — operators always hear the
+        all-clear, even during a maintenance window.
+        """
+        if event == "fire" and self.silences.silenced(alert, now_ns):
+            return []
+        delivered: List[str] = []
+        for route in self._routes:
+            if not route.matches(alert):
+                continue
+            route.deliver(alert, event)
+            delivered.append(route.name)
+            if not route.continue_matching:
+                break
+        if not delivered and event == "fire":
+            self.unrouted.append(alert)
+        return delivered
+
+    def sink(self, clock) -> AlertSink:
+        """Adapt to the AlertManager sink signature."""
+        def _sink(alert: Alert, event: str) -> None:
+            self.dispatch(alert, event, clock.now_ns)
+        return _sink
+
+
+def webhook_sink(network, url: str) -> AlertSink:
+    """An AlertSink delivering events as JSON webhooks over POST.
+
+    Receivers (a chat bridge, an incident tracker) register a POST handler
+    on the simulated network.  Delivery failures are swallowed — alerting
+    must never take the analyzer down — but counted on the returned
+    function (``delivered`` / ``failed`` attributes) for observability.
+    """
+    import json
+
+    def _sink(alert: Alert, event: str) -> None:
+        payload = json.dumps({
+            "event": event,
+            "alert": alert.name,
+            "severity": alert.severity.value,
+            "message": alert.message,
+            "labels": dict(alert.labels.items()),
+            "fired_at_ns": alert.fired_at_ns,
+            "resolved_at_ns": alert.resolved_at_ns,
+        })
+        response = network.post_url(url, payload)
+        if response.ok:
+            _sink.delivered += 1  # type: ignore[attr-defined]
+        else:
+            _sink.failed += 1  # type: ignore[attr-defined]
+
+    _sink.delivered = 0  # type: ignore[attr-defined]
+    _sink.failed = 0  # type: ignore[attr-defined]
+    return _sink

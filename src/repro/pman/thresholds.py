@@ -1,0 +1,91 @@
+"""User-defined threshold rules.
+
+"We make use of threshold-based approaches to detect anomalies in
+monitoring data.  We identified these thresholds using benchmarking with
+real-world SGX-based applications." (§4)
+
+A rule is a query plus a comparison; evaluating it against a window yields
+one :class:`Violation` per label set whose *latest* value breaks the
+threshold (optionally required to hold for a minimum duration, like
+Prometheus alert ``for:`` clauses).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.pmag.model import Labels
+from repro.pman.window import WindowResult
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One label set breaking a rule."""
+
+    rule_name: str
+    labels: Labels
+    value: float
+    threshold: float
+    message: str
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """A named threshold over a query."""
+
+    name: str
+    query: str
+    op: str
+    threshold: float
+    severity: str = "warning"
+    description: str = ""
+    #: Fraction of window points that must break the threshold (0 = only
+    #: the latest point matters; 1.0 = the whole window must break it).
+    sustained_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise AnalysisError(f"rule {self.name!r}: unknown operator {self.op!r}")
+        if not 0.0 <= self.sustained_fraction <= 1.0:
+            raise AnalysisError(
+                f"rule {self.name!r}: sustained_fraction out of range"
+            )
+
+    def check(self, window: WindowResult) -> List[Violation]:
+        """Violations of this rule in an evaluated window."""
+        compare = _OPS[self.op]
+        violations: List[Violation] = []
+        for labels, values in window.values_by_labels().items():
+            if not values:
+                continue
+            latest = values[-1]
+            if not compare(latest, self.threshold):
+                continue
+            if self.sustained_fraction > 0.0:
+                breaking = sum(1 for v in values if compare(v, self.threshold))
+                if breaking / len(values) < self.sustained_fraction:
+                    continue
+            violations.append(
+                Violation(
+                    rule_name=self.name,
+                    labels=labels,
+                    value=latest,
+                    threshold=self.threshold,
+                    message=(
+                        f"{self.name}: {labels!r} = {latest:g} {self.op} "
+                        f"{self.threshold:g}"
+                        + (f" ({self.description})" if self.description else "")
+                    ),
+                )
+            )
+        return violations

@@ -1,0 +1,62 @@
+"""Sliding-window evaluation over the TSDB."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.pmag.model import Labels, Series
+from repro.pmag.query.engine import QueryEngine
+from repro.simkernel.clock import NANOS_PER_SEC
+
+DEFAULT_WINDOW_NS = 5 * 60 * NANOS_PER_SEC   # "the last five minutes"
+DEFAULT_EVERY_NS = 60 * NANOS_PER_SEC        # "every minute"
+
+
+@dataclass
+class WindowResult:
+    """One evaluation of a window: per-label-set sample series."""
+
+    query: str
+    start_ns: int
+    end_ns: int
+    series: List[Series]
+
+    def values_by_labels(self) -> Dict[Labels, List[float]]:
+        """Flatten to label-set -> list of values."""
+        return {s.labels: [p.value for p in s.samples] for s in self.series}
+
+    def all_values(self) -> List[float]:
+        """Every value across all series."""
+        return [p.value for s in self.series for p in s.samples]
+
+
+class SlidingWindow:
+    """Evaluates a query over the trailing window at a fixed cadence."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        query: str,
+        window_ns: int = DEFAULT_WINDOW_NS,
+        step_ns: int = 15 * NANOS_PER_SEC,
+    ) -> None:
+        if window_ns <= 0 or step_ns <= 0:
+            raise AnalysisError("window and step must be positive")
+        if step_ns > window_ns:
+            raise AnalysisError(
+                f"step ({step_ns}) larger than window ({window_ns})"
+            )
+        self._engine = engine
+        self.query = query
+        self.window_ns = window_ns
+        self.step_ns = step_ns
+
+    def evaluate(self, now_ns: int) -> WindowResult:
+        """Evaluate the query over [now - window, now]."""
+        start_ns = max(0, now_ns - self.window_ns)
+        series = self._engine.range_query(self.query, start_ns, now_ns, self.step_ns)
+        return WindowResult(
+            query=self.query, start_ns=start_ns, end_ns=now_ns, series=series
+        )

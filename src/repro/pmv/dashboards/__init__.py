@@ -1,0 +1,18 @@
+"""The three canned TEEMon dashboards (§5.3).
+
+"(i) an SGX dashboard showing EPC metrics and a selection of metrics
+provided by eBPF programs, (ii) a Docker dashboard showing performance
+data provided by cAdvisor from running Docker containers, and (iii) an
+infrastructure dashboard showing metrics from both Node-Exporter and
+eBPF-Exporter."
+"""
+
+from repro.pmv.dashboards.docker import build_docker_dashboard
+from repro.pmv.dashboards.infra import build_infra_dashboard
+from repro.pmv.dashboards.sgx import build_sgx_dashboard
+
+__all__ = [
+    "build_sgx_dashboard",
+    "build_docker_dashboard",
+    "build_infra_dashboard",
+]

@@ -1,0 +1,43 @@
+"""The Docker dashboard: cAdvisor per-container metrics."""
+
+from __future__ import annotations
+
+from repro.pmv.dashboard import Dashboard
+from repro.pmv.panels import GraphPanel, SingleStatPanel, TablePanel
+
+
+def build_docker_dashboard() -> Dashboard:
+    """Construct the Docker dashboard."""
+    dashboard = Dashboard("TEEMon / Docker")
+    dashboard.add_row(
+        "Containers",
+        [
+            SingleStatPanel("Running containers", "container_count", unit=""),
+            TablePanel(
+                "Container CPU time",
+                "sum by (container) (container_cpu_usage_seconds_total)",
+                unit="s",
+            ),
+            TablePanel(
+                "Container memory",
+                "sum by (container) (container_memory_usage_bytes)",
+                unit="B",
+            ),
+        ],
+    )
+    dashboard.add_row(
+        "Utilisation over time",
+        [
+            GraphPanel(
+                "Container CPU rate",
+                "sum by (container) (rate(container_cpu_usage_seconds_total[1m]))",
+                unit="cores",
+            ),
+            GraphPanel(
+                "Container threads",
+                "sum by (container) (container_threads)",
+                unit="threads",
+            ),
+        ],
+    )
+    return dashboard

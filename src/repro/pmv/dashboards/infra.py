@@ -1,0 +1,48 @@
+"""The infrastructure dashboard: node-exporter + eBPF-exporter metrics."""
+
+from __future__ import annotations
+
+from repro.pmv.dashboard import Dashboard
+from repro.pmv.panels import GraphPanel, SingleStatPanel, TablePanel
+
+
+def build_infra_dashboard() -> Dashboard:
+    """Construct the infrastructure dashboard."""
+    dashboard = Dashboard("TEEMon / Infrastructure")
+    dashboard.add_row(
+        "CPU and memory",
+        [
+            GraphPanel(
+                "CPU busy (by cpu)",
+                'sum by (cpu) (rate(node_cpu_seconds_total{mode="busy"}[1m]))',
+                unit="cores",
+            ),
+            SingleStatPanel("Memory free", "node_memory_MemFree_bytes", unit="B"),
+            SingleStatPanel("Page cache", "node_memory_Cached_bytes", unit="B"),
+        ],
+    )
+    dashboard.add_row(
+        "Kernel activity",
+        [
+            GraphPanel(
+                "Context switches (/proc/stat)",
+                "rate(node_context_switches_total[1m])", unit="/s",
+            ),
+            GraphPanel(
+                "LLC miss ratio",
+                "rate(ebpf_llc_misses_total[1m]) / rate(ebpf_llc_references_total[1m])",
+                unit="",
+            ),
+            TablePanel(
+                "Page-cache ops",
+                "sum by (op) (rate(ebpf_page_cache_ops_total[1m]))", unit="/s",
+            ),
+        ],
+    )
+    dashboard.add_row(
+        "Scrape health",
+        [
+            TablePanel("Targets up", "up", unit="", sort_desc=False),
+        ],
+    )
+    return dashboard

@@ -1,0 +1,69 @@
+"""The SGX dashboard.
+
+Matches the paper's Figure 3 layout: EPC utilisation on the top row,
+system-call distribution in the middle, page faults at the bottom — with a
+``$process``-pid filter variable for the per-process panels.
+"""
+
+from __future__ import annotations
+
+from repro.pmv.dashboard import Dashboard
+from repro.pmv.panels import GaugePanel, GraphPanel, SingleStatPanel, TablePanel
+
+
+def build_sgx_dashboard(epc_total_pages: int = 24_064) -> Dashboard:
+    """Construct the SGX dashboard."""
+    dashboard = Dashboard("TEEMon / SGX")
+    dashboard.add_row(
+        "Enclave Page Cache",
+        [
+            GaugePanel(
+                "EPC free pages", "sgx_epc_free_pages", unit="pages",
+                minimum=0.0, maximum=float(epc_total_pages),
+            ),
+            GraphPanel(
+                "EPC evictions (EWB) per second",
+                "rate(sgx_epc_pages_evicted_total[1m])", unit="pages/s",
+            ),
+            GraphPanel(
+                "EPC reclaims (ELD) per second",
+                "rate(sgx_epc_pages_reclaimed_total[1m])", unit="pages/s",
+            ),
+            SingleStatPanel("Active enclaves", "sgx_enclaves_active", unit="enclaves"),
+        ],
+    )
+    dashboard.add_row(
+        "System calls",
+        [
+            TablePanel(
+                "Syscall rates by name",
+                "sum by (name) (rate(ebpf_syscalls_total[1m]))", unit="/s",
+            ),
+            GraphPanel(
+                "clock_gettime rate",
+                'rate(ebpf_syscalls_total{name="clock_gettime"}[1m])', unit="/s",
+            ),
+            GraphPanel(
+                "read+write rate",
+                'sum (rate(ebpf_syscalls_total{name=~"read|write"}[1m]))', unit="/s",
+            ),
+        ],
+    )
+    dashboard.add_row(
+        "Faults and switches",
+        [
+            GraphPanel(
+                "User page faults by kind",
+                "sum by (kind) (rate(ebpf_page_faults_user_total[1m]))", unit="/s",
+            ),
+            GraphPanel(
+                "Host context switches",
+                "rate(ebpf_context_switches_total[1m])", unit="/s",
+            ),
+            GraphPanel(
+                "Process context switches",
+                'rate(ebpf_context_switches_pid_total{pid="$process"}[1m])', unit="/s",
+            ),
+        ],
+    )
+    return dashboard

@@ -1,0 +1,130 @@
+"""Dashboard JSON export/import.
+
+Grafana dashboards are shared as JSON documents; §4 notes that PMV lets
+users "modify them or add new metrics according to their needs and
+preferences".  This module round-trips dashboards through a JSON schema
+close enough to Grafana's to be recognisable (``title``, ``panels`` with
+``type``/``targets``, ``templating``), so users can version-control and
+exchange dashboard definitions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import AnalysisError
+from repro.pmv.dashboard import Dashboard
+from repro.pmv.panels import (
+    GaugePanel,
+    GraphPanel,
+    Panel,
+    SingleStatPanel,
+    TablePanel,
+)
+
+SCHEMA_VERSION = 1
+
+_PANEL_TYPES = {
+    "graph": GraphPanel,
+    "singlestat": SingleStatPanel,
+    "gauge": GaugePanel,
+    "table": TablePanel,
+}
+
+
+def _panel_to_dict(panel: Panel) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "type": panel.kind,
+        "title": panel.title,
+        "targets": [{"expr": panel.query}],
+        "unit": panel.unit,
+    }
+    if isinstance(panel, GraphPanel):
+        entry["window_ns"] = panel.window_ns
+        entry["step_ns"] = panel.step_ns
+    elif isinstance(panel, GaugePanel):
+        entry["min"] = panel.minimum
+        entry["max"] = panel.maximum
+    elif isinstance(panel, TablePanel):
+        entry["sort_desc"] = panel.sort_desc
+        entry["limit"] = panel.limit
+    return entry
+
+
+def _panel_from_dict(entry: Dict[str, Any]) -> Panel:
+    kind = entry.get("type")
+    if kind not in _PANEL_TYPES:
+        raise AnalysisError(f"unknown panel type: {kind!r}")
+    targets = entry.get("targets") or []
+    if not targets or "expr" not in targets[0]:
+        raise AnalysisError(f"panel {entry.get('title')!r} has no query target")
+    title = entry.get("title", "")
+    query = targets[0]["expr"]
+    unit = entry.get("unit", "")
+    if kind == "graph":
+        return GraphPanel(
+            title, query, unit=unit,
+            window_ns=int(entry.get("window_ns", 300 * 10**9)),
+            step_ns=int(entry.get("step_ns", 15 * 10**9)),
+        )
+    if kind == "gauge":
+        return GaugePanel(
+            title, query, unit=unit,
+            minimum=float(entry.get("min", 0.0)),
+            maximum=float(entry.get("max", 100.0)),
+        )
+    if kind == "table":
+        return TablePanel(
+            title, query, unit=unit,
+            sort_desc=bool(entry.get("sort_desc", True)),
+            limit=int(entry.get("limit", 20)),
+        )
+    return SingleStatPanel(title, query, unit=unit)
+
+
+def dashboard_to_json(dashboard: Dashboard, indent: int = 2) -> str:
+    """Export a dashboard as a JSON document."""
+    document = {
+        "schemaVersion": SCHEMA_VERSION,
+        "title": dashboard.name,
+        "templating": {
+            "list": [
+                {"name": name, "current": value}
+                for name, value in sorted(dashboard.variables.items())
+            ]
+        },
+        "rows": [
+            {
+                "title": row.title,
+                "panels": [_panel_to_dict(panel) for panel in row.panels],
+            }
+            for row in dashboard.rows
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def dashboard_from_json(text: str) -> Dashboard:
+    """Import a dashboard from :func:`dashboard_to_json` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"bad dashboard JSON: {exc}") from None
+    version = document.get("schemaVersion")
+    if version != SCHEMA_VERSION:
+        raise AnalysisError(
+            f"unsupported dashboard schema version: {version!r}"
+        )
+    title = document.get("title")
+    if not title:
+        raise AnalysisError("dashboard JSON needs a title")
+    dashboard = Dashboard(title)
+    for variable in document.get("templating", {}).get("list", []):
+        dashboard.set_variable(variable["name"], variable.get("current", ""))
+    for row in document.get("rows", []):
+        panels: List[Panel] = [
+            _panel_from_dict(entry) for entry in row.get("panels", [])
+        ]
+        dashboard.add_row(row.get("title", ""), panels)
+    return dashboard

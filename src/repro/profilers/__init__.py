@@ -1,0 +1,27 @@
+"""Baseline profilers from the paper's Table 1 survey.
+
+The paper positions TEEMon against existing SGX tooling.  Two of those
+baselines are implemented here, on the same substrate, so the comparison
+is executable rather than asserted:
+
+* :mod:`repro.profilers.sgxperf` — sgx-perf [73]: a two-phase
+  **record-then-report** profiler for SGX enclave transitions and paging.
+  Faithful to its key limitations: it only works with Intel-SDK-style
+  applications (it hooks ECALL/OCALL symbols, so SCONE's async-queue apps
+  are invisible to it), and it cannot report during the run;
+* :mod:`repro.profilers.teeperf` — TEE-Perf [26]: a platform-independent
+  **method-level software-counter** profiler.  Faithful to its cost: the
+  injected code runs on every function call, slowing the application ~1.9x
+  on average (up to 5.7x vs perf), which is why the paper rules it out for
+  production monitoring.
+
+The ``benchmarks/test_baseline_profilers.py`` bench runs all three tools
+over the same workload and reproduces the paper's positioning: TEEMon is
+the only one that is simultaneously low-overhead, runtime-reporting and
+framework-agnostic.
+"""
+
+from repro.profilers.sgxperf import SgxPerf, SgxPerfReport
+from repro.profilers.teeperf import TeePerf, TeePerfReport
+
+__all__ = ["SgxPerf", "SgxPerfReport", "TeePerf", "TeePerfReport"]

@@ -1,0 +1,29 @@
+"""AMD SEV support: the paper's §4 extension vision, implemented.
+
+"Our design allows for the PME to be easily customized and used on
+different TEE platforms as well as for kernel-integrated approaches, such
+as IBM PEF, AMD SEV, or Intel TDX.  For these virtual machine based
+security mechanisms, we envision an extension to the hypervisor, e.g.
+qemu, that integrates the functionality of the TME.  The extension would,
+similar to the TME for SGX, export metrics such as the amount of
+protective memory requested by each virtual machine."
+
+This package is that extension, built on the same seams the SGX path
+uses:
+
+* :mod:`repro.sev.driver` — a ``ccp`` kernel module managing the ASID
+  pool and protected-guest lifecycle (LAUNCH_START → UPDATE_DATA →
+  MEASURE → ACTIVATE → DECOMMISSION), publishing counters as module
+  parameters exactly like the instrumented ``isgx`` driver;
+* :mod:`repro.sev.hypervisor` — the qemu-side extension: hosts protected
+  VMs and tracks per-guest encrypted memory;
+* :mod:`repro.sev.exporter` — the SEV TME: an
+  :class:`~repro.exporters.base.Exporter` over the driver parameters and
+  hypervisor state, scrapeable by the unchanged PMAG.
+"""
+
+from repro.sev.driver import SevDriver
+from repro.sev.exporter import SevMetricsExporter
+from repro.sev.hypervisor import ProtectedVm, QemuSevExtension
+
+__all__ = ["SevDriver", "QemuSevExtension", "ProtectedVm", "SevMetricsExporter"]

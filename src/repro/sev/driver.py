@@ -1,0 +1,175 @@
+"""The simulated ``ccp`` (AMD secure processor) kernel driver.
+
+SEV's resource model differs from SGX's: instead of a shared encrypted
+page cache, each protected guest owns an **ASID** (address space id) that
+keys its memory encryption, and the CPU supports a fixed number of them
+(a few hundred on EPYC parts).  The driver manages the ASID pool and the
+guest launch flow; like the instrumented SGX driver, every counter the
+monitoring side needs is exposed as a module parameter under
+``/sys/module/ccp/parameters``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SgxError
+from repro.simkernel.hooks import HookKind
+from repro.simkernel.kernel import Kernel, KernelModule
+
+MODULE_NAME = "ccp"
+PARAMS_DIR = f"/sys/module/{MODULE_NAME}/parameters"
+
+#: EPYC Rome-class part: 509 SEV ASIDs (ASID 0 is reserved).
+DEFAULT_ASID_COUNT = 509
+
+DRIVER_HOOKS = (
+    "ccp:sev_launch_start",
+    "ccp:sev_launch_update_data",
+    "ccp:sev_launch_measure",
+    "ccp:sev_activate",
+    "ccp:sev_decommission",
+)
+
+
+@dataclass
+class GuestContext:
+    """Driver-side state of one protected guest."""
+
+    handle: int
+    asid: Optional[int] = None
+    measured_bytes: int = 0
+    launch_digest: str = ""
+    active: bool = False
+
+
+class SevDriver(KernelModule):
+    """ASID pool + guest launch lifecycle + instrumented counters."""
+
+    name = MODULE_NAME
+
+    def __init__(self, asid_count: int = DEFAULT_ASID_COUNT) -> None:
+        if asid_count <= 0:
+            raise SgxError("SEV needs at least one ASID")
+        self.asid_count = asid_count
+        self._free_asids: List[int] = list(range(1, asid_count + 1))
+        self._guests: Dict[int, GuestContext] = {}
+        self._handles = itertools.count(start=1)
+        self._kernel: Optional[Kernel] = None
+        # Cumulative counters (module parameters).
+        self.launches_total = 0
+        self.measures_total = 0
+        self.activations_total = 0
+        self.decommissions_total = 0
+
+    # ------------------------------------------------------------------
+    def on_load(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        for hook in DRIVER_HOOKS:
+            kernel.hooks.register(hook, HookKind.KPROBE)
+        params = {
+            "sev_nr_asids_total": lambda: str(self.asid_count),
+            "sev_nr_asids_free": lambda: str(len(self._free_asids)),
+            "sev_nr_guests_active": lambda: str(self.active_guests),
+            "sev_launches_total": lambda: str(self.launches_total),
+            "sev_measures_total": lambda: str(self.measures_total),
+            "sev_activations_total": lambda: str(self.activations_total),
+            "sev_decommissions_total": lambda: str(self.decommissions_total),
+        }
+        for param, render in params.items():
+            kernel.vfs.publish(f"{PARAMS_DIR}/{param}", render)
+
+    def on_unload(self, kernel: Kernel) -> None:
+        for guest in list(self._guests.values()):
+            if guest.active:
+                self.decommission(guest.handle)
+        self._kernel = None
+
+    def _require_kernel(self) -> Kernel:
+        if self._kernel is None:
+            raise SgxError("ccp driver not loaded")
+        return self._kernel
+
+    # ------------------------------------------------------------------
+    @property
+    def free_asids(self) -> int:
+        """ASIDs not bound to a guest."""
+        return len(self._free_asids)
+
+    @property
+    def active_guests(self) -> int:
+        """Guests holding an ASID."""
+        return sum(1 for g in self._guests.values() if g.active)
+
+    def guest(self, handle: int) -> GuestContext:
+        """Look up a guest context."""
+        try:
+            return self._guests[handle]
+        except KeyError:
+            raise SgxError(f"no such SEV guest: {handle}") from None
+
+    # ------------------------------------------------------------------
+    # Launch flow
+    # ------------------------------------------------------------------
+    def launch_start(self) -> GuestContext:
+        """LAUNCH_START: create a guest context."""
+        kernel = self._require_kernel()
+        handle = next(self._handles)
+        guest = GuestContext(handle=handle)
+        self._guests[handle] = guest
+        self.launches_total += 1
+        kernel.hooks.fire("ccp:sev_launch_start", kernel.clock.now_ns)
+        return guest
+
+    def launch_update_data(self, handle: int, data: bytes) -> None:
+        """LAUNCH_UPDATE_DATA: encrypt-and-measure guest memory."""
+        kernel = self._require_kernel()
+        guest = self.guest(handle)
+        if guest.active:
+            raise SgxError(f"guest {handle} already activated")
+        guest.measured_bytes += len(data)
+        hasher = hashlib.sha256()
+        hasher.update(guest.launch_digest.encode("ascii"))
+        hasher.update(data)
+        guest.launch_digest = hasher.hexdigest()
+        kernel.hooks.fire(
+            "ccp:sev_launch_update_data", kernel.clock.now_ns,
+            count=max(1, len(data) // 4096),
+        )
+
+    def launch_measure(self, handle: int) -> str:
+        """LAUNCH_MEASURE: return the launch digest (attestation evidence)."""
+        kernel = self._require_kernel()
+        guest = self.guest(handle)
+        self.measures_total += 1
+        kernel.hooks.fire("ccp:sev_launch_measure", kernel.clock.now_ns)
+        return guest.launch_digest
+
+    def activate(self, handle: int) -> int:
+        """ACTIVATE: bind an ASID; raises when the pool is exhausted."""
+        kernel = self._require_kernel()
+        guest = self.guest(handle)
+        if guest.active:
+            raise SgxError(f"guest {handle} already active")
+        if not self._free_asids:
+            raise SgxError("no free SEV ASIDs")
+        guest.asid = self._free_asids.pop(0)
+        guest.active = True
+        self.activations_total += 1
+        kernel.hooks.fire("ccp:sev_activate", kernel.clock.now_ns)
+        return guest.asid
+
+    def decommission(self, handle: int) -> None:
+        """DECOMMISSION: release the guest and its ASID."""
+        kernel = self._require_kernel()
+        guest = self.guest(handle)
+        if guest.active and guest.asid is not None:
+            self._free_asids.append(guest.asid)
+        guest.active = False
+        guest.asid = None
+        del self._guests[handle]
+        self.decommissions_total += 1
+        kernel.hooks.fire("ccp:sev_decommission", kernel.clock.now_ns)

@@ -1,0 +1,67 @@
+"""Minimal enclave measurement and attestation model.
+
+Graphene-SGX's manifest lists trusted libraries with their SHA-256 hashes
+(§3.2); loading verifies each file against its manifest hash, and the
+enclave's identity (MRENCLAVE-like measurement) is the running hash of
+everything loaded.  This module provides just enough of that machinery for
+the manifest checks and for tests that want a stable enclave identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+def measure_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of a blob (file-content measurement)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class MeasurementLog:
+    """Running enclave measurement (MRENCLAVE analogue)."""
+
+    entries: List[Tuple[str, str]] = field(default_factory=list)
+
+    def extend(self, name: str, digest: str) -> None:
+        """Append a (name, digest) pair to the measurement."""
+        self.entries.append((name, digest))
+
+    def mrenclave(self) -> str:
+        """Final measurement over the ordered log."""
+        hasher = hashlib.sha256()
+        for name, digest in self.entries:
+            hasher.update(name.encode("utf-8"))
+            hasher.update(bytes.fromhex(digest))
+        return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote binding a measurement to report data."""
+
+    mrenclave: str
+    report_data: str
+    signature: str
+
+    @staticmethod
+    def generate(log: MeasurementLog, report_data: str) -> "Quote":
+        """Produce a quote for the current measurement.
+
+        The "signature" is a keyed hash standing in for EPID/DCAP — enough
+        for verification flows inside the simulation.
+        """
+        mrenclave = log.mrenclave()
+        signature = hashlib.sha256(
+            f"quoting-enclave|{mrenclave}|{report_data}".encode("utf-8")
+        ).hexdigest()
+        return Quote(mrenclave=mrenclave, report_data=report_data, signature=signature)
+
+    def verify(self) -> bool:
+        """Check the quote's signature."""
+        expected = hashlib.sha256(
+            f"quoting-enclave|{self.mrenclave}|{self.report_data}".encode("utf-8")
+        ).hexdigest()
+        return expected == self.signature

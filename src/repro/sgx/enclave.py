@@ -1,0 +1,149 @@
+"""Enclave lifecycle and transitions.
+
+An :class:`Enclave` is created by the driver on behalf of a host process.
+Its lifecycle mirrors the SGX ECLS states coarsely:
+``CREATED → INITIALIZED → (running) → REMOVED``.
+
+The expensive operations the paper keeps pointing at are modelled with
+explicit costs:
+
+* **ECALL** — enter the enclave (flush-and-switch, TLB shootdown);
+* **OCALL** — exit, run untrusted code, re-enter;
+* **AEX** — asynchronous exit (interrupt, page fault inside the enclave);
+* **EPC paging** — page-fault-driven evict/reload round trips.
+
+Costs default to the Skylake-era measurements used in the SCONE and
+sgx-perf papers (~8k cycles per synchronous crossing ≈ 2.3 µs at 3.4 GHz;
+an EWB+ELD round trip is roughly an order of magnitude more).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import EnclaveError
+from repro.sgx.epc import EPC_PAGE_SIZE, EpcRegion
+
+
+class EnclaveState(enum.Enum):
+    """Coarse enclave lifecycle states."""
+
+    CREATED = "created"
+    INITIALIZED = "initialized"
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class TransitionCosts:
+    """Costs of crossing the enclave boundary, in nanoseconds."""
+
+    ecall_ns: int = 2_300
+    ocall_ns: int = 2_600   # exit + re-enter
+    aex_ns: int = 2_000
+    ewb_per_page_ns: int = 12_000
+    eld_per_page_ns: int = 10_000
+
+
+@dataclass
+class EnclaveStats:
+    """Cumulative per-enclave activity."""
+
+    ecalls: int = 0
+    ocalls: int = 0
+    aexs: int = 0
+    faults_in_enclave: int = 0
+
+
+class Enclave:
+    """One SGX enclave attached to a host process."""
+
+    def __init__(
+        self,
+        enclave_id: int,
+        owner_pid: int,
+        epc: EpcRegion,
+        heap_bytes: int,
+        costs: Optional[TransitionCosts] = None,
+    ) -> None:
+        if heap_bytes <= 0:
+            raise EnclaveError(f"enclave heap must be positive, got {heap_bytes}")
+        self.enclave_id = enclave_id
+        self.owner_pid = owner_pid
+        self.heap_bytes = heap_bytes
+        self.costs = costs or TransitionCosts()
+        self.state = EnclaveState.CREATED
+        self.stats = EnclaveStats()
+        self._epc = epc
+        epc.register_enclave(enclave_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        """EPC pages currently resident for this enclave."""
+        return self._epc.account(self.enclave_id).resident_pages
+
+    @property
+    def swapped_pages(self) -> int:
+        """Pages currently evicted to main memory."""
+        return self._epc.account(self.enclave_id).evicted_pages
+
+    @property
+    def committed_pages(self) -> int:
+        """Pages the enclave has committed (resident + swapped)."""
+        return self.resident_pages + self.swapped_pages
+
+    @property
+    def heap_pages(self) -> int:
+        """Configured heap size in pages."""
+        return (self.heap_bytes + EPC_PAGE_SIZE - 1) // EPC_PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """EINIT: finish enclave construction."""
+        if self.state is not EnclaveState.CREATED:
+            raise EnclaveError(
+                f"enclave {self.enclave_id}: cannot initialize from {self.state}"
+            )
+        self.state = EnclaveState.INITIALIZED
+
+    def remove(self) -> None:
+        """EREMOVE: destroy the enclave, releasing its EPC pages."""
+        if self.state is EnclaveState.REMOVED:
+            raise EnclaveError(f"enclave {self.enclave_id} already removed")
+        self._epc.unregister_enclave(self.enclave_id)
+        self.state = EnclaveState.REMOVED
+
+    def _require_initialized(self) -> None:
+        if self.state is not EnclaveState.INITIALIZED:
+            raise EnclaveError(
+                f"enclave {self.enclave_id}: not initialized (state {self.state})"
+            )
+
+    # ------------------------------------------------------------------
+    # Transitions (costs returned in ns; the caller charges them)
+    # ------------------------------------------------------------------
+    def ecall(self, count: int = 1) -> int:
+        """Enter the enclave ``count`` times; returns total cost in ns."""
+        self._require_initialized()
+        if count <= 0:
+            return 0
+        self.stats.ecalls += count
+        return self.costs.ecall_ns * count
+
+    def ocall(self, count: int = 1) -> int:
+        """Exit-and-reenter ``count`` times; returns total cost in ns."""
+        self._require_initialized()
+        if count <= 0:
+            return 0
+        self.stats.ocalls += count
+        return self.costs.ocall_ns * count
+
+    def aex(self, count: int = 1) -> int:
+        """Asynchronous exits; returns total cost in ns."""
+        self._require_initialized()
+        if count <= 0:
+            return 0
+        self.stats.aexs += count
+        return self.costs.aex_ns * count

@@ -1,0 +1,177 @@
+"""The Enclave Page Cache.
+
+The EPC is a reserved region of physical memory; on most SGX v1 parts it is
+128 MB of which ~94 MB is usable for enclave pages (the rest holds hardware
+metadata) — §3.1 of the paper.  When enclaves commit more pages than fit,
+the driver evicts: pages are first *marked old* by an aging pass, then
+*evicted* (EWB — encrypted and written to main memory), and later
+*reclaimed* (ELD — decrypted and loaded back) when touched again.
+
+This module is pure mechanism: it tracks page ownership and cumulative
+counters, and leaves policy (when to evict, whose pages) to
+:mod:`repro.sgx.swapd` and the driver.  The counters are exactly the ones
+the paper's TEE Metrics Exporter reads: total pages, free pages, marked
+old, evicted, added, reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import EpcExhaustedError, SgxError
+
+EPC_PAGE_SIZE = 4096
+MIB = 1024 * 1024
+
+#: Typical SGX v1 EPC: 128 MiB reserved, ~94 MiB usable for applications.
+DEFAULT_EPC_RESERVED_BYTES = 128 * MIB
+DEFAULT_EPC_USABLE_BYTES = 94 * MIB
+
+
+@dataclass
+class EpcCounters:
+    """Cumulative EPC activity, mirroring the instrumented driver counters."""
+
+    pages_added: int = 0        # EADD/EAUG — pages added to enclaves
+    pages_evicted: int = 0      # EWB — pages evicted to main memory
+    pages_reclaimed: int = 0    # ELD — pages reloaded from main memory
+    pages_marked_old: int = 0   # aging pass before eviction
+
+
+@dataclass
+class _EnclaveAccount:
+    """Per-enclave page accounting inside the EPC."""
+
+    enclave_id: int
+    resident_pages: int = 0
+    evicted_pages: int = 0  # currently swapped out (not cumulative)
+
+
+class EpcRegion:
+    """Page-granular model of the EPC."""
+
+    def __init__(
+        self,
+        reserved_bytes: int = DEFAULT_EPC_RESERVED_BYTES,
+        usable_bytes: int = DEFAULT_EPC_USABLE_BYTES,
+    ) -> None:
+        if usable_bytes > reserved_bytes:
+            raise SgxError(
+                f"usable EPC ({usable_bytes}) exceeds reserved region ({reserved_bytes})"
+            )
+        if usable_bytes <= 0:
+            raise SgxError(f"EPC needs usable capacity, got {usable_bytes}")
+        self.reserved_bytes = reserved_bytes
+        self.usable_bytes = usable_bytes
+        self.total_pages = usable_bytes // EPC_PAGE_SIZE
+        self._accounts: Dict[int, _EnclaveAccount] = {}
+        self.counters = EpcCounters()
+
+    # ------------------------------------------------------------------
+    @property
+    def used_pages(self) -> int:
+        """Pages currently resident across all enclaves."""
+        return sum(a.resident_pages for a in self._accounts.values())
+
+    @property
+    def free_pages(self) -> int:
+        """Pages currently unallocated."""
+        return self.total_pages - self.used_pages
+
+    def account(self, enclave_id: int) -> _EnclaveAccount:
+        """Per-enclave accounting record."""
+        try:
+            return self._accounts[enclave_id]
+        except KeyError:
+            raise SgxError(f"enclave {enclave_id} not registered with EPC") from None
+
+    def register_enclave(self, enclave_id: int) -> None:
+        """Start accounting for a new enclave."""
+        if enclave_id in self._accounts:
+            raise SgxError(f"enclave {enclave_id} already registered")
+        self._accounts[enclave_id] = _EnclaveAccount(enclave_id=enclave_id)
+
+    def unregister_enclave(self, enclave_id: int) -> None:
+        """Release all of an enclave's pages (EREMOVE on teardown)."""
+        account = self.account(enclave_id)
+        del self._accounts[enclave_id]
+        # Freed implicitly: used_pages is derived from live accounts.
+        del account
+
+    # ------------------------------------------------------------------
+    def add_pages(self, enclave_id: int, count: int) -> None:
+        """EADD/EAUG: commit ``count`` new pages to an enclave.
+
+        Raises :class:`EpcExhaustedError` when the EPC cannot hold them;
+        the caller (driver/swapd) must evict first.
+        """
+        if count < 0:
+            raise SgxError(f"negative page count: {count}")
+        if count > self.free_pages:
+            raise EpcExhaustedError(
+                f"EPC exhausted: want {count} pages, {self.free_pages} free"
+            )
+        account = self.account(enclave_id)
+        account.resident_pages += count
+        self.counters.pages_added += count
+
+    def add_swapped_pages(self, enclave_id: int, count: int) -> None:
+        """Commit pages that are immediately evicted (EADD + EWB).
+
+        This is what happens when an enclave populates a working set larger
+        than the EPC: the driver adds each page and the swapping daemon
+        pushes older pages out, so by the end the overflow lives in main
+        memory.  Both the *added* and *evicted* cumulative counters advance,
+        matching the instrumented driver.
+        """
+        if count < 0:
+            raise SgxError(f"negative page count: {count}")
+        account = self.account(enclave_id)
+        account.evicted_pages += count
+        self.counters.pages_added += count
+        self.counters.pages_evicted += count
+        self.counters.pages_marked_old += count
+
+    def mark_old(self, enclave_id: int, count: int) -> int:
+        """Aging pass: mark up to ``count`` of an enclave's pages old."""
+        account = self.account(enclave_id)
+        marked = min(count, account.resident_pages)
+        self.counters.pages_marked_old += marked
+        return marked
+
+    def evict_pages(self, enclave_id: int, count: int) -> int:
+        """EWB: evict up to ``count`` resident pages of an enclave."""
+        account = self.account(enclave_id)
+        evicted = min(count, account.resident_pages)
+        account.resident_pages -= evicted
+        account.evicted_pages += evicted
+        self.counters.pages_evicted += evicted
+        return evicted
+
+    def reclaim_pages(self, enclave_id: int, count: int) -> int:
+        """ELD: load up to ``count`` previously evicted pages back in.
+
+        Raises :class:`EpcExhaustedError` if there is no room; the caller
+        must evict (possibly from another enclave) first.
+        """
+        account = self.account(enclave_id)
+        reclaimable = min(count, account.evicted_pages)
+        if reclaimable > self.free_pages:
+            raise EpcExhaustedError(
+                f"EPC exhausted on reclaim: want {reclaimable}, free {self.free_pages}"
+            )
+        account.evicted_pages -= reclaimable
+        account.resident_pages += reclaimable
+        self.counters.pages_reclaimed += reclaimable
+        return reclaimable
+
+    def enclave_ids(self) -> List[int]:
+        """Enclaves currently registered."""
+        return sorted(self._accounts)
+
+    def largest_resident_enclave(self) -> Optional[int]:
+        """Enclave holding the most resident pages (eviction victim pick)."""
+        if not self._accounts:
+            return None
+        return max(self._accounts.values(), key=lambda a: a.resident_pages).enclave_id

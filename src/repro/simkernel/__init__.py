@@ -1,0 +1,42 @@
+"""Simulated Linux-like kernel substrate.
+
+This package is the bottom layer of the reproduction: a deterministic,
+discrete-event model of the pieces of a Linux host that TEEMon observes.
+It provides
+
+* a virtual nanosecond clock with an event queue (:mod:`repro.simkernel.clock`),
+* deterministic, forkable randomness (:mod:`repro.simkernel.rng`),
+* a registry of instrumentation hooks — tracepoints, kprobes and perf
+  events — matching the names in Table 2 of the paper
+  (:mod:`repro.simkernel.hooks`),
+* processes, threads and a scheduler that accounts context switches
+  (:mod:`repro.simkernel.process`, :mod:`repro.simkernel.scheduler`),
+* a virtual-memory and page-cache model that produces page faults and the
+  page-cache kprobe sites (:mod:`repro.simkernel.memory`,
+  :mod:`repro.simkernel.pagecache`),
+* a CPU / last-level-cache model producing cache references and misses
+  (:mod:`repro.simkernel.cpu`),
+* a syscall table and dispatcher firing the ``raw_syscalls`` tracepoints
+  (:mod:`repro.simkernel.syscalls`),
+* a tiny ``/proc`` + ``/sys`` virtual filesystem
+  (:mod:`repro.simkernel.procfs`), and
+* the :class:`~repro.simkernel.kernel.Kernel` facade that wires it all
+  together.
+"""
+
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.hooks import HookKind, HookRegistry, HookContext
+from repro.simkernel.kernel import Kernel
+from repro.simkernel.process import Process, Thread
+from repro.simkernel.rng import DeterministicRng
+
+__all__ = [
+    "VirtualClock",
+    "DeterministicRng",
+    "HookKind",
+    "HookRegistry",
+    "HookContext",
+    "Process",
+    "Thread",
+    "Kernel",
+]

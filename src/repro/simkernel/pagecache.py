@@ -1,0 +1,131 @@
+"""Page-cache model exposing the Table-2 kprobe sites.
+
+TEEMon's cache metrics come from four kprobes on the Linux page cache:
+``add_to_page_cache_lru``, ``mark_page_accessed``,
+``account_page_dirtied`` and ``mark_buffer_dirty``.  This module models an
+LRU page cache for file-backed pages and fires those kprobes from the same
+causes the kernel would: inserting a page on read miss, touching a page on
+read hit, dirtying a page on write, and dirtying its buffer head on
+writeback marking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import MemoryError_
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.hooks import HookRegistry
+
+
+@dataclass
+class PageCacheStats:
+    """Cumulative page-cache activity counters."""
+
+    insertions: int = 0
+    hits: int = 0
+    misses: int = 0
+    dirtied: int = 0
+    evictions: int = 0
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class PageCache:
+    """LRU cache of file-backed pages, keyed by (inode, page index)."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        hooks: HookRegistry,
+        capacity_pages: int,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise MemoryError_(f"page cache needs capacity, got {capacity_pages}")
+        self._clock = clock
+        self._hooks = hooks
+        self._capacity = capacity_pages
+        self._lru: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self.stats = PageCacheStats()
+
+    @property
+    def capacity_pages(self) -> int:
+        """Maximum resident pages."""
+        return self._capacity
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently cached."""
+        return len(self._lru)
+
+    def read(self, inode: int, page_index: int, pid: int = 0) -> bool:
+        """Read one file page; returns True on cache hit."""
+        key = (inode, page_index)
+        now = self._clock.now_ns
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            self._hooks.fire("mark_page_accessed", now, count=1, pid=pid)
+            return True
+        self.stats.misses += 1
+        self._insert(key, dirty=False, pid=pid)
+        return False
+
+    def write(self, inode: int, page_index: int, pid: int = 0) -> None:
+        """Write one file page, dirtying it."""
+        key = (inode, page_index)
+        now = self._clock.now_ns
+        if key not in self._lru:
+            self._insert(key, dirty=True, pid=pid)
+        else:
+            self._lru.move_to_end(key)
+            self._hooks.fire("mark_page_accessed", now, count=1, pid=pid)
+        if not self._lru[key]:
+            self._lru[key] = True
+        self.stats.dirtied += 1
+        self._hooks.fire("account_page_dirtied", now, count=1, pid=pid)
+        self._hooks.fire("mark_buffer_dirty", now, count=1, pid=pid)
+
+    def account_activity(
+        self,
+        pid: int,
+        reads: int = 0,
+        writes: int = 0,
+        hit_ratio: float = 0.95,
+    ) -> None:
+        """Aggregate driving: record a batch of reads/writes.
+
+        ``hit_ratio`` models how much of the read traffic the cache absorbs;
+        misses produce insertions (``add_to_page_cache_lru``), hits produce
+        ``mark_page_accessed``.
+        """
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise MemoryError_(f"hit ratio out of range: {hit_ratio}")
+        now = self._clock.now_ns
+        if reads > 0:
+            hits = int(reads * hit_ratio)
+            misses = reads - hits
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.insertions += misses
+            if hits:
+                self._hooks.fire("mark_page_accessed", now, count=hits, pid=pid)
+            if misses:
+                self._hooks.fire("add_to_page_cache_lru", now, count=misses, pid=pid)
+        if writes > 0:
+            self.stats.dirtied += writes
+            self._hooks.fire("account_page_dirtied", now, count=writes, pid=pid)
+            self._hooks.fire("mark_buffer_dirty", now, count=writes, pid=pid)
+
+    def _insert(self, key: Tuple[int, int], dirty: bool, pid: int) -> None:
+        while len(self._lru) >= self._capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+        self._lru[key] = dirty
+        self.stats.insertions += 1
+        self._hooks.fire("add_to_page_cache_lru", self._clock.now_ns, count=1, pid=pid)

@@ -1,0 +1,70 @@
+"""Processes and threads of the simulated host.
+
+A :class:`Process` owns an address space (managed by
+:class:`~repro.simkernel.memory.VirtualMemory`) and one or more
+:class:`Thread` objects scheduled by
+:class:`~repro.simkernel.scheduler.Scheduler`.  Processes carry the
+metadata TEEMon's exporters care about: a command name (for process
+filtering in the dashboard, e.g. ``redis-server``), an optional container
+id (for the cAdvisor exporter), and accumulated CPU time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+@dataclass
+class Thread:
+    """A schedulable entity belonging to a process."""
+
+    tid: int
+    process: "Process"
+    name: str = ""
+    state: ThreadState = ThreadState.RUNNABLE
+    cpu_time_ns: int = 0
+    voluntary_switches: int = 0
+    involuntary_switches: int = 0
+
+    @property
+    def pid(self) -> int:
+        """The owning process id."""
+        return self.process.pid
+
+    def total_switches(self) -> int:
+        """Context switches this thread has been part of."""
+        return self.voluntary_switches + self.involuntary_switches
+
+
+@dataclass
+class Process:
+    """A simulated OS process."""
+
+    pid: int
+    name: str
+    container_id: Optional[str] = None
+    threads: Dict[int, Thread] = field(default_factory=dict)
+    cpu_time_ns: int = 0
+    rss_bytes: int = 0
+    started_at_ns: int = 0
+    exited: bool = False
+    exit_code: Optional[int] = None
+
+    def live_threads(self) -> List[Thread]:
+        """Threads that have not exited."""
+        return [t for t in self.threads.values() if t.state is not ThreadState.EXITED]
+
+    def total_switches(self) -> int:
+        """Context switches across all of this process's threads."""
+        return sum(t.total_switches() for t in self.threads.values())

@@ -1,0 +1,23 @@
+"""The TEEMon facade: one-call deployment and a monitoring session API.
+
+This is the package a downstream user imports::
+
+    from repro import teemon
+    from repro.simkernel import Kernel
+    from repro.sgx import SgxDriver
+
+    kernel = Kernel(seed=7)
+    kernel.load_module(SgxDriver())
+    deployment = teemon.deploy(kernel)
+    ... run a workload on kernel ...
+    print(deployment.session.render("sgx"))
+
+See :mod:`repro.teemon.deploy` for the deployment object and
+:mod:`repro.teemon.session` for the query/alert/dashboard API.
+"""
+
+from repro.teemon.config import TeemonConfig
+from repro.teemon.deploy import TeemonDeployment, deploy
+from repro.teemon.session import MonitoringSession
+
+__all__ = ["TeemonConfig", "deploy", "TeemonDeployment", "MonitoringSession"]

@@ -1,0 +1,44 @@
+"""Deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import DeploymentError
+from repro.exporters.ebpf_exporter import EbpfExporterConfig
+from repro.pman.thresholds import ThresholdRule
+
+
+@dataclass(frozen=True)
+class TeemonConfig:
+    """Tunable knobs of a TEEMon deployment.
+
+    Defaults follow the paper: 5-second scrape interval (§5), all four
+    exporters on, PMAN analysing every minute over five-minute windows.
+    """
+
+    scrape_interval_s: float = 5.0
+    retention_hours: float = 24.0
+    enable_tme: bool = True
+    enable_ebpf: bool = True
+    enable_node_exporter: bool = True
+    enable_cadvisor: bool = True
+    ebpf: EbpfExporterConfig = field(default_factory=EbpfExporterConfig)
+    analysis_window_s: float = 300.0
+    analysis_every_s: float = 60.0
+    extra_rules: Sequence[ThresholdRule] = ()
+    #: Evaluate the default recording-rule group (precomputed dashboard
+    #: series such as ``job:syscalls:rate1m``).
+    enable_recording_rules: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scrape_interval_s <= 0:
+            raise DeploymentError("scrape interval must be positive")
+        if self.retention_hours <= 0:
+            raise DeploymentError("retention must be positive")
+        if self.analysis_every_s <= 0 or self.analysis_window_s <= 0:
+            raise DeploymentError("analysis cadence/window must be positive")
+        if not (self.enable_tme or self.enable_ebpf
+                or self.enable_node_exporter or self.enable_cadvisor):
+            raise DeploymentError("at least one exporter must be enabled")

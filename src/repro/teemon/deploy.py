@@ -1,0 +1,262 @@
+"""Single-host TEEMon deployment.
+
+``deploy(kernel)`` stands up the full stack on one simulated host: the
+enabled exporters (each in a Docker-style container), the aggregation
+service (Prometheus-equivalent: TSDB + pull scraper), the analysis loop
+and the three dashboards — and models the *monitoring system's own*
+resource consumption, which is what Figure 4 measures:
+
+========================  ==========  ============
+component                 CPU (avg)   memory
+========================  ==========  ============
+sgx-exporter (TME)        0.2 %       20 MB
+ebpf-exporter             0.8 %       45 MB
+node-exporter             0.3 %       25 MB
+cAdvisor                  3.0 %       95 MB
+prometheus (PMAG)         1.0 %       400 MB
+grafana (PMV)             0.5 %       95 MB
+pman                      0.4 %       20 MB
+========================  ==========  ============
+
+Total 700 MB, Prometheus ~4x the next-largest component, cAdvisor the
+most CPU-hungry at ~3 % — §6.2's Figure 4 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DeploymentError
+from repro.exporters import (
+    CadvisorExporter,
+    EbpfExporter,
+    NodeExporter,
+    TeeMetricsExporter,
+)
+from repro.exporters.base import Exporter, ExporterFootprint, MIB
+from repro.net.http import HttpNetwork
+from repro.orchestration.container import ContainerImage, DockerRuntime
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
+from repro.pmag.scrape import ScrapeManager, ScrapeTarget
+from repro.pmag.tsdb import Tsdb
+from repro.pman.analyzer import PmanAnalyzer, default_sgx_rules
+from repro.pmv.dashboards import (
+    build_docker_dashboard,
+    build_infra_dashboard,
+    build_sgx_dashboard,
+)
+from repro.simkernel.clock import NANOS_PER_SEC
+from repro.simkernel.kernel import Kernel
+from repro.teemon.config import TeemonConfig
+from repro.teemon.session import MonitoringSession
+
+#: Footprints of the non-exporter components (Figure 4 calibration).
+SERVICE_FOOTPRINTS: Dict[str, ExporterFootprint] = {
+    "prometheus": ExporterFootprint(cpu_fraction=0.010, memory_bytes=400 * MIB),
+    "grafana": ExporterFootprint(cpu_fraction=0.005, memory_bytes=95 * MIB),
+    "pman": ExporterFootprint(cpu_fraction=0.004, memory_bytes=20 * MIB),
+}
+
+
+def default_recording_rules() -> RuleGroup:
+    """Precomputed series backing the dashboards' hottest queries."""
+    return RuleGroup("teemon-sgx", [
+        RecordingRule("job:syscalls:rate1m",
+                      "sum by (name) (rate(ebpf_syscalls_total[1m]))"),
+        RecordingRule("job:epc_evictions:rate1m",
+                      "rate(sgx_epc_pages_evicted_total[1m])"),
+        RecordingRule("job:context_switches:rate1m",
+                      "rate(ebpf_context_switches_total[1m])"),
+        RecordingRule("job:page_faults:rate1m",
+                      "rate(ebpf_page_faults_total[1m])"),
+    ])
+
+
+@dataclass
+class ServiceProcess:
+    """A non-exporter TEEMon service running on the host."""
+
+    name: str
+    footprint: ExporterFootprint
+    process: object
+
+
+class TeemonDeployment:
+    """A running single-host TEEMon instance."""
+
+    def __init__(self, kernel: Kernel, config: TeemonConfig,
+                 network: Optional[HttpNetwork] = None) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.network = network if network is not None else HttpNetwork()
+        self.docker = DockerRuntime(kernel)
+        self.exporters: Dict[str, Exporter] = {}
+        self.services: Dict[str, ServiceProcess] = {}
+        self._running = False
+        self._accounting_timer = None
+
+        self._create_exporters()
+        self.tsdb = Tsdb(
+            retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC)
+        )
+        self.scrape_manager = ScrapeManager(
+            kernel.clock, self.network, self.tsdb,
+            interval_ns=int(config.scrape_interval_s * NANOS_PER_SEC),
+        )
+        for job, exporter in self.exporters.items():
+            self.scrape_manager.add_target(
+                ScrapeTarget(job=job, instance=kernel.hostname, url=exporter.url)
+            )
+        self.engine = QueryEngine(self.tsdb)
+        self.rule_evaluator = RuleEvaluator(kernel.clock, self.engine, self.tsdb)
+        if config.enable_recording_rules:
+            self.rule_evaluator.add_group(default_recording_rules())
+        rules = default_sgx_rules() + list(config.extra_rules)
+        self.analyzer = PmanAnalyzer(
+            kernel.clock, self.engine, rules=rules,
+            window_ns=int(config.analysis_window_s * NANOS_PER_SEC),
+            every_ns=int(config.analysis_every_s * NANOS_PER_SEC),
+        )
+        self.dashboards = {
+            "sgx": build_sgx_dashboard(),
+            "docker": build_docker_dashboard(),
+            "infra": build_infra_dashboard(),
+        }
+        for dashboard in self.dashboards.values():
+            self.analyzer.alerts.add_sink(dashboard.alert_sink())
+        self._create_services()
+        self.session = MonitoringSession(self)
+
+    # ------------------------------------------------------------------
+    def _create_exporters(self) -> None:
+        config = self.config
+        kernel = self.kernel
+
+        def containerised(name: str, factory) -> Exporter:
+            image = ContainerImage(name=name, entrypoint=factory)
+            container = self.docker.run(image, name=name)
+            exporter = container.component
+            exporter.expose(self.network)
+            return exporter
+
+        if config.enable_tme:
+            if not kernel.has_module("isgx"):
+                raise DeploymentError(
+                    "TME enabled but the isgx driver is not loaded; "
+                    "load repro.sgx.SgxDriver or disable the TME"
+                )
+            self.exporters["sgx"] = containerised(
+                "sgx-exporter",
+                lambda k, cid: TeeMetricsExporter(k, container_id=cid),
+            )
+        if config.enable_ebpf:
+            self.exporters["ebpf"] = containerised(
+                "ebpf-exporter",
+                lambda k, cid: EbpfExporter(k, config=config.ebpf, container_id=cid),
+            )
+        if config.enable_node_exporter:
+            self.exporters["node"] = containerised(
+                "node-exporter",
+                lambda k, cid: NodeExporter(k, container_id=cid),
+            )
+        if config.enable_cadvisor:
+            self.exporters["cadvisor"] = containerised(
+                "cadvisor",
+                lambda k, cid: CadvisorExporter(k, container_id=cid),
+            )
+
+    def _create_services(self) -> None:
+        for name, footprint in SERVICE_FOOTPRINTS.items():
+            process = self.kernel.spawn_process(name, container_id=f"teemon/{name}")
+            process.rss_bytes = footprint.memory_bytes
+            self.services[name] = ServiceProcess(
+                name=name, footprint=footprint, process=process
+            )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin scraping, analysis, and service CPU accounting."""
+        if self._running:
+            raise DeploymentError("deployment already started")
+        self.scrape_manager.start()
+        self.analyzer.start()
+        if self.config.enable_recording_rules:
+            self.rule_evaluator.start()
+        self._running = True
+        self._schedule_service_accounting()
+
+    def stop(self) -> None:
+        """Stop scraping and analysis (exporters stay resident)."""
+        if not self._running:
+            raise DeploymentError("deployment not running")
+        self.scrape_manager.stop()
+        self.analyzer.stop()
+        if self.config.enable_recording_rules:
+            self.rule_evaluator.stop()
+        self._running = False
+        if self._accounting_timer is not None:
+            self._accounting_timer.cancel()
+            self._accounting_timer = None
+
+    def _schedule_service_accounting(self) -> None:
+        """Charge the aggregation/visualisation services their CPU share.
+
+        Exporters charge CPU when they serve scrapes; the Prometheus,
+        Grafana and PMAN processes do their work continuously, so a
+        periodic tick charges each its calibrated fraction — this is the
+        CPU the Figure-4 experiment measures.
+        """
+        interval_ns = int(self.config.scrape_interval_s * NANOS_PER_SEC)
+
+        def tick() -> None:
+            if not self._running:
+                return
+            for service in self.services.values():
+                if service.process.exited:
+                    continue
+                thread = next(iter(service.process.threads.values()))
+                self.kernel.scheduler.account_cpu_time(
+                    thread, int(interval_ns * service.footprint.cpu_fraction)
+                )
+            self._accounting_timer = self.kernel.clock.call_later(interval_ns, tick)
+
+        self._accounting_timer = self.kernel.clock.call_later(interval_ns, tick)
+
+    def shutdown(self) -> None:
+        """Full teardown: stop everything and exit all TEEMon processes."""
+        if self._running:
+            self.stop()
+        for container in self.docker.containers(running_only=True):
+            container.stop()
+        for service in self.services.values():
+            if not service.process.exited:
+                self.kernel.exit_process(service.process)
+
+    # ------------------------------------------------------------------
+    def component_footprints(self) -> Dict[str, ExporterFootprint]:
+        """Modelled footprint of every running component (Figure 4)."""
+        result: Dict[str, ExporterFootprint] = {}
+        for job, exporter in self.exporters.items():
+            result[exporter.PROCESS_NAME] = exporter.footprint()
+        for name, service in self.services.items():
+            result[name] = service.footprint
+        return result
+
+    def total_memory_bytes(self) -> int:
+        """Total modelled memory of the monitoring stack."""
+        return sum(fp.memory_bytes for fp in self.component_footprints().values())
+
+
+def deploy(
+    kernel: Kernel,
+    config: Optional[TeemonConfig] = None,
+    network: Optional[HttpNetwork] = None,
+    start: bool = True,
+) -> TeemonDeployment:
+    """Deploy TEEMon on a host; returns the running deployment."""
+    deployment = TeemonDeployment(kernel, config or TeemonConfig(), network=network)
+    if start:
+        deployment.start()
+    return deployment

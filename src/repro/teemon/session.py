@@ -1,0 +1,83 @@
+"""The monitoring session API.
+
+A thin, user-facing layer over a deployment: query metrics, inspect
+alerts, filter by process, render dashboards.  This is the API the
+examples use and the closest analogue to "a user sitting in front of the
+TEEMon frontend" from the paper's Figure 3 walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import DeploymentError
+from repro.pmag.model import Series
+from repro.pman.alerts import Alert
+from repro.pmv.render import render_dashboard
+from repro.simkernel.clock import NANOS_PER_SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.teemon.deploy import TeemonDeployment
+
+
+class MonitoringSession:
+    """Interactive view over a running deployment."""
+
+    def __init__(self, deployment: "TeemonDeployment") -> None:
+        self._deployment = deployment
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time."""
+        return self._deployment.kernel.clock.now_ns
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, expr: str):
+        """Instant query at the current time."""
+        return self._deployment.engine.instant(expr, self.now_ns)
+
+    def query_range(self, expr: str, window_s: float, step_s: float = 15.0) -> List[Series]:
+        """Range query over the trailing window."""
+        end = self.now_ns
+        start = max(0, end - int(window_s * NANOS_PER_SEC))
+        return self._deployment.engine.range_query(
+            expr, start, end, int(step_s * NANOS_PER_SEC)
+        )
+
+    def syscall_rates(self, window: str = "1m") -> Dict[str, float]:
+        """Per-syscall rates, the Figure 6 view."""
+        vector = self.query(f"sum by (name) (rate(ebpf_syscalls_total[{window}]))")
+        return {labels.get("name"): value for labels, value in vector}
+
+    def epc_free_pages(self) -> Optional[float]:
+        """Current free EPC pages (None before the first scrape)."""
+        vector = self.query("sgx_epc_free_pages")
+        return vector[0][1] if vector else None
+
+    # ------------------------------------------------------------------
+    # Alerts and dashboards
+    # ------------------------------------------------------------------
+    def active_alerts(self) -> List[Alert]:
+        """Currently firing alerts."""
+        return self._deployment.analyzer.alerts.active_alerts()
+
+    def alert_log(self) -> List[str]:
+        """The alert manager's log lines."""
+        return list(self._deployment.analyzer.alerts.log)
+
+    def set_process_filter(self, pid: int) -> None:
+        """Apply the frontend's process filter to the SGX dashboard."""
+        self._deployment.dashboards["sgx"].set_variable("process", str(pid))
+
+    def render(self, dashboard: str = "sgx", width: int = 72) -> str:
+        """Render one of the canned dashboards as text."""
+        try:
+            board = self._deployment.dashboards[dashboard]
+        except KeyError:
+            raise DeploymentError(
+                f"no such dashboard: {dashboard!r}; "
+                f"available: {sorted(self._deployment.dashboards)}"
+            ) from None
+        return render_dashboard(board, self._deployment.engine, self.now_ns, width=width)

@@ -1,0 +1,28 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel.kernel import Kernel
+from repro.sgx.driver import SgxDriver
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh simulated host."""
+    return Kernel(seed=1234, hostname="test-host")
+
+
+@pytest.fixture
+def sgx_kernel() -> Kernel:
+    """A fresh host with the SGX driver loaded."""
+    k = Kernel(seed=1234, hostname="sgx-test-host")
+    k.load_module(SgxDriver())
+    return k
+
+
+@pytest.fixture
+def driver(sgx_kernel: Kernel) -> SgxDriver:
+    """The loaded SGX driver of ``sgx_kernel``."""
+    return sgx_kernel.module("isgx")

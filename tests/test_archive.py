@@ -1,0 +1,96 @@
+"""TSDB snapshot/restore tests, including a hypothesis roundtrip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TsdbError
+from repro.pmag.archive import restore, snapshot, snapshot_window
+from repro.pmag.model import Matcher
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+
+
+def _populated_tsdb():
+    tsdb = Tsdb()
+    for step in range(50):
+        t = (step + 1) * seconds(5)
+        tsdb.append_sample("syscalls_total", t, step * 100.0, name="read")
+        tsdb.append_sample("syscalls_total", t, step * 700.0, name="futex")
+        tsdb.append_sample("sgx_epc_free_pages", t, 24064.0 - step)
+    return tsdb
+
+
+def _dump(tsdb):
+    out = {}
+    for labels, storage in tsdb._series.items():  # noqa: SLF001
+        out[labels] = [(s.time_ns, s.value) for s in storage.window(0, 10**18)]
+    return out
+
+
+def test_snapshot_restore_roundtrip():
+    original = _populated_tsdb()
+    restored = restore(snapshot(original))
+    assert _dump(restored) == _dump(original)
+    assert restored.series_count() == original.series_count()
+    assert restored.sample_count() == original.sample_count()
+
+
+def test_restored_database_is_queryable():
+    from repro.pmag.query import QueryEngine
+
+    restored = restore(snapshot(_populated_tsdb()))
+    engine = QueryEngine(restored)
+    now = 50 * seconds(5)
+    rate = engine.instant('rate(syscalls_total{name="read"}[1m])', now)
+    assert rate and rate[0][1] == pytest.approx(20.0)
+
+
+def test_snapshot_window_trims():
+    tsdb = _populated_tsdb()
+    start, end = 10 * seconds(5), 20 * seconds(5)
+    restored = restore(snapshot_window(tsdb, start, end))
+    for _, samples in _dump(restored).items():
+        assert all(start <= t <= end for t, _ in samples)
+    assert restored.sample_count() == 3 * 11  # 3 series x 11 scrapes
+
+
+def test_snapshot_window_validation():
+    with pytest.raises(TsdbError):
+        snapshot_window(Tsdb(), 100, 50)
+
+
+def test_restore_rejects_garbage():
+    with pytest.raises(TsdbError, match="magic"):
+        restore(b"NOTASNAPSHOT")
+    with pytest.raises(TsdbError, match="truncated"):
+        restore(snapshot(_populated_tsdb())[:20])
+    # Wrong version.
+    data = bytearray(snapshot(Tsdb()))
+    data[6] = 99
+    with pytest.raises(TsdbError, match="version"):
+        restore(bytes(data))
+
+
+def test_empty_tsdb_roundtrip():
+    restored = restore(snapshot(Tsdb()))
+    assert restored.series_count() == 0
+
+
+@given(st.dictionaries(
+    st.tuples(st.sampled_from(("a", "b")), st.text(max_size=6)),
+    st.lists(st.tuples(st.integers(1, 10**6),
+                       st.floats(-1e9, 1e9, allow_nan=False)),
+             min_size=1, max_size=30),
+    min_size=1, max_size=5,
+))
+@settings(max_examples=40)
+def test_snapshot_roundtrip_property(series_specs):
+    tsdb = Tsdb()
+    for (group, tag), deltas in series_specs.items():
+        t = 0
+        for delta, value in deltas:
+            t += delta
+            tsdb.append_sample("m", t, value, group=group, tag=tag)
+    restored = restore(snapshot(tsdb))
+    assert _dump(restored) == _dump(tsdb)

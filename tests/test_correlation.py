@@ -1,0 +1,131 @@
+"""Correlation analysis and performance prediction tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.tsdb import Tsdb
+from repro.pman.correlation import (
+    CorrelationMatrix,
+    LinearPredictor,
+    correlate,
+    pearson,
+)
+from repro.simkernel.clock import seconds
+from repro.simkernel.rng import DeterministicRng
+
+
+def test_pearson_perfect_correlations():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert pearson(xs, [2.0, 4.0, 6.0, 8.0]) == pytest.approx(1.0)
+    assert pearson(xs, [8.0, 6.0, 4.0, 2.0]) == pytest.approx(-1.0)
+
+
+def test_pearson_validation():
+    with pytest.raises(AnalysisError):
+        pearson([1, 2], [1, 2])  # too few points
+    with pytest.raises(AnalysisError):
+        pearson([1, 2, 3], [1, 2])
+    with pytest.raises(AnalysisError):
+        pearson([1, 1, 1], [1, 2, 3])  # constant series
+
+
+@pytest.fixture
+def pressure_engine():
+    """A workload where throughput falls as eviction rate rises, with a
+    bit of noise — the Figure-11 relationship PMAN should discover."""
+    tsdb = Tsdb()
+    rng = DeterministicRng(99)
+    for step in range(60):
+        t = (step + 1) * seconds(15)
+        evictions = step * 10.0  # rising EPC pressure
+        throughput = 280_000.0 - 900.0 * evictions + rng.gauss(0, 2_000)
+        unrelated = 50.0 + rng.gauss(0, 5)
+        tsdb.append_sample("evict_rate", t, evictions)
+        tsdb.append_sample("throughput", t, throughput)
+        tsdb.append_sample("unrelated", t, unrelated)
+    return QueryEngine(tsdb), 60 * seconds(15)
+
+
+def test_correlate_discovers_epc_throughput_link(pressure_engine):
+    engine, now = pressure_engine
+    r = correlate(engine, "throughput", "evict_rate", now,
+                  window_ns=seconds(600))
+    assert r < -0.95  # strongly anti-correlated
+
+
+def test_correlate_ignores_unrelated_metric(pressure_engine):
+    engine, now = pressure_engine
+    r = correlate(engine, "throughput", "unrelated", now,
+                  window_ns=seconds(600))
+    assert abs(r) < 0.6
+
+
+def test_correlate_requires_single_series():
+    tsdb = Tsdb()
+    for step in range(10):
+        t = (step + 1) * seconds(15)
+        tsdb.append_sample("m", t, float(step), host="a")
+        tsdb.append_sample("m", t, float(step), host="b")
+    engine = QueryEngine(tsdb)
+    with pytest.raises(AnalysisError, match="one series"):
+        correlate(engine, "m", "m", 10 * seconds(15), window_ns=seconds(120))
+
+
+def test_correlation_matrix(pressure_engine):
+    engine, now = pressure_engine
+    matrix = CorrelationMatrix.compute(
+        engine,
+        {"tput": "throughput", "evict": "evict_rate", "noise": "unrelated"},
+        now, window_ns=seconds(600),
+    )
+    assert matrix.get("tput", "evict") == matrix.get("evict", "tput")
+    strongest = matrix.strongest_pairs(1)[0]
+    assert {strongest[0], strongest[1]} == {"tput", "evict"}
+    with pytest.raises(AnalysisError):
+        matrix.get("tput", "nonexistent")
+
+
+def test_linear_predictor_learns_the_relationship(pressure_engine):
+    engine, now = pressure_engine
+    predictor = LinearPredictor.fit(
+        engine, "throughput", {"evict": "evict_rate"}, now,
+        window_ns=seconds(600),
+    )
+    assert predictor.r_squared > 0.95
+    assert predictor.coefficients[0] == pytest.approx(-900.0, rel=0.05)
+    assert predictor.intercept == pytest.approx(280_000.0, rel=0.02)
+    # The "what if eviction rate hit 400/s" question:
+    predicted = predictor.predict({"evict": 400.0})
+    assert predicted == pytest.approx(280_000 - 900 * 400, rel=0.05)
+
+
+def test_predictor_missing_feature_rejected(pressure_engine):
+    engine, now = pressure_engine
+    predictor = LinearPredictor.fit(
+        engine, "throughput", {"evict": "evict_rate"}, now,
+        window_ns=seconds(600),
+    )
+    with pytest.raises(AnalysisError, match="missing features"):
+        predictor.predict({})
+
+
+def test_predictor_rejects_collinear_features(pressure_engine):
+    engine, now = pressure_engine
+    with pytest.raises(AnalysisError, match="singular"):
+        LinearPredictor.fit(
+            engine, "throughput",
+            {"a": "evict_rate", "b": "evict_rate * 2"},
+            now, window_ns=seconds(600),
+        )
+
+
+def test_predictor_needs_features_and_samples(pressure_engine):
+    engine, now = pressure_engine
+    with pytest.raises(AnalysisError, match="at least one feature"):
+        LinearPredictor.fit(engine, "throughput", {}, now)
+    with pytest.raises(AnalysisError, match="more samples"):
+        LinearPredictor.fit(
+            engine, "throughput", {"evict": "evict_rate"}, now,
+            window_ns=seconds(15),  # only 2 points for 2 parameters
+        )

@@ -1,0 +1,102 @@
+"""LLC model unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.cpu import CACHE_LINE_SIZE, LlcModel
+from repro.simkernel.hooks import HookRegistry
+
+
+def _llc(capacity=1024 * CACHE_LINE_SIZE):
+    hooks = HookRegistry()
+    return LlcModel(VirtualClock(), hooks, capacity_bytes=capacity), hooks
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        LlcModel(VirtualClock(), HookRegistry(), capacity_bytes=0)
+
+
+def test_first_access_misses_second_hits():
+    llc, hooks = _llc()
+    assert llc.access_line(0) is False
+    assert llc.access_line(0) is True
+    assert llc.stats.references == 2
+    assert llc.stats.misses == 1
+    assert hooks.fire_count("PERF_COUNT_HW_CACHE_REFERENCES") == 2
+    assert hooks.fire_count("PERF_COUNT_HW_CACHE_MISSES") == 1
+
+
+def test_same_line_different_offsets_hit():
+    llc, _hooks = _llc()
+    llc.access_line(0)
+    assert llc.access_line(CACHE_LINE_SIZE - 1) is True
+    assert llc.access_line(CACHE_LINE_SIZE) is False  # next line
+
+
+def test_lru_eviction():
+    llc, _hooks = _llc(capacity=2 * CACHE_LINE_SIZE)
+    llc.access_line(0 * CACHE_LINE_SIZE)
+    llc.access_line(1 * CACHE_LINE_SIZE)
+    llc.access_line(0 * CACHE_LINE_SIZE)   # 1 becomes LRU
+    llc.access_line(2 * CACHE_LINE_SIZE)   # evicts 1
+    assert llc.access_line(0 * CACHE_LINE_SIZE) is True
+    assert llc.access_line(1 * CACHE_LINE_SIZE) is False
+
+
+def test_expected_miss_ratio_floor_when_fitting():
+    llc, _hooks = _llc(capacity=8 * 1024 * 1024)
+    assert llc.expected_miss_ratio(1024) == LlcModel.BASE_MISS_RATIO
+    assert llc.expected_miss_ratio(0) == LlcModel.BASE_MISS_RATIO
+
+
+def test_expected_miss_ratio_grows_beyond_capacity():
+    llc, _hooks = _llc(capacity=8 * 1024 * 1024)
+    ratio = llc.expected_miss_ratio(16 * 1024 * 1024)
+    assert ratio == pytest.approx(LlcModel.BASE_MISS_RATIO + 0.5)
+
+
+def test_access_working_set_batch_counts():
+    llc, hooks = _llc(capacity=8 * 1024 * 1024)
+    misses = llc.access_working_set(16 * 1024 * 1024, accesses=10_000)
+    assert misses == pytest.approx(10_000 * (0.5 + LlcModel.BASE_MISS_RATIO), abs=1)
+    assert hooks.fire_count("PERF_COUNT_HW_CACHE_REFERENCES") == 10_000
+
+
+def test_access_working_set_zero_accesses():
+    llc, _hooks = _llc()
+    assert llc.access_working_set(1024, 0) == 0
+
+
+def test_extra_miss_ratio_validated():
+    llc, _hooks = _llc()
+    with pytest.raises(SimulationError):
+        llc.access_working_set(1024, 10, extra_miss_ratio=1.5)
+
+
+def test_extra_miss_ratio_adds_mee_misses():
+    llc, _hooks = _llc(capacity=8 * 1024 * 1024)
+    base = llc.expected_miss_ratio(1024)
+    misses = llc.access_working_set(1024, accesses=100_000, extra_miss_ratio=0.05)
+    assert misses == pytest.approx(100_000 * (base + 0.05), abs=1)
+
+
+def test_account_exact_counts():
+    llc, hooks = _llc()
+    llc.account(references=500, misses=20, pid=7)
+    assert llc.stats.references == 500
+    assert llc.stats.misses == 20
+    assert hooks.fire_count("PERF_COUNT_HW_CACHE_MISSES") == 20
+
+
+def test_account_invalid_rejected():
+    llc, _hooks = _llc()
+    with pytest.raises(SimulationError):
+        llc.account(references=5, misses=10)
+
+
+def test_miss_ratio_stat():
+    llc, _hooks = _llc()
+    llc.account(references=100, misses=25)
+    assert llc.stats.miss_ratio() == 0.25

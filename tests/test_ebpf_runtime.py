@@ -1,0 +1,147 @@
+"""eBPF runtime (attach) and stdlib program tests."""
+
+import pytest
+
+from repro.ebpf.attach import EbpfRuntime, PROGRAM_RUN_COST_NS
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import ProgramBuilder
+from repro.ebpf.stdlib import (
+    counter_program,
+    log2_histogram_program,
+    pid_attributed_counter_program,
+)
+from repro.ebpf.verifier import verify
+from repro.errors import VerifierError
+
+
+def test_all_stdlib_programs_pass_the_verifier():
+    for program in (
+        counter_program("a", 3, key_field="syscall_nr"),
+        counter_program("b", 3, fixed_key=0),
+        counter_program("c", 3, key_field="syscall_nr", pid_filter=42),
+        pid_attributed_counter_program("d", 3),
+        log2_histogram_program("e", 3, "latency_us"),
+        log2_histogram_program("f", 3, "latency_us", max_bucket=8),
+    ):
+        verify(program)
+
+
+def test_load_and_attach_counts_events(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("syscalls"))
+    runtime.load_and_attach(
+        counter_program("sc", fd, key_field="syscall_nr"),
+        "raw_syscalls:sys_enter",
+    )
+    kernel.syscalls.dispatch("read", 1, count=100)
+    kernel.syscalls.dispatch("futex", 1, count=50)
+    store = runtime.maps.get(fd)
+    assert store.lookup(kernel.syscalls.number_of("read")) == 100
+    assert store.lookup(kernel.syscalls.number_of("futex")) == 50
+
+
+def test_batched_firing_counts_full_multiplicity(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("total"))
+    runtime.load_and_attach(
+        counter_program("t", fd, fixed_key=0), "PERF_COUNT_SW_CONTEXT_SWITCHES"
+    )
+    kernel.scheduler.account_switches(1, 12345)
+    assert runtime.maps.get(fd).lookup(0) == 12345
+
+
+def test_pid_filter_skips_other_pids(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("filtered"))
+    runtime.load_and_attach(
+        counter_program("f", fd, key_field="syscall_nr", pid_filter=42),
+        "raw_syscalls:sys_enter",
+    )
+    kernel.syscalls.dispatch("read", 42, count=10)
+    kernel.syscalls.dispatch("read", 7, count=99)
+    assert runtime.maps.get(fd).lookup(0) == 10  # syscall_nr 0 = read
+
+
+def test_pid_attributed_counter(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("by_pid"))
+    runtime.load_and_attach(
+        pid_attributed_counter_program("p", fd), "sched:sched_switches"
+    )
+    kernel.scheduler.account_switches(11, 3)
+    kernel.scheduler.account_switches(22, 5)
+    store = runtime.maps.get(fd)
+    assert store.lookup(11) == 3
+    assert store.lookup(22) == 5
+
+
+def test_histogram_buckets_log2(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("hist"))
+    runtime.load_and_attach(
+        log2_histogram_program("h", fd, "latency_us"), "raw_syscalls:sys_exit"
+    )
+    for latency, expected_bucket in ((0, 0), (1, 0), (2, 1), (3, 1), (4, 2),
+                                     (255, 7), (256, 8)):
+        runtime.maps.get(fd).clear()
+        kernel.hooks.fire("raw_syscalls:sys_exit", 0, latency_us=latency)
+        items = dict(runtime.maps.get(fd).items())
+        assert items == {expected_bucket: 1}, (latency, items)
+
+
+def test_unverifiable_program_is_not_attached(kernel):
+    runtime = EbpfRuntime(kernel)
+    bad = ProgramBuilder("bad")
+    bad.mov_imm(0, 0)  # type: ignore[arg-type]
+    from repro.ebpf.instructions import Instruction, Opcode
+
+    program = ProgramBuilder("bad2")
+    program._instructions.append(Instruction(Opcode.JMP, offset=5))
+    with pytest.raises(VerifierError):
+        runtime.load_and_attach(program.build(), "sched:sched_switches")
+    assert kernel.hooks.observer_count("sched:sched_switches") == 0
+
+
+def test_dangling_map_fd_rejected_at_load(kernel):
+    from repro.errors import MapError
+
+    runtime = EbpfRuntime(kernel)
+    program = counter_program("x", 77, fixed_key=0)
+    with pytest.raises(MapError):
+        runtime.load_and_attach(program, "sched:sched_switches")
+
+
+def test_overhead_accounted_per_event(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("t"))
+    runtime.load_and_attach(
+        counter_program("t", fd, fixed_key=0), "sched:sched_switches"
+    )
+    kernel.scheduler.account_switches(1, 1000)
+    assert runtime.overhead_ns == 1000 * PROGRAM_RUN_COST_NS
+
+
+def test_detach_all_stops_counting(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("t"))
+    runtime.load_and_attach(
+        counter_program("t", fd, fixed_key=0), "sched:sched_switches"
+    )
+    kernel.scheduler.account_switches(1, 5)
+    runtime.detach_all()
+    kernel.scheduler.account_switches(1, 5)
+    assert runtime.maps.get(fd).lookup(0) == 5
+    assert runtime.attachments() == []
+
+
+def test_attachment_statistics(kernel):
+    runtime = EbpfRuntime(kernel)
+    fd = runtime.create_map(HashMap("t"))
+    attachment = runtime.load_and_attach(
+        counter_program("t", fd, fixed_key=0), "sched:sched_switches"
+    )
+    kernel.scheduler.account_switches(1, 500)   # one firing, 500 events
+    kernel.scheduler.account_switches(1, 300)
+    assert attachment.runs == 2
+    assert attachment.events_seen == 800
+    assert runtime.total_events_seen() == 800

@@ -1,0 +1,219 @@
+"""eBPF VM unit tests."""
+
+import pytest
+
+from repro.ebpf.instructions import Helper, Reg
+from repro.ebpf.maps import HashMap, MapRegistry
+from repro.ebpf.program import ProgramBuilder
+from repro.ebpf.vm import U64_MASK, Vm
+from repro.errors import VmFault
+from repro.simkernel.hooks import HookContext
+
+
+def _ctx(count=1, **fields):
+    return HookContext(hook="test", time_ns=123, count=count, fields=fields)
+
+
+def _vm(time_source=None):
+    return Vm(MapRegistry(), time_source=time_source)
+
+
+def _run(builder: ProgramBuilder, vm=None, ctx=None):
+    vm = vm or _vm()
+    return vm.run(builder.build(), ctx or _ctx())
+
+
+def test_exit_returns_r0():
+    result = _run(ProgramBuilder("p").exit(42))
+    assert result.return_value == 42
+
+
+def test_alu_arithmetic():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R0, 10)
+    builder.add_imm(Reg.R0, 5)
+    builder.mul_imm(Reg.R0, 3)
+    builder.sub_imm(Reg.R0, 15)
+    builder.div_imm(Reg.R0, 2)
+    builder.exit()
+    assert _run(builder).return_value == 15
+
+
+def test_register_to_register_ops():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R2, 7)
+    builder.mov_reg(Reg.R0, Reg.R2)
+    builder.add_reg(Reg.R0, Reg.R2)
+    builder.exit()
+    assert _run(builder).return_value == 14
+
+
+def test_shifts_and_masks():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R0, 0b1101)
+    builder.rsh_imm(Reg.R0, 2)
+    builder.and_imm(Reg.R0, 0b11)
+    builder.exit()
+    assert _run(builder).return_value == 0b11
+
+
+def test_arithmetic_wraps_at_64_bits():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R0, U64_MASK)
+    builder.add_imm(Reg.R0, 1)
+    builder.exit()
+    assert _run(builder).return_value == 0
+
+
+def test_subtraction_wraps_unsigned():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R0, 0)
+    builder.sub_imm(Reg.R0, 1)
+    builder.exit()
+    assert _run(builder).return_value == U64_MASK
+
+
+def test_ld_ctx_reads_fields():
+    builder = ProgramBuilder("p")
+    builder.ld_ctx(Reg.R0, "pid")
+    builder.exit()
+    assert _run(builder, ctx=_ctx(pid=77)).return_value == 77
+
+
+def test_ld_ctx_missing_field_is_zero():
+    builder = ProgramBuilder("p")
+    builder.ld_ctx(Reg.R0, "absent")
+    builder.exit()
+    assert _run(builder).return_value == 0
+
+
+def test_ld_ctx_count_reads_multiplicity():
+    builder = ProgramBuilder("p")
+    builder.ld_ctx(Reg.R0, "count")
+    builder.exit()
+    assert _run(builder, ctx=_ctx(count=512)).return_value == 512
+
+
+def test_ld_ctx_non_integer_field_faults():
+    builder = ProgramBuilder("p")
+    builder.ld_ctx(Reg.R0, "name")
+    builder.exit()
+    with pytest.raises(VmFault, match="not an integer"):
+        _run(builder, ctx=_ctx(name="redis"))
+
+
+def test_conditional_branch_taken_and_not_taken():
+    def run_with(pid):
+        builder = ProgramBuilder("p")
+        builder.ld_ctx(Reg.R2, "pid")
+        builder.jeq_imm(Reg.R2, 42, 2)
+        builder.mov_imm(Reg.R0, 0)
+        builder.exit()
+        builder.mov_imm(Reg.R0, 1)
+        builder.exit()
+        return _run(builder, ctx=_ctx(pid=pid)).return_value
+
+    assert run_with(42) == 1
+    assert run_with(7) == 0
+
+
+def test_div_reg_by_zero_faults():
+    builder = ProgramBuilder("p")
+    builder.mov_imm(Reg.R0, 10)
+    builder.mov_imm(Reg.R2, 0)
+    builder._instructions.append(
+        # built manually: DIV_REG is not exposed by the builder shortcuts
+        __import__("repro.ebpf.instructions", fromlist=["Instruction"]).Instruction(
+            __import__("repro.ebpf.instructions", fromlist=["Opcode"]).Opcode.DIV_REG,
+            dst=Reg.R0, src=Reg.R2,
+        )
+    )
+    builder.exit()
+    with pytest.raises(VmFault, match="division by zero"):
+        _run(builder)
+
+
+def test_map_add_and_lookup_helpers():
+    vm = _vm()
+    fd = vm._maps.create(HashMap("m"))
+    builder = ProgramBuilder("p").uses_map(fd)
+    builder.mov_imm(Reg.R1, fd)
+    builder.mov_imm(Reg.R2, 5)    # key
+    builder.mov_imm(Reg.R3, 10)   # delta
+    builder.call(Helper.MAP_ADD)
+    builder.mov_imm(Reg.R1, fd)
+    builder.mov_imm(Reg.R2, 5)
+    builder.call(Helper.MAP_LOOKUP)
+    builder.exit()
+    assert vm.run(builder.build(), _ctx()).return_value == 10
+
+
+def test_map_lookup_missing_returns_zero():
+    vm = _vm()
+    fd = vm._maps.create(HashMap("m"))
+    builder = ProgramBuilder("p").uses_map(fd)
+    builder.mov_imm(Reg.R1, fd)
+    builder.mov_imm(Reg.R2, 99)
+    builder.call(Helper.MAP_LOOKUP)
+    builder.exit()
+    assert vm.run(builder.build(), _ctx()).return_value == 0
+
+
+def test_map_update_helper():
+    vm = _vm()
+    store = HashMap("m")
+    fd = vm._maps.create(store)
+    builder = ProgramBuilder("p").uses_map(fd)
+    builder.mov_imm(Reg.R1, fd)
+    builder.mov_imm(Reg.R2, 1)
+    builder.mov_imm(Reg.R3, 777)
+    builder.call(Helper.MAP_UPDATE)
+    builder.exit(0)
+    vm.run(builder.build(), _ctx())
+    assert store.lookup(1) == 777
+
+
+def test_bad_map_fd_faults_at_runtime():
+    vm = _vm()
+    builder = ProgramBuilder("p").uses_map(55)  # declared but never created
+    builder.mov_imm(Reg.R1, 55)
+    builder.mov_imm(Reg.R2, 0)
+    builder.mov_imm(Reg.R3, 1)
+    builder.call(Helper.MAP_ADD)
+    builder.exit(0)
+    from repro.errors import MapError
+
+    with pytest.raises(MapError):
+        vm.run(builder.build(), _ctx())
+
+
+def test_ktime_helper_uses_time_source():
+    vm = _vm(time_source=lambda: 123_456)
+    builder = ProgramBuilder("p")
+    builder.call(Helper.KTIME_GET_NS)
+    builder.exit()
+    assert vm.run(builder.build(), _ctx()).return_value == 123_456
+
+
+def test_ktime_without_source_faults():
+    builder = ProgramBuilder("p")
+    builder.call(Helper.KTIME_GET_NS)
+    builder.exit()
+    with pytest.raises(VmFault, match="time source"):
+        _run(builder)
+
+
+def test_get_current_pid_helper():
+    builder = ProgramBuilder("p")
+    builder.call(Helper.GET_CURRENT_PID)
+    builder.exit()
+    assert _run(builder, ctx=_ctx(pid=31)).return_value == 31
+
+
+def test_vm_accounts_runs_and_steps():
+    vm = _vm()
+    program = ProgramBuilder("p").exit(0).build()
+    vm.run(program, _ctx())
+    vm.run(program, _ctx())
+    assert vm.total_runs == 2
+    assert vm.total_steps == 4  # mov + exit, twice

@@ -1,0 +1,146 @@
+"""EPC model unit tests."""
+
+import pytest
+
+from repro.errors import EpcExhaustedError, SgxError
+from repro.sgx.epc import (
+    DEFAULT_EPC_RESERVED_BYTES,
+    DEFAULT_EPC_USABLE_BYTES,
+    EPC_PAGE_SIZE,
+    EpcRegion,
+)
+
+
+def test_default_sizes_match_sgx_v1():
+    epc = EpcRegion()
+    assert epc.reserved_bytes == 128 * 1024 * 1024
+    assert epc.usable_bytes == 94 * 1024 * 1024
+    assert epc.total_pages == DEFAULT_EPC_USABLE_BYTES // EPC_PAGE_SIZE
+
+
+def test_usable_larger_than_reserved_rejected():
+    with pytest.raises(SgxError):
+        EpcRegion(reserved_bytes=100, usable_bytes=200)
+
+
+def test_zero_usable_rejected():
+    with pytest.raises(SgxError):
+        EpcRegion(reserved_bytes=100, usable_bytes=0)
+
+
+def _small_epc(pages=100):
+    return EpcRegion(
+        reserved_bytes=pages * EPC_PAGE_SIZE * 2,
+        usable_bytes=pages * EPC_PAGE_SIZE,
+    )
+
+
+def test_register_and_add_pages():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 40)
+    assert epc.used_pages == 40
+    assert epc.free_pages == 60
+    assert epc.counters.pages_added == 40
+
+
+def test_double_register_rejected():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    with pytest.raises(SgxError):
+        epc.register_enclave(1)
+
+
+def test_unregistered_enclave_rejected():
+    with pytest.raises(SgxError):
+        _small_epc().add_pages(9, 1)
+
+
+def test_exhaustion_raises():
+    epc = _small_epc(pages=10)
+    epc.register_enclave(1)
+    with pytest.raises(EpcExhaustedError):
+        epc.add_pages(1, 11)
+
+
+def test_evict_and_reclaim_roundtrip():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 50)
+    evicted = epc.evict_pages(1, 20)
+    assert evicted == 20
+    assert epc.account(1).resident_pages == 30
+    assert epc.account(1).evicted_pages == 20
+    assert epc.free_pages == 70
+    reclaimed = epc.reclaim_pages(1, 20)
+    assert reclaimed == 20
+    assert epc.account(1).resident_pages == 50
+    assert epc.counters.pages_evicted == 20
+    assert epc.counters.pages_reclaimed == 20
+
+
+def test_evict_capped_at_resident():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 5)
+    assert epc.evict_pages(1, 100) == 5
+
+
+def test_reclaim_capped_at_evicted():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 5)
+    epc.evict_pages(1, 5)
+    assert epc.reclaim_pages(1, 100) == 5
+
+
+def test_reclaim_into_full_epc_raises():
+    epc = _small_epc(pages=10)
+    epc.register_enclave(1)
+    epc.register_enclave(2)
+    epc.add_pages(1, 5)
+    epc.evict_pages(1, 5)
+    epc.add_pages(2, 10)  # EPC now full
+    with pytest.raises(EpcExhaustedError):
+        epc.reclaim_pages(1, 5)
+
+
+def test_mark_old_counts_without_moving_pages():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 30)
+    marked = epc.mark_old(1, 10)
+    assert marked == 10
+    assert epc.account(1).resident_pages == 30
+    assert epc.counters.pages_marked_old == 10
+
+
+def test_add_swapped_pages_advances_both_counters():
+    epc = _small_epc(pages=10)
+    epc.register_enclave(1)
+    epc.add_swapped_pages(1, 25)
+    assert epc.account(1).evicted_pages == 25
+    assert epc.used_pages == 0  # not resident
+    assert epc.counters.pages_added == 25
+    assert epc.counters.pages_evicted == 25
+
+
+def test_unregister_frees_pages():
+    epc = _small_epc()
+    epc.register_enclave(1)
+    epc.add_pages(1, 60)
+    epc.unregister_enclave(1)
+    assert epc.free_pages == 100
+    with pytest.raises(SgxError):
+        epc.account(1)
+
+
+def test_largest_resident_enclave():
+    epc = _small_epc()
+    assert epc.largest_resident_enclave() is None
+    epc.register_enclave(1)
+    epc.register_enclave(2)
+    epc.add_pages(1, 10)
+    epc.add_pages(2, 30)
+    assert epc.largest_resident_enclave() == 2
+    assert epc.enclave_ids() == [1, 2]

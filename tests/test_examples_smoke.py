@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the quickstart documentation; a broken one is a broken
+README.  Each runs in-process with stdout captured, and a few key phrases
+are asserted so a silently-empty run also fails.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["populated 720k keys", "active alerts", "TEEMon / SGX"]),
+    ("sgx_framework_comparison.py", ["graphene-sgx", "evict/100"]),
+    ("code_evolution_ci.py", ["verdict:", "throughput improved"]),
+    ("ebpf_custom_metrics.py", ["verifier accepted", "bursts="]),
+    ("kubernetes_cluster_monitoring.py",
+     ["scrape targets discovered", "after worker-4 joined"]),
+    ("sev_vm_monitoring.py", ["active guests", "SevAsidPoolLow"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, expected, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    for phrase in expected:
+        assert phrase in output, f"{script}: missing {phrase!r}"

@@ -1,0 +1,294 @@
+"""Shape tests: the reproduction must match the paper's qualitative results.
+
+These assert the *shape* of every evaluation artifact — who wins, by
+roughly what factor, where crossovers fall — against the anchors in
+:mod:`repro.calibration.paper`.  Absolute equality is not expected (the
+substrate is a simulator); ordering and coarse ratios are.
+"""
+
+import pytest
+
+from repro.calibration import paper
+from repro.experiments.fig4_footprint import run_fig4
+from repro.experiments.fig5_overhead import run_fig5
+from repro.experiments.fig6_syscalls import run_fig6
+from repro.experiments.fig7_evolution import run_fig7
+from repro.experiments.fig8_throughput import run_single, run_sweep
+from repro.experiments.fig11_metrics import run_cell
+from repro.experiments.table1_tools import run_table1
+from repro.experiments.table2_metrics import run_table2
+
+MIB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+def test_table1_teemon_is_the_only_full_row():
+    result = run_table1()
+    teemon = result.rows_where(tool="TEEMon")[0]
+    assert teemon["framework_agnostic"] == "yes"
+    assert teemon["paging"] == "yes"
+    assert teemon["enclave_transitions"] == "yes"
+    assert teemon["orchestrated"] == "yes"
+    assert teemon["real_time"] == "yes"
+    # No surveyed tool matches TEEMon on all five booleans.
+    for row in result.rows:
+        if row["tool"] == "TEEMon":
+            continue
+        flags = [row[k] for k in ("framework_agnostic", "paging",
+                                  "enclave_transitions", "orchestrated",
+                                  "real_time")]
+        assert flags.count("yes") < 5
+
+
+def test_table2_every_hook_registered_and_attached():
+    result = run_table2()
+    assert len(result.rows) == 13
+    for row in result.rows:
+        assert row["hook_registered"] == "yes", row
+        assert row["mechanism_matches"] == "yes", row
+        assert row["program_attached"] == "yes", row
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+def test_fig4_footprint_shapes():
+    result = run_fig4(hours=1.0)
+    rows = {row["component"]: row for row in result.rows}
+    total = rows.pop("TOTAL")
+    # Total ~700 MB.
+    assert total["memory_mb"] == pytest.approx(700, rel=0.05)
+    # cAdvisor is the most CPU-hungry at ~3%.
+    cpu = {name: row["cpu_percent"] for name, row in rows.items()}
+    assert max(cpu, key=cpu.get) == "cadvisor"
+    assert cpu["cadvisor"] == pytest.approx(3.0, rel=0.2)
+    # Prometheus dominates memory, ~4x the next-largest component.
+    memory = {name: row["memory_mb"] for name, row in rows.items()}
+    assert max(memory, key=memory.get) == "prometheus"
+    others = sorted(memory.values())[:-1]
+    assert memory["prometheus"] >= 4 * max(others)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+def test_fig5_overhead_envelope_and_ordering():
+    result = run_fig5()
+    full = {
+        row["app"]: row["normalized"]
+        for row in result.rows_where(config="full")
+    }
+    # Overhead within the paper's 5-17% band; NGINX worst, MongoDB best.
+    for app, normalized in full.items():
+        assert 0.83 <= normalized <= 0.96, (app, normalized)
+    assert full["nginx"] < full["redis"] < full["mongodb"]
+    assert full["nginx"] == pytest.approx(
+        paper.FIG5_NORMALIZED_THROUGHPUT["nginx"], abs=0.03
+    )
+    assert full["mongodb"] == pytest.approx(
+        paper.FIG5_NORMALIZED_THROUGHPUT["mongodb"], abs=0.02
+    )
+    # eBPF accounts for roughly half of the drop.
+    for app in ("nginx", "redis", "mongodb"):
+        ebpf = result.rows_where(app=app, config="ebpf_only")[0]["normalized"]
+        assert (1 - ebpf) == pytest.approx((1 - full[app]) / 2, rel=0.25)
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7
+# ---------------------------------------------------------------------------
+def test_fig6_clock_gettime_collapse():
+    result = run_fig6()
+
+    def rate(commit, syscall):
+        return result.rows_where(commit=commit, syscall=syscall)[0]["per_second"]
+
+    before_clock = rate("572bd1a5", "clock_gettime")
+    after_clock = rate("09fea91", "clock_gettime")
+    # Before: hundreds of thousands per second, ~10x the I/O syscalls.
+    assert before_clock > 250_000
+    assert before_clock > 8 * rate("572bd1a5", "read")
+    # After: at most a few hundred stragglers.
+    assert after_clock <= 200
+    # read/write rates stay in the tens of thousands.
+    assert 15_000 < rate("09fea91", "read") < 50_000
+
+
+def test_fig7_throughput_doubles():
+    result = run_fig7()
+    by_config = {row["configuration"]: row["iops"] for row in result.rows}
+    before = by_config["scone @ 572bd1a5"]
+    after = by_config["scone @ 09fea91"]
+    assert before == pytest.approx(paper.FIG7_THROUGHPUT_BEFORE, rel=0.15)
+    assert after == pytest.approx(paper.FIG7_THROUGHPUT_AFTER, rel=0.15)
+    assert 2.0 < after / before < 2.8  # "almost doubled" (2.32x in the paper)
+    assert by_config["native redis"] > after
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-10 (one shared sweep at short duration)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(duration_s=2.0)
+
+
+def _peak(sweep_results, framework, db_mb):
+    rows = [
+        b for b in sweep_results
+        if b.framework == framework and b.db_bytes == db_mb * MIB
+    ]
+    best = max(rows, key=lambda b: b.throughput_rps)
+    return best.connections, best.throughput_rps
+
+
+def test_fig8_native_peak_at_320_with_decline(sweep):
+    connections, peak = _peak(sweep, "native", 78)
+    assert connections == paper.FIG8_NATIVE_PEAK_CONNECTIONS
+    low, high = paper.FIG8_NATIVE_PEAK_RANGE
+    assert low * 0.9 <= peak <= high * 1.1
+    at_720 = [b for b in sweep if b.framework == "native"
+              and b.db_bytes == 78 * MIB and b.connections == 720][0]
+    assert at_720.throughput_rps < peak
+
+
+def test_fig8_scone_peak_at_560_about_quarter_of_native(sweep):
+    connections, peak = _peak(sweep, "scone", 78)
+    assert connections == paper.FIG8_SCONE_PEAK_CONNECTIONS
+    assert peak == pytest.approx(paper.FIG8_SCONE_PEAK, rel=0.10)
+    _, native_peak = _peak(sweep, "native", 78)
+    assert 0.18 < peak / native_peak < 0.30  # "~23% of native"
+
+
+def test_fig8_scone_drops_with_db_size(sweep):
+    _, at_78 = _peak(sweep, "scone", 78)
+    _, at_105 = _peak(sweep, "scone", 105)
+    _, at_127 = _peak(sweep, "scone", 127)
+    assert at_78 > at_105 > at_127
+    drop = at_78 - at_105
+    assert drop == pytest.approx(paper.FIG8_SCONE_105MB_PEAK_DROP, rel=0.4)
+
+
+def test_fig8_sgxlkl_peak_320_dip_560_recovery(sweep):
+    connections, peak = _peak(sweep, "sgx-lkl", 78)
+    assert connections == paper.FIG8_SGXLKL_PEAK_CONNECTIONS
+    assert peak == pytest.approx(paper.FIG8_SGXLKL_PEAK, rel=0.10)
+    series = {
+        b.connections: b.throughput_rps
+        for b in sweep if b.framework == "sgx-lkl" and b.db_bytes == 78 * MIB
+    }
+    assert series[560] < series[320] * 0.75   # steep drop at 560
+    assert series[720] > series[560]          # steady increase afterward
+
+
+def test_fig8_graphene_best_at_8_declining(sweep):
+    connections, peak = _peak(sweep, "graphene-sgx", 78)
+    assert connections == paper.FIG8_GRAPHENE_PEAK_CONNECTIONS
+    assert peak == pytest.approx(paper.FIG8_GRAPHENE_PEAK, rel=0.10)
+    series = [
+        (b.connections, b.throughput_rps)
+        for b in sweep if b.framework == "graphene-sgx" and b.db_bytes == 78 * MIB
+    ]
+    series.sort()
+    values = [v for _, v in series]
+    assert values == sorted(values, reverse=True)  # monotone decline
+    # 105 MB: single-client throughput falls to ~12 K.
+    single_large = [
+        b for b in sweep if b.framework == "graphene-sgx"
+        and b.db_bytes == 105 * MIB and b.connections == 8
+    ][0]
+    assert single_large.throughput_rps == pytest.approx(
+        paper.FIG8_GRAPHENE_105MB_SINGLE_CLIENT, rel=0.15
+    )
+
+
+def test_fig9_latency_anchors_at_320(sweep):
+    at_320 = {
+        b.framework: b.latency_ms
+        for b in sweep if b.connections == 320 and b.db_bytes == 78 * MIB
+    }
+    for framework, expected in paper.FIG9_LATENCY_AT_320_MS.items():
+        assert at_320[framework] == pytest.approx(expected, rel=0.35), framework
+    # Strict ordering: native < scone < sgx-lkl < graphene.
+    assert (at_320["native"] < at_320["scone"]
+            < at_320["sgx-lkl"] < at_320["graphene-sgx"])
+
+
+def test_fig9_latency_grows_with_connections(sweep):
+    for framework in ("native", "scone", "graphene-sgx"):
+        series = [
+            (b.connections, b.latency_ms)
+            for b in sweep if b.framework == framework and b.db_bytes == 78 * MIB
+        ]
+        series.sort()
+        latencies = [l for _, l in series]
+        assert latencies == sorted(latencies)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 (selected cells; full grid runs in the benchmark harness)
+# ---------------------------------------------------------------------------
+def test_fig11_scone_eviction_churn_dominates():
+    scone = run_cell("scone", 584, 64, duration_s=10.0)
+    sgxlkl = run_cell("sgx-lkl", 584, 64, duration_s=10.0)
+    graphene = run_cell("graphene-sgx", 584, 64, duration_s=10.0)
+    assert scone["epc_evictions"] == pytest.approx(
+        paper.FIG11_SCONE_EVICTIONS_580C_L, rel=0.15
+    )
+    assert sgxlkl["epc_evictions"] < 2.5
+    assert graphene["epc_evictions"] < 0.1
+    assert scone["epc_evictions"] > 50 * sgxlkl["epc_evictions"]
+
+
+def test_fig11_graphene_context_switch_storm():
+    graphene = run_cell("graphene-sgx", 584, 64, duration_s=10.0)
+    native = run_cell("native", 584, 64, duration_s=10.0)
+    scone = run_cell("scone", 584, 64, duration_s=10.0)
+    assert graphene["ctx_host"] == pytest.approx(
+        paper.FIG11_GRAPHENE_CTX_HOST_580C_L, rel=0.15
+    )
+    assert native["ctx_host"] == pytest.approx(
+        paper.FIG11_NATIVE_CTX_HOST_580C, rel=0.25
+    )
+    assert graphene["ctx_host"] > 2 * scone["ctx_host"]
+    assert scone["ctx_host"] <= paper.FIG11_OTHERS_CTX_HOST_MAX * 1.15
+
+
+def test_fig11_user_faults_appear_beyond_epc():
+    small = run_cell("scone", 320, 32, duration_s=10.0)
+    large = run_cell("scone", 320, 64, duration_s=10.0)
+    assert small["user_faults"] < 0.01
+    assert large["user_faults"] == pytest.approx(
+        paper.FIG11_SCONE_USER_FAULTS_320C_L, rel=0.25
+    )
+
+
+def test_fig11_llc_misses_ordering():
+    native = run_cell("native", 584, 64, duration_s=10.0)
+    scone = run_cell("scone", 584, 64, duration_s=10.0)
+    graphene = run_cell("graphene-sgx", 584, 64, duration_s=10.0)
+    assert native["llc_misses"] <= paper.FIG11_NATIVE_LLC_RANGE[1] * 1.2
+    low, high = paper.FIG11_SCONE_SGXLKL_LLC_RANGE
+    assert low * 0.8 <= scone["llc_misses"] <= high * 1.2
+    assert graphene["llc_misses"] == pytest.approx(
+        paper.FIG11_GRAPHENE_LLC_MAX, rel=0.15
+    )
+    assert native["llc_misses"] < scone["llc_misses"] < graphene["llc_misses"]
+
+
+def test_fig11_native_total_faults_highest_at_8_connections():
+    at_8 = run_cell("native", 8, 32, duration_s=10.0)
+    at_584 = run_cell("native", 584, 32, duration_s=10.0)
+    assert at_8["total_faults"] == pytest.approx(
+        paper.FIG11_NATIVE_TOTAL_FAULTS_8C, rel=0.15
+    )
+    assert at_584["total_faults"] < 180
+
+
+def test_fig11_graphene_total_faults_peak():
+    graphene = run_cell("graphene-sgx", 584, 64, duration_s=10.0)
+    assert graphene["total_faults"] == pytest.approx(
+        paper.FIG11_GRAPHENE_TOTAL_FAULTS_580C_L, rel=0.15
+    )

@@ -1,0 +1,158 @@
+"""Tests: Kubernetes Deployments + node failure, dashboard serialization."""
+
+import pytest
+
+from repro.errors import AnalysisError, OrchestrationError
+from repro.orchestration.container import ContainerImage
+from repro.orchestration.kubernetes import Cluster, Deployment, Node, PodSpec
+from repro.pmv.dashboard import Dashboard
+from repro.pmv.dashboards import build_sgx_dashboard
+from repro.pmv.panels import GaugePanel, GraphPanel, TablePanel
+from repro.pmv.serialize import dashboard_from_json, dashboard_to_json
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.kernel import Kernel
+
+
+class _App:
+    def __init__(self, kernel, container_id):
+        self.container_id = container_id
+
+    def shutdown(self):
+        pass
+
+
+def _image():
+    return ContainerImage(name="app", entrypoint=_App)
+
+
+def _cluster(nodes=3):
+    clock = VirtualClock()
+    cluster = Cluster(clock)
+    for index in range(nodes):
+        cluster.add_node(Node(Kernel(seed=index, hostname=f"n{index}", clock=clock)))
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Deployments
+# ---------------------------------------------------------------------------
+def test_deployment_creates_replicas_spread():
+    cluster = _cluster(3)
+    deployment = cluster.apply_deployment(PodSpec(name="web", image=_image()), 3)
+    assert len(deployment.pods) == 3
+    assert len({p.node_name for p in deployment.pods}) == 3  # least-loaded
+
+
+def test_deployment_scale_up_and_down():
+    cluster = _cluster(2)
+    deployment = cluster.apply_deployment(PodSpec(name="web", image=_image()), 2)
+    deployment.scale(4)
+    cluster.reconcile_deployments()
+    assert len(deployment.pods) == 4
+    deployment.scale(1)
+    cluster.reconcile_deployments()
+    assert len(deployment.pods) == 1
+    assert len(cluster.pods()) == 1
+
+
+def test_deployment_negative_replicas_rejected():
+    with pytest.raises(OrchestrationError):
+        Deployment(PodSpec(name="x", image=_image()), -1)
+
+
+def test_node_failure_reschedules_deployment_pods():
+    cluster = _cluster(3)
+    deployment = cluster.apply_deployment(PodSpec(name="web", image=_image()), 3)
+    victim_node = deployment.pods[0].node_name
+    lost = cluster.fail_node(victim_node)
+    assert lost  # the node had at least one pod
+    assert len(deployment.pods) == 3  # replaced immediately
+    assert all(p.node_name != victim_node for p in deployment.pods)
+    assert len(cluster.nodes()) == 2
+
+
+def test_node_failure_does_not_move_daemonset_pods():
+    cluster = _cluster(2)
+    daemonset = cluster.apply_daemonset(PodSpec(name="agent", image=_image()))
+    cluster.fail_node("n0")
+    assert list(daemonset.pods_by_node) == ["n1"]
+
+
+def test_deployment_degrades_gracefully_without_nodes():
+    cluster = _cluster(1)
+    deployment = cluster.apply_deployment(PodSpec(name="web", image=_image()), 2)
+    cluster.fail_node("n0")
+    assert deployment.pods == []  # degraded, not crashed
+    # A new node joins: the Deployment recovers automatically.
+    cluster.add_node(Node(Kernel(seed=9, hostname="n9", clock=cluster.clock)))
+    assert len(deployment.pods) == 2
+
+
+def test_failed_node_pods_marked_terminated():
+    cluster = _cluster(1)
+    cluster.apply_daemonset(PodSpec(name="agent", image=_image()))
+    lost = cluster.fail_node("n0")
+    assert all(p.phase == "Terminated" for p in lost)
+    assert all(not p.container.running for p in lost)
+    assert cluster.pods() == []
+
+
+# ---------------------------------------------------------------------------
+# Dashboard serialization
+# ---------------------------------------------------------------------------
+def test_dashboard_roundtrip_preserves_structure():
+    original = build_sgx_dashboard()
+    original.set_variable("process", "4242")
+    restored = dashboard_from_json(dashboard_to_json(original))
+    assert restored.name == original.name
+    assert restored.variables == original.variables
+    assert [r.title for r in restored.rows] == [r.title for r in original.rows]
+    for a, b in zip(original.panels(), restored.panels()):
+        assert type(a) is type(b)
+        assert a.title == b.title
+        assert a.query == b.query
+        assert a.unit == b.unit
+
+
+def test_dashboard_roundtrip_preserves_panel_config():
+    dashboard = Dashboard("Custom")
+    dashboard.add_row("r", [
+        GraphPanel("g", "x", window_ns=123_000, step_ns=45_000),
+        GaugePanel("ga", "y", minimum=5.0, maximum=55.0),
+        TablePanel("t", "z", sort_desc=False, limit=3),
+    ])
+    restored = dashboard_from_json(dashboard_to_json(dashboard))
+    graph, gauge, table = restored.panels()
+    assert graph.window_ns == 123_000 and graph.step_ns == 45_000
+    assert gauge.minimum == 5.0 and gauge.maximum == 55.0
+    assert table.sort_desc is False and table.limit == 3
+
+
+def test_dashboard_json_is_grafana_shaped():
+    import json
+
+    document = json.loads(dashboard_to_json(build_sgx_dashboard()))
+    assert document["schemaVersion"] == 1
+    assert "title" in document
+    first_panel = document["rows"][0]["panels"][0]
+    assert "targets" in first_panel
+    assert "expr" in first_panel["targets"][0]
+
+
+def test_dashboard_import_validation():
+    with pytest.raises(AnalysisError, match="bad dashboard JSON"):
+        dashboard_from_json("{not json")
+    with pytest.raises(AnalysisError, match="schema version"):
+        dashboard_from_json('{"schemaVersion": 99, "title": "x"}')
+    with pytest.raises(AnalysisError, match="title"):
+        dashboard_from_json('{"schemaVersion": 1}')
+    with pytest.raises(AnalysisError, match="unknown panel type"):
+        dashboard_from_json(
+            '{"schemaVersion": 1, "title": "t", "rows": '
+            '[{"title": "r", "panels": [{"type": "piechart"}]}]}'
+        )
+    with pytest.raises(AnalysisError, match="no query target"):
+        dashboard_from_json(
+            '{"schemaVersion": 1, "title": "t", "rows": '
+            '[{"title": "r", "panels": [{"type": "graph", "title": "g"}]}]}'
+        )

@@ -1,0 +1,74 @@
+"""End-to-end syscall latency histogram: tracepoint field -> eBPF log2
+histogram -> exporter cumulative buckets -> histogram_quantile."""
+
+import pytest
+
+from repro.exporters import EbpfExporter
+from repro.net.http import HttpNetwork
+from repro.openmetrics.parser import parse_exposition
+from repro.pmag.query import QueryEngine
+from repro.pmag.scrape import ScrapeManager, ScrapeTarget
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+from repro.simkernel.syscalls import SyscallTable
+
+
+def test_sys_exit_carries_latency(kernel):
+    seen = []
+    kernel.hooks.attach("raw_syscalls:sys_exit", seen.append)
+    kernel.syscalls.dispatch("fsync", 1)
+    assert seen[0].get("latency_us") == SyscallTable.cost_ns("fsync") // 1_000
+
+
+def test_cheap_syscalls_floor_at_one_microsecond(kernel):
+    seen = []
+    kernel.hooks.attach("raw_syscalls:sys_exit", seen.append)
+    kernel.syscalls.dispatch("clock_gettime", 1)  # 25 ns natively
+    assert seen[0].get("latency_us") == 1
+
+
+def test_histogram_buckets_reflect_latency_mix(sgx_kernel):
+    exporter = EbpfExporter(sgx_kernel)
+    network = HttpNetwork()
+    exporter.expose(network)
+    # Fast syscalls (read ~0.5us -> bucket le=2) and slow ones
+    # (fsync 80us -> bucket le=128).
+    sgx_kernel.syscalls.dispatch("read", 1, count=90)
+    sgx_kernel.syscalls.dispatch("fsync", 1, count=10)
+    body = network.get_url(exporter.url).body
+    buckets = {
+        s.labels_dict()["le"]: s.value
+        for s in parse_exposition(body)
+        if s.name == "ebpf_syscall_latency_us_bucket"
+    }
+    assert buckets["+Inf"] == 100
+    # All reads fall in a small bucket; fsyncs only appear by le=128.
+    small = min(
+        (float(le) for le in buckets if le != "+Inf"),
+        default=None,
+    )
+    assert small is not None and buckets[str(int(small))] == 90
+    assert buckets["128"] == 100
+
+
+def test_histogram_quantile_over_scraped_buckets(sgx_kernel):
+    exporter = EbpfExporter(sgx_kernel)
+    network = HttpNetwork()
+    exporter.expose(network)
+    tsdb = Tsdb()
+    manager = ScrapeManager(sgx_kernel.clock, network, tsdb)
+    manager.add_target(ScrapeTarget(job="ebpf", instance="h", url=exporter.url))
+    sgx_kernel.syscalls.dispatch("read", 1, count=900)
+    sgx_kernel.syscalls.dispatch("fsync", 1, count=100)
+    sgx_kernel.clock.advance(seconds(1))
+    manager.scrape_once()
+    engine = QueryEngine(tsdb)
+    now = sgx_kernel.clock.now_ns
+    p50 = engine.instant(
+        "histogram_quantile(0.5, ebpf_syscall_latency_us_bucket)", now
+    )
+    p99 = engine.instant(
+        "histogram_quantile(0.99, ebpf_syscall_latency_us_bucket)", now
+    )
+    assert p50 and p50[0][1] < 4.0        # dominated by fast reads
+    assert p99 and p99[0][1] > 60.0       # the fsync tail

@@ -1,0 +1,123 @@
+"""Graphene manifest tests."""
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.frameworks.graphene import GrapheneRuntime
+from repro.frameworks.manifest import Manifest, TrustedFile, parse_size
+from repro.sgx.attestation import measure_bytes
+
+
+def test_parse_size():
+    assert parse_size("4096") == 4096
+    assert parse_size("1K") == 1024
+    assert parse_size("512M") == 512 << 20
+    assert parse_size("1G") == 1 << 30
+    assert parse_size("2g") == 2 << 30
+
+
+def test_parse_size_errors():
+    with pytest.raises(ManifestError):
+        parse_size("")
+    with pytest.raises(ManifestError):
+        parse_size("xG")
+    with pytest.raises(ManifestError):
+        parse_size("abc")
+
+
+def test_manifest_roundtrip():
+    files = {"/lib/libc.so.6": b"libc-code", "/app/redis-server": b"redis-code"}
+    manifest = Manifest.for_files("redis-server", files)
+    parsed = Manifest.parse(manifest.render())
+    assert parsed.entrypoint == "redis-server"
+    assert len(parsed.trusted_files) == 2
+    assert {t.path for t in parsed.trusted_files} == set(files)
+
+
+def test_parse_text_format():
+    text = '''
+# a comment
+libos.entrypoint = "redis-server"
+sgx.enclave_size = "1G"
+sgx.thread_num = 8
+sgx.trusted_files.libc = "file:/lib/libc.so.6"
+sgx.trusted_checksum.libc = "{digest}"
+'''.format(digest=measure_bytes(b"libc"))
+    manifest = Manifest.parse(text)
+    assert manifest.enclave_size_bytes == 1 << 30
+    assert manifest.thread_num == 8
+    assert manifest.trusted_files[0].path == "/lib/libc.so.6"
+
+
+def test_parse_missing_checksum_rejected():
+    text = (
+        'libos.entrypoint = "x"\n'
+        'sgx.trusted_files.libc = "file:/lib/libc.so.6"\n'
+    )
+    with pytest.raises(ManifestError, match="no checksum"):
+        Manifest.parse(text)
+
+
+def test_parse_malformed_line_rejected():
+    with pytest.raises(ManifestError):
+        Manifest.parse("not a key value pair")
+
+
+def test_empty_entrypoint_rejected():
+    with pytest.raises(ManifestError):
+        Manifest(entrypoint="")
+
+
+def test_duplicate_trusted_keys_rejected():
+    digest = measure_bytes(b"x")
+    with pytest.raises(ManifestError):
+        Manifest(
+            entrypoint="x",
+            trusted_files=[
+                TrustedFile("libc", "/a", digest),
+                TrustedFile("libc", "/b", digest),
+            ],
+        )
+
+
+def test_verify_accepts_matching_files():
+    files = {"/lib/libc.so.6": b"libc-code"}
+    manifest = Manifest.for_files("app", files)
+    log = manifest.verify(files)
+    assert log.mrenclave()  # stable measurement produced
+
+
+def test_verify_rejects_tampered_file():
+    files = {"/lib/libc.so.6": b"libc-code"}
+    manifest = Manifest.for_files("app", files)
+    with pytest.raises(ManifestError, match="checksum mismatch"):
+        manifest.verify({"/lib/libc.so.6": b"EVIL"})
+
+
+def test_verify_rejects_missing_file():
+    manifest = Manifest.for_files("app", {"/lib/libc.so.6": b"x"})
+    with pytest.raises(ManifestError, match="missing"):
+        manifest.verify({})
+
+
+def test_measurement_reflects_file_identity():
+    files_a = {"/l": b"aaa"}
+    files_b = {"/l": b"bbb"}
+    log_a = Manifest.for_files("app", files_a).verify(files_a)
+    log_b = Manifest.for_files("app", files_b).verify(files_b)
+    assert log_a.mrenclave() != log_b.mrenclave()
+
+
+def test_graphene_runtime_verifies_manifest_at_setup(sgx_kernel):
+    files = {"/app": b"code"}
+    manifest = Manifest.for_files("app", files)
+    runtime = GrapheneRuntime(manifest=manifest, file_contents=files)
+    runtime.setup(sgx_kernel)
+    assert runtime.measurement is not None
+
+
+def test_graphene_runtime_refuses_bad_manifest(sgx_kernel):
+    manifest = Manifest.for_files("app", {"/app": b"code"})
+    runtime = GrapheneRuntime(manifest=manifest, file_contents={"/app": b"evil"})
+    with pytest.raises(ManifestError):
+        runtime.setup(sgx_kernel)

@@ -1,0 +1,137 @@
+"""Simulated network and HTTP layer tests."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.http import HttpNetwork, parse_url
+from repro.net.network import GBIT, Link
+
+
+# ---------------------------------------------------------------------------
+# Link
+# ---------------------------------------------------------------------------
+def test_payload_bandwidth_below_raw():
+    link = Link()
+    assert link.payload_bytes_per_s < link.bandwidth_bits_per_s / 8
+
+
+def test_default_is_one_gbe():
+    assert Link().bandwidth_bits_per_s == 1 * GBIT
+
+
+def test_admissible_rate_caps_at_capacity():
+    link = Link()
+    cap = link.payload_bytes_per_s
+    assert link.admissible_rate(cap / 2) == cap / 2
+    assert link.admissible_rate(cap * 10) == cap
+
+
+def test_admissible_negative_rejected():
+    with pytest.raises(NetworkError):
+        Link().admissible_rate(-1)
+
+
+def test_utilisation():
+    link = Link()
+    assert link.utilisation(link.payload_bytes_per_s) == pytest.approx(1.0)
+
+
+def test_queueing_delay_grows_with_load():
+    link = Link()
+    low = link.queueing_delay_s(0.1 * link.payload_bytes_per_s)
+    high = link.queueing_delay_s(0.9 * link.payload_bytes_per_s)
+    assert high > low
+
+
+def test_queueing_delay_clamped_at_saturation():
+    link = Link()
+    assert link.queueing_delay_s(10 * link.payload_bytes_per_s) == 0.1
+
+
+def test_transfer_time_includes_base_latency():
+    link = Link()
+    assert link.transfer_time_s(0) >= link.base_latency_s
+
+
+def test_invalid_link_parameters_rejected():
+    with pytest.raises(NetworkError):
+        Link(bandwidth_bits_per_s=0)
+    with pytest.raises(NetworkError):
+        Link(protocol_efficiency=0.0)
+
+
+# ---------------------------------------------------------------------------
+# HTTP
+# ---------------------------------------------------------------------------
+def test_register_and_get():
+    net = HttpNetwork()
+    net.register("host", 9100, "/metrics", lambda: "body")
+    response = net.get("host", 9100, "/metrics")
+    assert response.ok
+    assert response.body == "body"
+    assert net.requests_served == 1
+
+
+def test_get_unknown_is_404_not_exception():
+    net = HttpNetwork()
+    response = net.get("nope", 80, "/")
+    assert response.status == 404
+    assert not response.ok
+    assert net.requests_failed == 1
+
+
+def test_unhealthy_endpoint_is_503():
+    net = HttpNetwork()
+    endpoint = net.register("host", 80, "/", lambda: "x")
+    endpoint.healthy = False
+    assert net.get("host", 80, "/").status == 503
+
+
+def test_handler_exception_is_500():
+    net = HttpNetwork()
+
+    def boom():
+        raise RuntimeError("kaput")
+
+    net.register("host", 80, "/", boom)
+    response = net.get("host", 80, "/")
+    assert response.status == 500
+    assert "kaput" in response.body
+
+
+def test_double_registration_rejected():
+    net = HttpNetwork()
+    net.register("h", 80, "/", lambda: "a")
+    with pytest.raises(NetworkError):
+        net.register("h", 80, "/", lambda: "b")
+
+
+def test_unregister():
+    net = HttpNetwork()
+    net.register("h", 80, "/", lambda: "a")
+    net.unregister("h", 80, "/")
+    assert net.get("h", 80, "/").status == 404
+    with pytest.raises(NetworkError):
+        net.unregister("h", 80, "/")
+
+
+def test_get_by_url():
+    net = HttpNetwork()
+    endpoint = net.register("node-0", 9100, "/metrics", lambda: "m")
+    assert endpoint.url == "http://node-0:9100/metrics"
+    assert net.get_url(endpoint.url).body == "m"
+
+
+def test_parse_url_variants():
+    assert parse_url("http://h:90/a/b") == ("h", 90, "/a/b")
+    assert parse_url("http://h/x") == ("h", 80, "/x")
+    assert parse_url("http://h") == ("h", 80, "/")
+
+
+def test_parse_url_errors():
+    with pytest.raises(NetworkError):
+        parse_url("https://h/")
+    with pytest.raises(NetworkError):
+        parse_url("http://h:abc/")
+    with pytest.raises(NetworkError):
+        parse_url("http://:80/")

@@ -1,0 +1,233 @@
+"""OpenMetrics types, registry, encoder and parser tests."""
+
+import math
+
+import pytest
+
+from repro.errors import OpenMetricsError
+from repro.openmetrics import (
+    CollectorRegistry,
+    Counter,
+    Gauge,
+    Histogram,
+    Summary,
+    encode_registry,
+    parse_exposition,
+)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+def test_counter_monotonic():
+    counter = Counter("requests_total", "Requests")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(OpenMetricsError):
+        counter.inc(-1)
+
+
+def test_counter_set_to_cannot_decrease():
+    child = Counter("c_total", "c").labels()
+    child.set_to(10)
+    child.set_to(10)
+    with pytest.raises(OpenMetricsError):
+        child.set_to(9)
+
+
+def test_gauge_goes_both_ways():
+    gauge = Gauge("temp", "Temperature")
+    gauge.set_to(5)
+    gauge.labels().dec(2)
+    gauge.labels().inc(1)
+    assert gauge.value == 4
+
+
+def test_invalid_metric_name_rejected():
+    with pytest.raises(OpenMetricsError):
+        Counter("1bad", "x")
+    with pytest.raises(OpenMetricsError):
+        Counter("has space", "x")
+
+
+def test_invalid_label_names_rejected():
+    with pytest.raises(OpenMetricsError):
+        Counter("x", "x", ["__reserved"])
+    with pytest.raises(OpenMetricsError):
+        Counter("x", "x", ["a", "a"])
+
+
+def test_labels_positional_and_keyword_equivalent():
+    counter = Counter("x_total", "x", ["a", "b"])
+    assert counter.labels("1", "2") is counter.labels(b="2", a="1")
+
+
+def test_labels_arity_checked():
+    counter = Counter("x_total", "x", ["a", "b"])
+    with pytest.raises(OpenMetricsError):
+        counter.labels("only-one")
+    with pytest.raises(OpenMetricsError):
+        counter.labels(a="1", c="2")
+    with pytest.raises(OpenMetricsError):
+        counter.labels("1", a="1")
+
+
+def test_distinct_label_values_distinct_children():
+    counter = Counter("x_total", "x", ["name"])
+    counter.labels("read").inc(3)
+    counter.labels("write").inc(5)
+    assert counter.labels("read").value == 3
+    assert counter.labels("write").value == 5
+
+
+def test_histogram_buckets_cumulative():
+    histogram = Histogram("lat", "Latency", buckets=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.7, 3.0, 20.0):
+        histogram.observe(value)
+    child = histogram.labels()
+    buckets = dict(child.cumulative_buckets())
+    assert buckets[1.0] == 2
+    assert buckets[5.0] == 3
+    assert buckets[10.0] == 3
+    assert buckets[float("inf")] == 4
+    assert child.count == 4
+    assert child.sum == pytest.approx(24.2)
+
+
+def test_histogram_unordered_buckets_rejected():
+    with pytest.raises(OpenMetricsError):
+        Histogram("h", "h", buckets=(5.0, 1.0))
+    with pytest.raises(OpenMetricsError):
+        Histogram("h", "h", buckets=(1.0, 1.0))
+
+
+def test_summary_quantiles_ordered():
+    summary = Summary("s", "s", quantiles=(0.5, 0.9))
+    for value in range(100):
+        summary.observe(float(value))
+    child = summary.labels()
+    estimates = dict(child.quantile_values())
+    assert 45 <= estimates[0.5] <= 55
+    assert 85 <= estimates[0.9] <= 95
+    assert child.count == 100
+
+
+def test_summary_bad_quantile_rejected():
+    with pytest.raises(OpenMetricsError):
+        Summary("s", "s", quantiles=(1.5,))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_duplicate_rejected():
+    registry = CollectorRegistry()
+    registry.counter("a_total", "a")
+    with pytest.raises(OpenMetricsError):
+        registry.counter("a_total", "again")
+
+
+def test_registry_lookup_and_unregister():
+    registry = CollectorRegistry()
+    family = registry.gauge("g", "g")
+    assert registry.get("g") is family
+    registry.unregister("g")
+    with pytest.raises(OpenMetricsError):
+        registry.get("g")
+
+
+def test_collect_callbacks_refresh_values():
+    registry = CollectorRegistry()
+    gauge = registry.gauge("live", "live")
+    state = {"v": 1.0}
+    registry.on_collect(lambda: gauge.set_to(state["v"]))
+    encode_registry(registry)
+    state["v"] = 9.0
+    text = encode_registry(registry)
+    assert "live 9" in text
+
+
+# ---------------------------------------------------------------------------
+# Encoder
+# ---------------------------------------------------------------------------
+def test_encode_has_help_type_and_eof():
+    registry = CollectorRegistry()
+    registry.counter("x_total", "The X").inc(2)
+    text = encode_registry(registry)
+    assert "# HELP x_total The X" in text
+    assert "# TYPE x_total counter" in text
+    assert "x_total 2" in text
+    assert text.rstrip().endswith("# EOF")
+
+
+def test_encode_labels_and_escaping():
+    registry = CollectorRegistry()
+    counter = registry.counter("x_total", "x", ["path"])
+    counter.labels('we"ird\\path').inc()
+    text = encode_registry(registry)
+    assert 'path="we\\"ird\\\\path"' in text
+
+
+def test_encode_histogram_le_labels():
+    registry = CollectorRegistry()
+    histogram = registry.histogram("h", "h", buckets=(1.0,))
+    histogram.observe(0.5)
+    text = encode_registry(registry)
+    assert 'h_bucket{le="1"} 1' in text
+    assert 'h_bucket{le="+Inf"} 1' in text
+    assert "h_sum 0.5" in text
+    assert "h_count 1" in text
+
+
+# ---------------------------------------------------------------------------
+# Parser (and roundtrip)
+# ---------------------------------------------------------------------------
+def test_parse_simple_sample():
+    samples = parse_exposition("x_total 5\n# EOF\n")
+    assert len(samples) == 1
+    assert samples[0].name == "x_total"
+    assert samples[0].value == 5.0
+    assert samples[0].labels == ()
+
+
+def test_parse_labelled_sample():
+    samples = parse_exposition('x_total{a="1",b="two words"} 5\n')
+    assert samples[0].labels_dict() == {"a": "1", "b": "two words"}
+
+
+def test_parse_escaped_label_values():
+    samples = parse_exposition('x{p="a\\"b\\\\c"} 1\n')
+    assert samples[0].labels_dict()["p"] == 'a"b\\c'
+
+
+def test_parse_special_values():
+    samples = parse_exposition("a +Inf\nb -Inf\nc NaN\n")
+    assert samples[0].value == float("inf")
+    assert samples[1].value == float("-inf")
+    assert math.isnan(samples[2].value)
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(OpenMetricsError):
+        parse_exposition("justaname\n")
+    with pytest.raises(OpenMetricsError):
+        parse_exposition('x{a="unterminated} 5\n')
+    with pytest.raises(OpenMetricsError):
+        parse_exposition("x notanumber\n")
+
+
+def test_roundtrip_encode_parse():
+    registry = CollectorRegistry()
+    counter = registry.counter("syscalls_total", "s", ["name"])
+    counter.labels("read").inc(100)
+    counter.labels("clock_gettime").inc(370_000)
+    gauge = registry.gauge("free_pages", "f")
+    gauge.set_to(24_064)
+    samples = parse_exposition(encode_registry(registry))
+    by_key = {
+        (s.name, s.labels_dict().get("name")): s.value for s in samples
+    }
+    assert by_key[("syscalls_total", "read")] == 100
+    assert by_key[("syscalls_total", "clock_gettime")] == 370_000
+    assert by_key[("free_pages", None)] == 24_064

@@ -1,0 +1,103 @@
+"""Page-cache model unit tests."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.hooks import HookRegistry
+from repro.simkernel.pagecache import PageCache
+
+
+def _cache(capacity=8):
+    clock = VirtualClock()
+    hooks = HookRegistry()
+    return PageCache(clock, hooks, capacity_pages=capacity), hooks
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(MemoryError_):
+        PageCache(VirtualClock(), HookRegistry(), capacity_pages=0)
+
+
+def test_read_miss_inserts_and_fires_lru_kprobe():
+    cache, hooks = _cache()
+    hit = cache.read(inode=1, page_index=0)
+    assert hit is False
+    assert cache.resident_pages == 1
+    assert hooks.fire_count("add_to_page_cache_lru") == 1
+
+
+def test_read_hit_fires_mark_page_accessed():
+    cache, hooks = _cache()
+    cache.read(1, 0)
+    hit = cache.read(1, 0)
+    assert hit is True
+    assert hooks.fire_count("mark_page_accessed") == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_write_dirties_and_fires_both_dirty_kprobes():
+    cache, hooks = _cache()
+    cache.write(1, 0)
+    assert hooks.fire_count("account_page_dirtied") == 1
+    assert hooks.fire_count("mark_buffer_dirty") == 1
+    assert cache.stats.dirtied == 1
+
+
+def test_lru_eviction_order():
+    cache, _hooks = _cache(capacity=2)
+    cache.read(1, 0)
+    cache.read(1, 1)
+    cache.read(1, 0)      # touch 0: now 1 is LRU
+    cache.read(1, 2)      # evicts page 1
+    assert cache.stats.evictions == 1
+    assert cache.read(1, 0) is True    # still resident
+    assert cache.read(1, 1) is False   # was evicted
+
+
+def test_distinct_inodes_are_distinct_keys():
+    cache, _hooks = _cache()
+    cache.read(1, 0)
+    assert cache.read(2, 0) is False
+
+
+def test_hit_ratio():
+    cache, _hooks = _cache()
+    cache.read(1, 0)
+    cache.read(1, 0)
+    cache.read(1, 0)
+    assert cache.stats.hit_ratio() == pytest.approx(2 / 3)
+
+
+def test_hit_ratio_empty_is_zero():
+    cache, _hooks = _cache()
+    assert cache.stats.hit_ratio() == 0.0
+
+
+def test_account_activity_reads_split_by_ratio():
+    cache, hooks = _cache()
+    cache.account_activity(pid=1, reads=1000, hit_ratio=0.9)
+    assert hooks.fire_count("mark_page_accessed") == 900
+    assert hooks.fire_count("add_to_page_cache_lru") == 100
+    assert cache.stats.hits == 900
+    assert cache.stats.misses == 100
+
+
+def test_account_activity_writes():
+    cache, hooks = _cache()
+    cache.account_activity(pid=1, writes=50)
+    assert hooks.fire_count("account_page_dirtied") == 50
+    assert hooks.fire_count("mark_buffer_dirty") == 50
+
+
+def test_account_activity_bad_ratio_rejected():
+    cache, _hooks = _cache()
+    with pytest.raises(MemoryError_):
+        cache.account_activity(pid=1, reads=10, hit_ratio=1.5)
+
+
+def test_write_then_read_is_hit():
+    cache, _hooks = _cache()
+    cache.write(1, 0)
+    assert cache.read(1, 0) is True

@@ -1,0 +1,110 @@
+"""Property-based tests on the query engine's algebraic invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+
+_GROUPS = ("a", "b", "c")
+
+
+def _engine_from(values_by_series):
+    """values_by_series: dict[(group, idx)] -> list of floats."""
+    tsdb = Tsdb()
+    for (group, idx), values in values_by_series.items():
+        for step, value in enumerate(values):
+            tsdb.append_sample(
+                "m", (step + 1) * seconds(15), value,
+                group=group, idx=str(idx),
+            )
+    return QueryEngine(tsdb)
+
+
+_series_strategy = st.dictionaries(
+    st.tuples(st.sampled_from(_GROUPS), st.integers(0, 3)),
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=4, max_size=4),
+    min_size=1, max_size=8,
+)
+
+
+@given(_series_strategy)
+@settings(max_examples=60)
+def test_sum_by_partitions_total(values_by_series):
+    """sum(x) == sum over groups of sum by (group)(x)."""
+    engine = _engine_from(values_by_series)
+    now = 4 * seconds(15)
+    total = engine.instant("sum(m)", now)[0][1]
+    by_group = engine.instant("sum by (group) (m)", now)
+    assert sum(v for _, v in by_group) == pytest.approx(total, rel=1e-9, abs=1e-6)
+
+
+@given(_series_strategy, st.integers(1, 5))
+@settings(max_examples=60)
+def test_topk_is_sorted_prefix(values_by_series, k):
+    engine = _engine_from(values_by_series)
+    now = 4 * seconds(15)
+    everything = engine.instant("m", now)
+    top = engine.instant(f"topk({k}, m)", now)
+    expected = sorted((v for _, v in everything), reverse=True)[:k]
+    assert [v for _, v in top] == expected
+
+
+@given(_series_strategy)
+@settings(max_examples=60)
+def test_comparison_filter_is_subset(values_by_series):
+    engine = _engine_from(values_by_series)
+    now = 4 * seconds(15)
+    everything = dict(engine.instant("m", now))
+    filtered = engine.instant("m > 0", now)
+    for labels, value in filtered:
+        assert value > 0
+        assert everything[labels] == value
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=3, max_size=40))
+@settings(max_examples=60)
+def test_rate_of_monotone_counter_non_negative(increments):
+    tsdb = Tsdb()
+    total = 0.0
+    for step, increment in enumerate(increments):
+        total += increment
+        tsdb.append_sample("c_total", (step + 1) * seconds(5), total)
+    engine = QueryEngine(tsdb)
+    now = len(increments) * seconds(5)
+    vector = engine.instant(f"rate(c_total[{len(increments) * 5}s])", now)
+    if vector:
+        assert vector[0][1] >= 0.0
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=40))
+@settings(max_examples=60)
+def test_min_max_avg_over_time_consistent(values):
+    tsdb = Tsdb()
+    for step, value in enumerate(values):
+        tsdb.append_sample("g", (step + 1) * seconds(5), value)
+    engine = QueryEngine(tsdb)
+    now = len(values) * seconds(5)
+    window = f"[{len(values) * 5}s]"
+    low = engine.instant(f"min_over_time(g{window})", now)[0][1]
+    high = engine.instant(f"max_over_time(g{window})", now)[0][1]
+    mean = engine.instant(f"avg_over_time(g{window})", now)[0][1]
+    # Tolerance: summation rounding can put the mean half an ulp outside.
+    slack = 1e-9 * max(1.0, abs(low), abs(high))
+    assert low - slack <= mean <= high + slack
+    assert low == min(values) and high == max(values)
+
+
+@given(_series_strategy, st.integers(1, 3))
+@settings(max_examples=40)
+def test_offset_equals_evaluation_at_earlier_time(values_by_series, steps_back):
+    engine = _engine_from(values_by_series)
+    now = 4 * seconds(15)
+    offset_s = steps_back * 15
+    shifted = dict(engine.instant(f"m offset {offset_s}s", now))
+    direct = dict(engine.instant("m", now - offset_s * seconds(1)))
+    assert shifted == direct
+
+
+import pytest  # noqa: E402  (used by approx above)

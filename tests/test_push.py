@@ -1,0 +1,76 @@
+"""Push gateway tests."""
+
+import pytest
+
+from repro.errors import TsdbError
+from repro.pmag.push import PushGateway
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import VirtualClock, seconds
+
+
+def _gateway(rate=10.0, burst=20.0):
+    clock = VirtualClock()
+    tsdb = Tsdb()
+    gateway = PushGateway(clock, tsdb, default_rate_per_s=rate,
+                          default_burst=burst)
+    return clock, tsdb, gateway
+
+
+def test_push_appends_immediately():
+    clock, tsdb, gateway = _gateway()
+    clock.advance(seconds(1))
+    assert gateway.push("svc", "events_total", 5.0, kind="x")
+    sample = tsdb.latest("events_total")
+    assert sample is not None and sample.value == 5.0
+    series = tsdb.select_metric("events_total", 0, clock.now_ns + 10)
+    assert series[0].labels.get("source") == "svc"
+
+
+def test_burst_beyond_quota_is_dropped():
+    clock, _tsdb, gateway = _gateway(rate=10.0, burst=20.0)
+    clock.advance(seconds(1))
+    accepted = sum(
+        1 for _ in range(100)
+        if gateway.push("bursty", "m_total", 1.0)
+    )
+    assert accepted == 20  # the burst budget
+    assert gateway.pushes_rejected == 80
+    assert gateway.rejection_ratio() == pytest.approx(0.8)
+
+
+def test_quota_refills_over_time():
+    clock, _tsdb, gateway = _gateway(rate=10.0, burst=20.0)
+    clock.advance(seconds(1))
+    for _ in range(20):
+        gateway.push("svc", "m_total", 1.0)
+    assert not gateway.push("svc", "m_total", 1.0)
+    clock.advance(seconds(2))  # refill 20 tokens
+    assert gateway.push("svc", "m_total", 1.0)
+
+
+def test_per_source_quotas_independent():
+    clock, _tsdb, gateway = _gateway(rate=1.0, burst=1.0)
+    clock.advance(seconds(1))
+    gateway.set_quota("vip", rate_per_s=100.0, burst=100.0)
+    assert gateway.push("normal", "m_total", 1.0)
+    assert not gateway.push("normal", "m_total", 1.0)  # exhausted
+    for _ in range(50):
+        assert gateway.push("vip", "m_total", 1.0)
+
+
+def test_same_instant_pushes_get_distinct_timestamps():
+    clock, tsdb, gateway = _gateway(rate=1000.0, burst=1000.0)
+    clock.advance(seconds(1))
+    for value in (1.0, 2.0, 3.0):
+        assert gateway.push("svc", "m_total", value)
+    series = tsdb.select_metric("m_total", 0, clock.now_ns + 100)
+    assert [s.value for s in series[0].samples] == [1.0, 2.0, 3.0]
+
+
+def test_invalid_quotas_rejected():
+    clock = VirtualClock()
+    with pytest.raises(TsdbError):
+        PushGateway(clock, Tsdb(), default_rate_per_s=0)
+    _clock, _tsdb, gateway = _gateway()
+    with pytest.raises(TsdbError):
+        gateway.set_quota("s", rate_per_s=-1, burst=1)

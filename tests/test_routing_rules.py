@@ -1,0 +1,240 @@
+"""Tests for alert routing/silences and PMAG recording rules."""
+
+import pytest
+
+from repro.errors import AnalysisError, TsdbError
+from repro.pmag.model import Labels, Matcher
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
+from repro.pmag.tsdb import Tsdb
+from repro.pman.alerts import Alert, AlertManager, AlertSeverity
+from repro.pman.routing import Route, Router, Silence, SilenceRegistry
+from repro.simkernel.clock import VirtualClock, seconds
+
+
+def _alert(severity=AlertSeverity.WARNING, **labels):
+    return Alert(
+        name="R", labels=Labels.of("alert", **labels), severity=severity,
+        message="m", fired_at_ns=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Routes
+# ---------------------------------------------------------------------------
+def test_route_by_min_severity():
+    pages, logs = [], []
+    router = Router()
+    router.add_route(Route("pager", sinks=[lambda a, e: pages.append(a)],
+                           min_severity=AlertSeverity.CRITICAL))
+    router.add_route(Route("log", sinks=[lambda a, e: logs.append(a)]))
+    router.dispatch(_alert(AlertSeverity.WARNING), "fire", now_ns=0)
+    router.dispatch(_alert(AlertSeverity.CRITICAL, host="x"), "fire", now_ns=0)
+    assert len(pages) == 1
+    assert len(logs) == 1  # warning fell through to the catch-all
+
+
+def test_route_by_label_matchers():
+    sgx_alerts = []
+    router = Router()
+    router.add_route(Route(
+        "sgx-team", sinks=[lambda a, e: sgx_alerts.append(a)],
+        matchers=[Matcher.regex("instance", "sgx-.*")],
+    ))
+    router.dispatch(_alert(instance="sgx-host-1"), "fire", 0)
+    router.dispatch(_alert(instance="plain-host"), "fire", 0)
+    assert len(sgx_alerts) == 1
+    assert len(router.unrouted) == 1
+
+
+def test_route_continue_matching():
+    first, second = [], []
+    router = Router()
+    router.add_route(Route("audit", sinks=[lambda a, e: first.append(a)],
+                           continue_matching=True))
+    router.add_route(Route("main", sinks=[lambda a, e: second.append(a)]))
+    router.dispatch(_alert(), "fire", 0)
+    assert len(first) == 1 and len(second) == 1
+
+
+def test_first_match_wins_without_continue():
+    first, second = [], []
+    router = Router()
+    router.add_route(Route("a", sinks=[lambda a, e: first.append(a)]))
+    router.add_route(Route("b", sinks=[lambda a, e: second.append(a)]))
+    router.dispatch(_alert(), "fire", 0)
+    assert len(first) == 1 and len(second) == 0
+
+
+def test_duplicate_route_name_rejected():
+    router = Router()
+    router.add_route(Route("a"))
+    with pytest.raises(AnalysisError):
+        router.add_route(Route("a"))
+
+
+# ---------------------------------------------------------------------------
+# Silences
+# ---------------------------------------------------------------------------
+def test_silence_suppresses_fire_in_window():
+    delivered = []
+    router = Router()
+    router.add_route(Route("all", sinks=[lambda a, e: delivered.append(e)]))
+    router.silences.add(Silence(
+        matchers=[Matcher.eq("instance", "maint-host")],
+        starts_at_ns=100, ends_at_ns=200,
+    ))
+    alert = _alert(instance="maint-host")
+    assert router.dispatch(alert, "fire", now_ns=150) == []
+    assert router.dispatch(alert, "fire", now_ns=250) == ["all"]
+    assert router.silences.suppressed_count == 1
+    assert delivered == ["fire"]
+
+
+def test_silence_does_not_block_resolve():
+    delivered = []
+    router = Router()
+    router.add_route(Route("all", sinks=[lambda a, e: delivered.append(e)]))
+    router.silences.add(Silence(
+        matchers=[Matcher.eq("instance", "h")], starts_at_ns=0, ends_at_ns=1000,
+    ))
+    router.dispatch(_alert(instance="h"), "resolve", now_ns=500)
+    assert delivered == ["resolve"]
+
+
+def test_silence_only_matching_labels():
+    registry = SilenceRegistry()
+    registry.add(Silence(
+        matchers=[Matcher.eq("instance", "a")], starts_at_ns=0, ends_at_ns=100,
+    ))
+    assert registry.silenced(_alert(instance="a"), 50)
+    assert not registry.silenced(_alert(instance="b"), 50)
+
+
+def test_silence_expire_early():
+    registry = SilenceRegistry()
+    silence = registry.add(Silence(
+        matchers=[Matcher.eq("instance", "a")], starts_at_ns=0, ends_at_ns=10_000,
+    ))
+    registry.expire(silence, now_ns=100)
+    assert not registry.silenced(_alert(instance="a"), 200)
+
+
+def test_silence_validation():
+    with pytest.raises(AnalysisError):
+        Silence(matchers=[Matcher.eq("a", "b")], starts_at_ns=10, ends_at_ns=10)
+    with pytest.raises(AnalysisError):
+        Silence(matchers=[], starts_at_ns=0, ends_at_ns=10)
+
+
+def test_router_integrates_with_alert_manager():
+    clock = VirtualClock()
+    manager = AlertManager()
+    critical = []
+    router = Router()
+    router.add_route(Route("pager", sinks=[lambda a, e: critical.append((a, e))],
+                           min_severity=AlertSeverity.CRITICAL))
+    manager.add_sink(router.sink(clock))
+    labels = Labels.of("alert", instance="h")
+    manager.fire("Rule", labels, AlertSeverity.CRITICAL, "bad", now_ns=0)
+    manager.resolve("Rule", labels, now_ns=5)
+    assert [e for _, e in critical] == ["fire", "resolve"]
+
+
+# ---------------------------------------------------------------------------
+# Recording rules
+# ---------------------------------------------------------------------------
+def _tsdb_with_counter():
+    tsdb = Tsdb()
+    for step in range(40):
+        tsdb.append_sample(
+            "syscalls_total", (step + 1) * seconds(5), step * 500.0, name="read"
+        )
+    return tsdb
+
+
+def test_recording_rule_name_needs_colon():
+    with pytest.raises(TsdbError):
+        RecordingRule(record="plainname", expr="x")
+    RecordingRule(record="job:syscalls:rate1m", expr="x")
+
+
+def test_rule_group_records_series():
+    tsdb = _tsdb_with_counter()
+    engine = QueryEngine(tsdb)
+    group = RuleGroup("sgx", [
+        RecordingRule("job:syscalls:rate1m", "rate(syscalls_total[1m])"),
+    ])
+    recorded = group.evaluate(engine, tsdb, now_ns=40 * seconds(5))
+    assert recorded == 1
+    sample = tsdb.latest("job:syscalls:rate1m")
+    assert sample is not None and sample.value == pytest.approx(100.0)
+
+
+def test_rule_static_labels_attached():
+    tsdb = _tsdb_with_counter()
+    engine = QueryEngine(tsdb)
+    group = RuleGroup("g", [
+        RecordingRule("job:x:sum", "sum(syscalls_total)",
+                      static_labels={"team": "sgx"}),
+    ])
+    group.evaluate(engine, tsdb, now_ns=40 * seconds(5))
+    series = tsdb.select_metric("job:x:sum", 0, 41 * seconds(5))
+    assert series[0].labels.get("team") == "sgx"
+
+
+def test_bad_rule_does_not_break_group():
+    tsdb = _tsdb_with_counter()
+    engine = QueryEngine(tsdb)
+    group = RuleGroup("g", [
+        RecordingRule("job:bad:q", "this is (not a query"),
+        RecordingRule("job:good:sum", "sum(syscalls_total)"),
+    ])
+    recorded = group.evaluate(engine, tsdb, now_ns=40 * seconds(5))
+    assert recorded == 1
+    assert "job:bad:q" in group.last_error
+
+
+def test_duplicate_rules_rejected():
+    with pytest.raises(TsdbError):
+        RuleGroup("g", [
+            RecordingRule("a:b", "x"),
+            RecordingRule("a:b", "y"),
+        ])
+
+
+def test_evaluator_periodic_on_clock():
+    clock = VirtualClock()
+    tsdb = Tsdb()
+    engine = QueryEngine(tsdb)
+    # Live counter advanced by a timer, recorded by the evaluator.
+    counter = {"v": 0.0}
+
+    def feed():
+        counter["v"] += 500.0
+        tsdb.append_sample("c_total", clock.now_ns, counter["v"])
+        clock.call_later(seconds(5), feed)
+
+    clock.call_later(seconds(5), feed)
+    evaluator = RuleEvaluator(clock, engine, tsdb)
+    evaluator.add_group(RuleGroup("g", [
+        RecordingRule("job:c:rate", "rate(c_total[1m])"),
+    ], interval_ns=seconds(15)))
+    evaluator.start()
+    clock.advance(seconds(300))
+    evaluator.stop()
+    series = tsdb.select_metric("job:c:rate", 0, clock.now_ns)
+    assert series and len(series[0].samples) > 10
+    assert series[0].samples[-1].value == pytest.approx(100.0)
+    recorded_at_stop = evaluator.samples_recorded
+    clock.advance(seconds(100))
+    assert evaluator.samples_recorded == recorded_at_stop
+
+
+def test_evaluator_duplicate_group_rejected():
+    clock = VirtualClock()
+    tsdb = Tsdb()
+    evaluator = RuleEvaluator(clock, QueryEngine(tsdb), tsdb)
+    evaluator.add_group(RuleGroup("g", [RecordingRule("a:b", "x")]))
+    with pytest.raises(TsdbError):
+        evaluator.add_group(RuleGroup("g", [RecordingRule("c:d", "y")]))

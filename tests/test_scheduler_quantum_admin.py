@@ -1,0 +1,100 @@
+"""Preemptive scheduling quantum and TSDB admin API tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.pmag.model import Matcher
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import millis
+
+
+def _threads(kernel, count):
+    threads = []
+    for index in range(count):
+        process = kernel.spawn_process(f"worker-{index}")
+        threads.append(next(iter(process.threads.values())))
+    return threads
+
+
+def test_quantum_round_robins_fairly(kernel):
+    threads = _threads(kernel, 3)
+    for thread in threads:
+        kernel.scheduler.enqueue(thread)
+    kernel.scheduler.run_quantum(millis(120), timeslice_ns=millis(4))
+    times = [t.cpu_time_ns for t in threads]
+    # Fair sharing within one timeslice of each other.
+    assert max(times) - min(times) <= millis(4)
+    assert sum(times) > millis(100)  # most of the quantum was useful work
+
+
+def test_quantum_single_thread_no_preemption(kernel):
+    (thread,) = _threads(kernel, 1)
+    kernel.scheduler.enqueue(thread)
+    switches = kernel.scheduler.run_quantum(millis(20), timeslice_ns=millis(4))
+    assert switches == 1  # only the initial dispatch
+    assert thread.cpu_time_ns == millis(20)
+    assert thread.involuntary_switches == 0
+
+
+def test_quantum_idles_when_empty(kernel):
+    kernel.scheduler.run_quantum(millis(10))
+    assert kernel.scheduler.cpu(0).idle_ns == millis(10)
+
+
+def test_quantum_charges_switch_overhead(kernel):
+    threads = _threads(kernel, 2)
+    for thread in threads:
+        kernel.scheduler.enqueue(thread)
+    kernel.scheduler.run_quantum(millis(40), timeslice_ns=millis(1))
+    useful = sum(t.cpu_time_ns for t in threads)
+    assert useful < millis(40)  # switch costs ate some of the quantum
+    assert kernel.scheduler.cpu(0).busy_ns == millis(40)
+
+
+def test_quantum_fires_scheduler_hooks(kernel):
+    threads = _threads(kernel, 2)
+    for thread in threads:
+        kernel.scheduler.enqueue(thread)
+    before = kernel.hooks.fire_count("sched:sched_switches")
+    switches = kernel.scheduler.run_quantum(millis(20), timeslice_ns=millis(2))
+    assert kernel.hooks.fire_count("sched:sched_switches") - before == switches
+    assert switches > 5
+
+
+def test_quantum_validation(kernel):
+    with pytest.raises(SchedulerError):
+        kernel.scheduler.run_quantum(-1)
+    with pytest.raises(SchedulerError):
+        kernel.scheduler.run_quantum(10, timeslice_ns=0)
+
+
+# ---------------------------------------------------------------------------
+# TSDB admin
+# ---------------------------------------------------------------------------
+def test_delete_series_by_matcher():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 1, 1.0, job="good")
+    tsdb.append_sample("m", 1, 2.0, job="bad")
+    tsdb.append_sample("other", 1, 3.0, job="bad")
+    deleted = tsdb.delete_series([Matcher.eq("job", "bad")])
+    assert deleted == 2
+    assert tsdb.series_count() == 1
+    assert tsdb.label_values("job") == ["good"]
+    # The survivors are still selectable.
+    assert tsdb.select_metric("m", 0, 10, job="good")
+
+
+def test_delete_series_no_match_is_zero():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 1, 1.0)
+    assert tsdb.delete_series([Matcher.eq("job", "nope")]) == 0
+    assert tsdb.series_count() == 1
+
+
+def test_deleted_series_can_be_re_ingested_fresh():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 100, 1.0)
+    tsdb.delete_series([Matcher.eq("__name__", "m")])
+    # Re-ingest at an *earlier* timestamp: legal, the series is gone.
+    tsdb.append_sample("m", 50, 9.0)
+    assert tsdb.latest("m").value == 9.0

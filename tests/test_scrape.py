@@ -1,0 +1,158 @@
+"""Scrape manager tests: pull loop, health, discovery."""
+
+import pytest
+
+from repro.errors import TsdbError
+from repro.net.http import HttpNetwork
+from repro.openmetrics import CollectorRegistry, encode_registry
+from repro.pmag.scrape import ScrapeManager, ScrapeTarget
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import VirtualClock, seconds
+
+
+def _setup(interval_s=5):
+    clock = VirtualClock()
+    network = HttpNetwork()
+    tsdb = Tsdb()
+    manager = ScrapeManager(clock, network, tsdb, interval_ns=seconds(interval_s))
+    return clock, network, tsdb, manager
+
+
+def _expose(network, host="h", port=9100):
+    registry = CollectorRegistry()
+    counter = registry.counter("events_total", "e")
+    network.register(host, port, "/metrics", lambda: encode_registry(registry))
+    return counter, ScrapeTarget(job="test", instance=host,
+                                 url=f"http://{host}:{port}/metrics")
+
+
+def test_scrape_once_ingests_samples():
+    clock, network, tsdb, manager = _setup()
+    counter, target = _expose(network)
+    manager.add_target(target)
+    counter.inc(42)
+    clock.advance(seconds(1))
+    ingested = manager.scrape_once()
+    assert ingested == 4  # events_total + up + scrape duration/samples meta
+    sample = tsdb.latest("events_total")
+    assert sample is not None and sample.value == 42
+
+
+def test_target_identity_labels_attached():
+    clock, network, tsdb, manager = _setup()
+    counter, target = _expose(network)
+    manager.add_target(target)
+    manager.scrape_once()
+    series = tsdb.select_metric("events_total", 0, clock.now_ns + 1)
+    assert series[0].labels.get("job") == "test"
+    assert series[0].labels.get("instance") == "h"
+
+
+def test_up_metric_healthy_and_down():
+    clock, network, tsdb, manager = _setup()
+    _counter, target = _expose(network)
+    manager.add_target(target)
+    manager.scrape_once()
+    assert tsdb.latest("up").value == 1.0
+    assert manager.health(target).up
+    network.unregister("h", 9100, "/metrics")
+    clock.advance(seconds(5))
+    manager.scrape_once()
+    assert tsdb.latest("up").value == 0.0
+    assert manager.down_targets() == [target]
+    assert manager.health(target).consecutive_failures == 1
+
+
+def test_malformed_exposition_marks_target_down():
+    clock, network, tsdb, manager = _setup()
+    network.register("h", 9100, "/metrics", lambda: "garbage line here\n")
+    target = ScrapeTarget(job="bad", instance="h", url="http://h:9100/metrics")
+    manager.add_target(target)
+    manager.scrape_once()
+    assert tsdb.latest("up", job="bad").value == 0.0
+
+
+def test_periodic_scraping_on_clock():
+    clock, network, tsdb, manager = _setup(interval_s=5)
+    counter, target = _expose(network)
+    manager.add_target(target)
+    manager.start()
+    for _ in range(10):
+        counter.inc(10)
+        clock.advance(seconds(5))
+    manager.stop()
+    series = tsdb.select_metric("events_total", 0, clock.now_ns)
+    assert len(series[0].samples) == 10
+    # Stopped: no more scrapes.
+    clock.advance(seconds(50))
+    assert len(tsdb.select_metric("events_total", 0, clock.now_ns)[0].samples) == 10
+
+
+def test_start_twice_rejected():
+    _clock, _network, _tsdb, manager = _setup()
+    manager.start()
+    with pytest.raises(TsdbError):
+        manager.start()
+
+
+def test_duplicate_target_rejected():
+    _clock, network, _tsdb, manager = _setup()
+    _counter, target = _expose(network)
+    manager.add_target(target)
+    with pytest.raises(TsdbError):
+        manager.add_target(target)
+
+
+def test_service_discovery_merges_with_static():
+    clock, network, tsdb, manager = _setup()
+    counter_a, target_a = _expose(network, host="a")
+    counter_b, target_b = _expose(network, host="b")
+    manager.add_target(target_a)
+    discovered = []
+    manager.add_discovery(lambda: list(discovered))
+    assert len(manager.current_targets()) == 1
+    discovered.append(target_b)
+    assert len(manager.current_targets()) == 2
+    manager.scrape_once()
+    assert tsdb.latest("events_total", instance="b") is not None
+
+
+def test_discovery_deduplicates_by_url():
+    _clock, network, _tsdb, manager = _setup()
+    _counter, target = _expose(network)
+    manager.add_target(target)
+    manager.add_discovery(lambda: [target])
+    assert len(manager.current_targets()) == 1
+
+
+def test_same_instant_duplicate_scrape_dropped_not_fatal():
+    clock, network, tsdb, manager = _setup()
+    counter, target = _expose(network)
+    manager.add_target(target)
+    clock.advance(seconds(1))
+    manager.scrape_once()
+    manager.scrape_once()  # same timestamp: later sample dropped silently
+    series = tsdb.select_metric("events_total", 0, clock.now_ns)
+    assert len(series[0].samples) == 1
+
+
+def test_bad_interval_rejected():
+    clock = VirtualClock()
+    with pytest.raises(TsdbError):
+        ScrapeManager(clock, HttpNetwork(), Tsdb(), interval_ns=0)
+
+
+def test_retention_enforced_during_scrape():
+    clock, network, _tsdb, manager = _setup()
+    tsdb = Tsdb(retention_ns=seconds(10))
+    manager._tsdb = tsdb  # rewire for the retention check
+    counter, target = _expose(network)
+    manager.add_target(target)
+    from repro.pmag.chunks import CHUNK_SIZE
+
+    for _ in range(CHUNK_SIZE + 10):
+        counter.inc()
+        clock.advance(seconds(5))
+        manager.scrape_once()
+    # Old chunks beyond the 10 s retention got dropped.
+    assert tsdb.sample_count() < CHUNK_SIZE

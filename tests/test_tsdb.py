@@ -1,0 +1,209 @@
+"""TSDB model, chunks and database tests."""
+
+import pytest
+
+from repro.errors import TsdbError
+from repro.pmag.chunks import CHUNK_SIZE, Chunk, ChunkedSeries
+from repro.pmag.model import Labels, Matcher, Sample
+from repro.pmag.tsdb import Tsdb
+
+
+# ---------------------------------------------------------------------------
+# Labels and matchers
+# ---------------------------------------------------------------------------
+def test_labels_hashable_and_order_insensitive():
+    a = Labels({"b": "2", "a": "1"})
+    b = Labels({"a": "1", "b": "2"})
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_labels_of_builds_name_label():
+    labels = Labels.of("up", job="sme")
+    assert labels.metric_name == "up"
+    assert labels.get("job") == "sme"
+    assert labels.has("job") and not labels.has("nope")
+
+
+def test_labels_without_and_keep_only():
+    labels = Labels.of("m", a="1", b="2", c="3")
+    assert labels.without("a").get("a") == ""
+    kept = labels.keep_only(["b"])
+    assert kept.items() == (("b", "2"),)
+
+
+def test_labels_with_label_replaces():
+    labels = Labels.of("m", a="1")
+    assert labels.with_label("a", "9").get("a") == "9"
+
+
+def test_non_string_labels_rejected():
+    with pytest.raises(TsdbError):
+        Labels({"a": 1})  # type: ignore[dict-item]
+
+
+def test_matcher_semantics():
+    labels = Labels.of("m", name="clock_gettime")
+    assert Matcher.eq("name", "clock_gettime").matches(labels)
+    assert not Matcher.ne("name", "clock_gettime").matches(labels)
+    assert Matcher.regex("name", "clock.*").matches(labels)
+    assert not Matcher.regex("name", "clock").matches(labels)  # anchored
+    assert Matcher.not_regex("name", "futex.*").matches(labels)
+    assert Matcher.eq("absent", "").matches(labels)  # missing label == ""
+
+
+# ---------------------------------------------------------------------------
+# Chunks
+# ---------------------------------------------------------------------------
+def test_chunk_append_and_iterate():
+    chunk = Chunk(start_ns=100)
+    chunk.append(100, 1.0)
+    chunk.append(150, 2.0)
+    assert [s.time_ns for s in chunk.samples()] == [100, 150]
+    assert [s.value for s in chunk.samples()] == [1.0, 2.0]
+    assert chunk.end_ns == 150
+
+
+def test_chunk_rejects_out_of_order():
+    chunk = Chunk(start_ns=100)
+    chunk.append(100, 1.0)
+    with pytest.raises(TsdbError):
+        chunk.append(100, 2.0)
+    with pytest.raises(TsdbError):
+        chunk.append(50, 2.0)
+
+
+def test_chunk_encode_decode_roundtrip():
+    chunk = Chunk(start_ns=1_000)
+    for index in range(10):
+        chunk.append(1_000 + index * 5_000_000_000, float(index) * 1.5)
+    decoded = Chunk.decode(chunk.encode())
+    assert list(decoded.samples()) == list(chunk.samples())
+
+
+def test_chunk_decode_rejects_garbage():
+    with pytest.raises(TsdbError):
+        Chunk.decode(b"short")
+    with pytest.raises(TsdbError):
+        Chunk.decode(b"\x00" * 20)  # wrong length for declared count
+
+
+def test_chunked_series_rolls_over():
+    series = ChunkedSeries()
+    for index in range(CHUNK_SIZE + 5):
+        series.append(index * 10, float(index))
+    assert series.chunk_count == 2
+    assert series.sample_count == CHUNK_SIZE + 5
+
+
+def test_chunked_series_window_binary_search():
+    series = ChunkedSeries()
+    for index in range(300):
+        series.append(index * 100, float(index))
+    window = series.window(5_000, 5_500)
+    assert [s.time_ns for s in window] == [5_000, 5_100, 5_200, 5_300, 5_400, 5_500]
+
+
+def test_chunked_series_window_bounds_inclusive():
+    series = ChunkedSeries()
+    series.append(10, 1.0)
+    series.append(20, 2.0)
+    assert len(series.window(10, 20)) == 2
+    assert series.window(11, 19) == []
+    with pytest.raises(TsdbError):
+        series.window(20, 10)
+
+
+def test_drop_before_is_chunk_granular():
+    series = ChunkedSeries()
+    for index in range(CHUNK_SIZE * 2):
+        series.append(index, float(index))
+    dropped = series.drop_before(CHUNK_SIZE)  # first chunk fully older
+    assert dropped == CHUNK_SIZE
+    assert series.sample_count == CHUNK_SIZE
+    # Cutoff inside the remaining chunk: nothing dropped (partial kept).
+    assert series.drop_before(CHUNK_SIZE + 10) == 0
+
+
+# ---------------------------------------------------------------------------
+# Tsdb
+# ---------------------------------------------------------------------------
+def test_append_and_select():
+    tsdb = Tsdb()
+    tsdb.append_sample("up", 100, 1.0, job="sme")
+    tsdb.append_sample("up", 200, 1.0, job="sme")
+    series = tsdb.select_metric("up", 0, 300)
+    assert len(series) == 1
+    assert [s.value for s in series[0].samples] == [1.0, 1.0]
+
+
+def test_series_need_metric_name():
+    with pytest.raises(TsdbError):
+        Tsdb().append(Labels({"job": "x"}), 0, 1.0)
+
+
+def test_out_of_order_rejected():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 100, 1.0)
+    with pytest.raises(TsdbError):
+        tsdb.append_sample("m", 100, 2.0)
+
+
+def test_label_filters_and_regex_selection():
+    tsdb = Tsdb()
+    tsdb.append_sample("syscalls", 1, 10.0, name="read")
+    tsdb.append_sample("syscalls", 1, 20.0, name="clock_gettime")
+    eq = tsdb.select_metric("syscalls", 0, 10, name="read")
+    assert len(eq) == 1 and eq[0].samples[0].value == 10.0
+    regex = tsdb.select(
+        [Matcher.eq("__name__", "syscalls"), Matcher.regex("name", "clock.*")],
+        0, 10,
+    )
+    assert len(regex) == 1 and regex[0].samples[0].value == 20.0
+
+
+def test_selection_intersects_postings():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 1, 1.0, a="x", b="y")
+    tsdb.append_sample("m", 1, 2.0, a="x", b="z")
+    result = tsdb.select(
+        [Matcher.eq("a", "x"), Matcher.eq("b", "z")], 0, 10
+    )
+    assert len(result) == 1
+    assert result[0].samples[0].value == 2.0
+
+
+def test_latest():
+    tsdb = Tsdb()
+    tsdb.append_sample("g", 10, 1.0)
+    tsdb.append_sample("g", 20, 5.0)
+    latest = tsdb.latest("g")
+    assert latest is not None and latest.value == 5.0
+    assert tsdb.latest("missing") is None
+
+
+def test_introspection():
+    tsdb = Tsdb()
+    tsdb.append_sample("a", 1, 1.0, host="h1")
+    tsdb.append_sample("b", 1, 1.0, host="h2")
+    assert tsdb.metric_names() == ["a", "b"]
+    assert tsdb.label_values("host") == ["h1", "h2"]
+    assert tsdb.series_count() == 2
+    assert tsdb.sample_count() == 2
+    assert tsdb.memory_bytes() > 0
+
+
+def test_retention_drops_old_chunks_and_dead_series():
+    tsdb = Tsdb(retention_ns=1_000)
+    for index in range(CHUNK_SIZE):
+        tsdb.append_sample("old", index, 1.0)
+    tsdb.append_sample("fresh", 1_000_000, 1.0)
+    dropped = tsdb.enforce_retention(now_ns=1_000_000)
+    assert dropped == CHUNK_SIZE
+    assert tsdb.metric_names() == ["fresh"]
+
+
+def test_select_empty_window_returns_nothing():
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 100, 1.0)
+    assert tsdb.select_metric("m", 200, 300) == []
