@@ -1,0 +1,12 @@
+"""Metrics-pipeline microbenchmarks.
+
+Unlike the figure benchmarks next door (which regenerate the paper's
+tables under ``pytest-benchmark``), this package times the reproduction's
+own hot paths — TSDB ingest, query evaluation, hook dispatch, a full
+scrape-evaluate-render cycle — and emits ``BENCH_pipeline.json`` so each
+PR leaves a performance trajectory behind it.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_pipeline [--quick]
+"""

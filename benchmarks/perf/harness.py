@@ -1,0 +1,82 @@
+"""Timing utilities and the JSON report writer for the perf suite.
+
+Benchmarks here measure *wall-clock* time of the simulation code itself
+(the simulated clock is virtual, so simulated time is free — what we pay
+for is Python executing the pipeline).  Every measurement repeats the
+workload a few times and keeps the best run, which is the standard way to
+strip scheduler noise from microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+SCHEMA = "teemon.bench.pipeline/1"
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's numbers, ready for the JSON report."""
+
+    name: str
+    metrics: Dict[str, float]
+    notes: str = ""
+
+
+@dataclass
+class BenchReport:
+    """Accumulates results and serialises the report."""
+
+    quick: bool = False
+    results: List[BenchResult] = field(default_factory=list)
+
+    def add(self, name: str, notes: str = "", **metrics: float) -> BenchResult:
+        """Record one benchmark's metrics."""
+        result = BenchResult(name=name, metrics=dict(metrics), notes=notes)
+        self.results.append(result)
+        return result
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-serialisable report body."""
+        return {
+            "schema": SCHEMA,
+            "quick": self.quick,
+            "python": platform.python_version(),
+            "results": {
+                r.name: {**r.metrics, **({"notes": r.notes} if r.notes else {})}
+                for r in self.results
+            },
+        }
+
+    def write(self, path: str) -> None:
+        """Write the report to ``path`` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """Human-readable table of every recorded metric."""
+        lines = [f"{'benchmark':<28} {'metric':<28} {'value':>14}"]
+        lines.append("-" * 72)
+        for result in self.results:
+            for metric, value in sorted(result.metrics.items()):
+                lines.append(f"{result.name:<28} {metric:<28} {value:>14,.3f}")
+        return "\n".join(lines)
+
+
+def best_of(runs: int, workload: Callable[[], None]) -> float:
+    """Wall-clock seconds of the fastest of ``runs`` executions."""
+    if runs < 1:
+        raise ValueError(f"need at least one run, got {runs}")
+    best = float("inf")
+    for _ in range(runs):
+        started = time.perf_counter()
+        workload()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best

@@ -2,10 +2,12 @@
 
 The paper: the PMAG "stores all metrics data samples locally and groups
 them into chunks for faster retrieval".  A :class:`Chunk` holds up to
-``CHUNK_SIZE`` samples with delta-encoded timestamps (scrape intervals are
-regular, so deltas are tiny and mostly constant) and can serialise itself
-to bytes for archival.  A :class:`ChunkedSeries` is an append-only list of
-chunks with binary-search retrieval over time ranges.
+``CHUNK_SIZE`` samples; timestamps are kept absolute in memory so window
+queries can binary-search, and are delta-encoded only in the serialised
+archival format (scrape intervals are regular, so deltas are tiny and
+mostly constant).  A :class:`ChunkedSeries` is an append-only list of
+chunks with binary-search retrieval over time ranges — both across chunks
+(on chunk start times) and inside each chunk (on sample timestamps).
 """
 
 from __future__ import annotations
@@ -21,15 +23,14 @@ CHUNK_SIZE = 120  # samples per chunk; 10 minutes at the 5 s default interval
 
 
 class Chunk:
-    """Up to CHUNK_SIZE samples with delta-encoded timestamps."""
+    """Up to CHUNK_SIZE samples; absolute timestamps, sorted ascending."""
 
-    __slots__ = ("start_ns", "_deltas", "_values", "_last_ns")
+    __slots__ = ("start_ns", "_times", "_values")
 
     def __init__(self, start_ns: int) -> None:
         self.start_ns = start_ns
-        self._deltas: List[int] = []
+        self._times: List[int] = []
         self._values: List[float] = []
-        self._last_ns = start_ns
 
     def __len__(self) -> int:
         return len(self._values)
@@ -42,36 +43,61 @@ class Chunk:
     @property
     def end_ns(self) -> int:
         """Timestamp of the newest sample."""
-        return self._last_ns
+        return self._times[-1] if self._times else self.start_ns
 
     def append(self, time_ns: int, value: float) -> None:
         """Append one sample; timestamps must be strictly increasing."""
-        if self._values and time_ns <= self._last_ns:
-            raise TsdbError(
-                f"out-of-order append: {time_ns} <= {self._last_ns}"
-            )
-        if not self._values and time_ns != self.start_ns:
+        if self._times:
+            if time_ns <= self._times[-1]:
+                raise TsdbError(
+                    f"out-of-order append: {time_ns} <= {self._times[-1]}"
+                )
+            if self.full:
+                raise TsdbError("append to a full chunk")
+        elif time_ns != self.start_ns:
             raise TsdbError("first sample must land at the chunk start time")
-        if self.full:
-            raise TsdbError("append to a full chunk")
-        self._deltas.append(time_ns - self._last_ns)
+        self._times.append(time_ns)
         self._values.append(value)
-        self._last_ns = time_ns
 
     def samples(self) -> Iterator[Sample]:
         """Iterate samples in time order."""
-        current = self.start_ns
-        for delta, value in zip(self._deltas, self._values):
-            current += delta
-            yield Sample(current, value)
+        for time_ns, value in zip(self._times, self._values):
+            yield Sample(time_ns, value)
 
-    # Note: deltas include a leading 0 for the first sample.
+    def window_samples(self, start_ns: int, end_ns: int) -> List[Sample]:
+        """Samples with ``start_ns <= t <= end_ns`` via binary search."""
+        times = self._times
+        low = bisect_left(times, start_ns)
+        high = bisect_right(times, end_ns, low)
+        return [
+            Sample(t, v)
+            for t, v in zip(times[low:high], self._values[low:high])
+        ]
+
+    def window_bounds(self, start_ns: int, end_ns: int) -> Tuple[int, int]:
+        """Index range [low, high) of samples inside the window."""
+        low = bisect_left(self._times, start_ns)
+        return low, bisect_right(self._times, end_ns, low)
+
+    def last_sample(self) -> Optional[Sample]:
+        """The newest sample without decoding anything, if any."""
+        if not self._times:
+            return None
+        return Sample(self._times[-1], self._values[-1])
+
+    # The wire format delta-encodes timestamps, with a leading 0 delta for
+    # the first sample (which always lands exactly on start_ns).
     def encode(self) -> bytes:
         """Serialise to bytes (archival format)."""
-        header = struct.pack("<qI", self.start_ns, len(self._values))
-        deltas = b"".join(struct.pack("<q", d) for d in self._deltas)
-        values = b"".join(struct.pack("<d", v) for v in self._values)
-        return header + deltas + values
+        count = len(self._values)
+        deltas: List[int] = []
+        previous = self.start_ns
+        for time_ns in self._times:
+            deltas.append(time_ns - previous)
+            previous = time_ns
+        return struct.pack(
+            f"<qI{count}q{count}d", self.start_ns, count, *deltas, *self._values
+        )
 
     @staticmethod
     def decode(data: bytes) -> "Chunk":
@@ -82,19 +108,21 @@ class Chunk:
         expected = 12 + count * 8 + count * 8
         if len(data) != expected:
             raise TsdbError(f"chunk data length {len(data)} != expected {expected}")
+        payload = struct.unpack_from(f"<{count}q{count}d", data, 12)
+        deltas, values = payload[:count], payload[count:]
+        # Straight cumulative sum over the deltas; the leading delta must be
+        # zero and the rest positive, or the chunk bytes are corrupt.
+        if count:
+            if deltas[0] != 0:
+                raise TsdbError(f"first delta must be 0, got {deltas[0]}")
+            if any(delta <= 0 for delta in deltas[1:]):
+                raise TsdbError("non-monotonic timestamps in chunk data")
         chunk = Chunk(start_ns)
-        offset = 12
-        deltas = [struct.unpack_from("<q", data, offset + i * 8)[0] for i in range(count)]
-        offset += count * 8
-        values = [struct.unpack_from("<d", data, offset + i * 8)[0] for i in range(count)]
         current = start_ns
-        for index, (delta, value) in enumerate(zip(deltas, values)):
+        for delta, value in zip(deltas, values):
             current += delta
-            if index == 0:
-                # Re-anchor: first delta is 0 by construction.
-                chunk.append(chunk.start_ns + delta, value)
-            else:
-                chunk.append(current, value)
+            chunk._times.append(current)
+            chunk._values.append(value)
         return chunk
 
     def memory_bytes(self) -> int:
@@ -105,16 +133,17 @@ class Chunk:
 class ChunkedSeries:
     """Append-only chunk list for one series."""
 
-    __slots__ = ("_chunks", "_starts")
+    __slots__ = ("_chunks", "_starts", "_count")
 
     def __init__(self) -> None:
         self._chunks: List[Chunk] = []
         self._starts: List[int] = []
+        self._count = 0
 
     @property
     def sample_count(self) -> int:
         """Total stored samples."""
-        return sum(len(chunk) for chunk in self._chunks)
+        return self._count
 
     @property
     def chunk_count(self) -> int:
@@ -124,6 +153,10 @@ class ChunkedSeries:
     def last_time_ns(self) -> Optional[int]:
         """Newest timestamp, if any."""
         return self._chunks[-1].end_ns if self._chunks else None
+
+    def last_sample(self) -> Optional[Sample]:
+        """The newest sample, if any — O(1), no window scan."""
+        return self._chunks[-1].last_sample() if self._chunks else None
 
     def append(self, time_ns: int, value: float) -> None:
         """Append a sample, opening a new chunk when the head is full."""
@@ -135,25 +168,44 @@ class ChunkedSeries:
             self._chunks.append(chunk)
             self._starts.append(time_ns)
         self._chunks[-1].append(time_ns, value)
+        self._count += 1
 
     def window(self, start_ns: int, end_ns: int) -> List[Sample]:
         """Samples with ``start_ns <= t <= end_ns``."""
         if end_ns < start_ns:
             raise TsdbError(f"bad window: {start_ns}..{end_ns}")
-        # First chunk that may overlap: the one before the first start > start_ns.
+        # First chunk that may overlap: the one before the first start > start_ns;
+        # last: chunks whose start is already past end_ns cannot contribute.
         first = max(0, bisect_right(self._starts, start_ns) - 1)
+        last = bisect_right(self._starts, end_ns, first)
         result: List[Sample] = []
-        for chunk in self._chunks[first:]:
-            if chunk.start_ns > end_ns:
-                break
+        for chunk in self._chunks[first:last]:
             if chunk.end_ns < start_ns:
                 continue
-            for sample in chunk.samples():
-                if sample.time_ns > end_ns:
-                    break
-                if sample.time_ns >= start_ns:
-                    result.append(sample)
+            result.extend(chunk.window_samples(start_ns, end_ns))
         return result
+
+    def window_arrays(self, start_ns: int, end_ns: int) -> Tuple[List[int], List[float]]:
+        """The window as parallel (timestamps, values) arrays.
+
+        Same samples as :meth:`window`, but as primitive lists built from
+        chunk-internal slices — no per-sample object is allocated, which
+        is what makes the query engine's bulk range evaluation cheap.
+        """
+        if end_ns < start_ns:
+            raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+        first = max(0, bisect_right(self._starts, start_ns) - 1)
+        last = bisect_right(self._starts, end_ns, first)
+        times: List[int] = []
+        values: List[float] = []
+        for chunk in self._chunks[first:last]:
+            if chunk.end_ns < start_ns:
+                continue
+            low, high = chunk.window_bounds(start_ns, end_ns)
+            if low < high:
+                times.extend(chunk._times[low:high])
+                values.extend(chunk._values[low:high])
+        return times, values
 
     def drop_before(self, cutoff_ns: int) -> int:
         """Retention: drop whole chunks entirely older than ``cutoff_ns``.
@@ -161,11 +213,15 @@ class ChunkedSeries:
         Returns the number of samples dropped.  Partial chunks are kept —
         retention is chunk-granular, as in real TSDBs.
         """
-        dropped = 0
-        while self._chunks and self._chunks[0].end_ns < cutoff_ns:
-            dropped += len(self._chunks[0])
-            self._chunks.pop(0)
-            self._starts.pop(0)
+        keep = 0
+        while keep < len(self._chunks) and self._chunks[keep].end_ns < cutoff_ns:
+            keep += 1
+        if keep == 0:
+            return 0
+        dropped = sum(len(chunk) for chunk in self._chunks[:keep])
+        del self._chunks[:keep]
+        del self._starts[:keep]
+        self._count -= dropped
         return dropped
 
     def memory_bytes(self) -> int:

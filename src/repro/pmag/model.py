@@ -15,14 +15,20 @@ METRIC_NAME_LABEL = "__name__"
 class Labels:
     """An immutable, hashable label set (including ``__name__``)."""
 
-    __slots__ = ("_pairs", "_hash")
+    __slots__ = ("_pairs", "_map", "_hash", "_derived")
 
     def __init__(self, mapping: Mapping[str, str]) -> None:
         for name, value in mapping.items():
             if not isinstance(name, str) or not isinstance(value, str):
                 raise TsdbError(f"labels must be str->str, got {name!r}={value!r}")
         self._pairs: Tuple[Tuple[str, str], ...] = tuple(sorted(mapping.items()))
+        self._map: Dict[str, str] = dict(self._pairs)
         self._hash = hash(self._pairs)
+        # Memoised results of without()/keep_only(): query evaluation
+        # derives the same label subsets from the same instance at every
+        # step, and the key population (drop/keep argument tuples) is
+        # bounded by the query set, so this never grows past a handful.
+        self._derived: Optional[Dict[Tuple[str, ...], "Labels"]] = None
 
     @staticmethod
     def of(metric: str, **labels: str) -> "Labels":
@@ -43,14 +49,11 @@ class Labels:
 
     def get(self, name: str, default: str = "") -> str:
         """Value of one label."""
-        for key, value in self._pairs:
-            if key == name:
-                return value
-        return default
+        return self._map.get(name, default)
 
     def has(self, name: str) -> bool:
         """Whether the label is present."""
-        return any(key == name for key, _ in self._pairs)
+        return name in self._map
 
     def items(self) -> Tuple[Tuple[str, str], ...]:
         """All (name, value) pairs, sorted by name."""
@@ -58,13 +61,29 @@ class Labels:
 
     def without(self, *names: str) -> "Labels":
         """Copy with the given labels removed."""
-        drop = set(names)
-        return Labels({k: v for k, v in self._pairs if k not in drop})
+        key = ("-",) + names
+        cache = self._derived
+        if cache is None:
+            cache = self._derived = {}
+        derived = cache.get(key)
+        if derived is None:
+            drop = set(names)
+            derived = Labels({k: v for k, v in self._pairs if k not in drop})
+            cache[key] = derived
+        return derived
 
     def keep_only(self, names: Iterable[str]) -> "Labels":
         """Copy keeping only the given labels (``by (...)`` grouping)."""
-        keep = set(names)
-        return Labels({k: v for k, v in self._pairs if k in keep})
+        key = ("+",) + tuple(names)
+        cache = self._derived
+        if cache is None:
+            cache = self._derived = {}
+        derived = cache.get(key)
+        if derived is None:
+            keep = set(key[1:])
+            derived = Labels({k: v for k, v in self._pairs if k in keep})
+            cache[key] = derived
+        return derived
 
     def with_label(self, name: str, value: str) -> "Labels":
         """Copy with one label added or replaced."""

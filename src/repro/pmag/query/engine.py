@@ -8,15 +8,33 @@ Values flow through evaluation as one of:
 
 Instant selectors use a 5-minute lookback (the Prometheus staleness
 window): the value of a series "now" is its newest sample within lookback.
+
+Two hot-path optimizations live here, both behavior-preserving:
+
+* a **query plan cache**: an LRU of query string -> parsed AST, so rule
+  groups and dashboard panels that re-evaluate the same expression every
+  cycle stop paying the lexer/parser (ASTs are immutable, so sharing one
+  across evaluations is safe);
+* **bulk range evaluation**: ``range_query`` pre-selects each selector's
+  samples ONCE over ``[start - window, end]`` and binary-search-slices
+  that buffer at every step, instead of running a full TSDB select per
+  step — O(select + steps·log n) instead of O(steps × select).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError
-from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Series
-from repro.pmag.query.functions import RANGE_FUNCTIONS, quantile_of
+from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Sample, Series
+from repro.pmag.query.functions import (
+    ARRAY_RANGE_FUNCTIONS,
+    RANGE_FUNCTIONS,
+    quantile_of,
+)
 from repro.pmag.query.nodes import (
     Aggregation,
     BinaryOp,
@@ -32,23 +50,226 @@ from repro.pmag.tsdb import Tsdb
 
 LOOKBACK_NS = 5 * 60 * 1_000_000_000
 
+#: Default capacity of the query plan cache.  The full dashboard + rule +
+#: alert query population of a deployment is a few dozen strings; 256
+#: leaves generous headroom for ad-hoc session queries.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
 InstantVector = List[Tuple[Labels, float]]
 Value = Union[float, InstantVector]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time statistics of a :class:`QueryPlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+
+class QueryPlanCache:
+    """LRU cache of query string -> parsed AST.
+
+    ASTs are trees of frozen dataclasses, so a cached plan can be shared
+    freely between evaluations.  A capacity of 0 disables caching (every
+    lookup is a miss) — the perf harness uses that to measure the parser.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if capacity < 0:
+            raise QueryError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._plans: "OrderedDict[str, Expr]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, query: str) -> Optional[Expr]:
+        """The cached plan, promoted to most-recently-used; None on miss."""
+        plan = self._plans.get(query)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(query)
+        self.hits += 1
+        return plan
+
+    def put(self, query: str, plan: Expr) -> None:
+        """Insert a plan, evicting the least-recently-used past capacity."""
+        if self.capacity == 0:
+            return
+        self._plans[query] = plan
+        self._plans.move_to_end(query)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are kept)."""
+        self._plans.clear()
+
+    def stats(self) -> CacheStats:
+        """Current counters."""
+        return CacheStats(
+            hits=self.hits, misses=self.misses, evictions=self.evictions,
+            size=len(self._plans), capacity=self.capacity,
+        )
+
+
+class _BulkSelection:
+    """One selector's samples pre-fetched over a whole query range.
+
+    Stores, per matched series, the sample list plus a parallel timestamp
+    array so any sub-window can be sliced with two bisects.  Slicing yields
+    exactly what a fresh ``tsdb.select`` over the sub-window would: the
+    bulk window is a superset, label order is preserved from the sorted
+    bulk select, and series with no samples in the sub-window are dropped.
+
+    Beyond plain slicing, the two per-step evaluation shapes are answered
+    directly from the buffer so the inner loop allocates nothing it does
+    not have to: :meth:`latest` resolves an instant selector with a single
+    bisect per series, and :meth:`apply_range_function` feeds each range
+    function a window slice without materialising :class:`Series` objects.
+    """
+
+    __slots__ = ("start_ns", "end_ns", "_series")
+
+    def __init__(
+        self,
+        start_ns: int,
+        end_ns: int,
+        arrays: List[Tuple[Labels, List[int], List[float]]],
+    ) -> None:
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        # (labels, labels sans __name__, timestamps, values) per series.
+        self._series: List[Tuple[Labels, Labels, List[int], List[float]]] = [
+            (labels, labels.without(METRIC_NAME_LABEL), times, values)
+            for labels, times, values in arrays
+        ]
+
+    def covers(self, start_ns: int, end_ns: int) -> bool:
+        """Whether [start_ns, end_ns] lies inside the pre-fetched window."""
+        return start_ns >= self.start_ns and end_ns <= self.end_ns
+
+    def slice(self, start_ns: int, end_ns: int) -> List[Series]:
+        """Series restricted to [start_ns, end_ns], empty ones dropped."""
+        result: List[Series] = []
+        for labels, _sans_name, times, values in self._series:
+            low = bisect_left(times, start_ns)
+            high = bisect_right(times, end_ns, low)
+            if low < high:
+                samples = [
+                    Sample(t, v)
+                    for t, v in zip(times[low:high], values[low:high])
+                ]
+                result.append(Series(labels=labels, samples=samples))
+        return result
+
+    def latest(self, start_ns: int, end_ns: int) -> List[Tuple[Labels, float]]:
+        """Per series, the newest value in [start_ns, end_ns] (if any).
+
+        Matches evaluating an instant selector over the sub-window: series
+        order is preserved and series without samples in it are dropped.
+        """
+        result: List[Tuple[Labels, float]] = []
+        for labels, _sans_name, times, values in self._series:
+            high = bisect_right(times, end_ns)
+            if high > 0 and times[high - 1] >= start_ns:
+                result.append((labels, values[high - 1]))
+        return result
+
+    def apply_range_function(
+        self, array_function, start_ns: int, end_ns: int, range_ns: int
+    ) -> List[Tuple[Labels, float]]:
+        """Apply an array-form range function per series over the window.
+
+        Mirrors ``QueryEngine._apply_range_function``'s loop: series whose
+        window raises (not enough samples) are absent from the result, and
+        labels are returned without ``__name__``.
+        """
+        result: List[Tuple[Labels, float]] = []
+        for _labels, sans_name, times, values in self._series:
+            low = bisect_left(times, start_ns)
+            high = bisect_right(times, end_ns, low)
+            if low >= high:
+                continue
+            try:
+                value = array_function(
+                    times[low:high], values[low:high], range_ns
+                )
+            except QueryError:
+                continue  # not enough samples in this window; series is absent
+            result.append((sans_name, value))
+        return result
+
+
+def _collect_selector_windows(
+    expr: Expr, lookback_ns: int, windows: Dict[VectorSelector, int]
+) -> None:
+    """Record, per selector in ``expr``, the widest trailing window it reads.
+
+    Instant uses need ``lookback_ns`` of history; range uses need their
+    ``range_ns``.  The same selector appearing in both contexts gets the
+    maximum, so one bulk select can serve every occurrence.
+    """
+    if isinstance(expr, VectorSelector):
+        windows[expr] = max(windows.get(expr, 0), lookback_ns)
+    elif isinstance(expr, RangeSelector):
+        selector = expr.selector
+        windows[selector] = max(windows.get(selector, 0), expr.range_ns)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            _collect_selector_windows(arg, lookback_ns, windows)
+    elif isinstance(expr, Aggregation):
+        _collect_selector_windows(expr.expr, lookback_ns, windows)
+    elif isinstance(expr, (BinaryOp, Comparison)):
+        _collect_selector_windows(expr.left, lookback_ns, windows)
+        _collect_selector_windows(expr.right, lookback_ns, windows)
 
 
 class QueryEngine:
     """Evaluates query expressions against a :class:`Tsdb`."""
 
-    def __init__(self, tsdb: Tsdb, lookback_ns: int = LOOKBACK_NS) -> None:
+    def __init__(
+        self,
+        tsdb: Tsdb,
+        lookback_ns: int = LOOKBACK_NS,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
         self._tsdb = tsdb
         self._lookback_ns = lookback_ns
+        self._plan_cache = QueryPlanCache(plan_cache_size)
+        self._bulk: Optional[Dict[VectorSelector, _BulkSelection]] = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def parse(self, query: str) -> Expr:
+        """Parse a query through the plan cache; the AST must not be mutated."""
+        plan = self._plan_cache.get(query)
+        if plan is None:
+            plan = parse_query(query)
+            self._plan_cache.put(query, plan)
+        return plan
+
+    def cache_stats(self) -> CacheStats:
+        """Plan-cache statistics (exported as ``pmag_query_cache_*``)."""
+        return self._plan_cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        """Drop cached plans; useful after engine reconfiguration."""
+        self._plan_cache.clear()
+
     def instant(self, query: str, time_ns: int) -> InstantVector:
         """Evaluate at one instant; scalars become a single unlabelled entry."""
-        value = self._eval(parse_query(query), time_ns)
+        value = self._eval(self.parse(query), time_ns)
         if isinstance(value, float):
             return [(Labels({}), value)]
         return value
@@ -65,13 +286,53 @@ class QueryEngine:
     def range_query(
         self, query: str, start_ns: int, end_ns: int, step_ns: int
     ) -> List[Series]:
-        """Evaluate at each step in [start, end]; returns one Series per label set."""
+        """Evaluate at each step in [start, end]; returns one Series per label set.
+
+        Every selector in the expression is bulk-selected once over the
+        whole range (plus its trailing window), then sliced per step.
+        """
+        expr = self._check_range(query, start_ns, end_ns, step_ns)
+        windows: Dict[VectorSelector, int] = {}
+        _collect_selector_windows(expr, self._lookback_ns, windows)
+        bulk: Dict[VectorSelector, _BulkSelection] = {}
+        for selector, window_ns in windows.items():
+            matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
+            matchers.extend(selector.matchers)
+            low = max(0, start_ns - window_ns - selector.offset_ns)
+            high = max(0, end_ns - selector.offset_ns)
+            bulk[selector] = _BulkSelection(
+                low, high, self._tsdb.select_arrays(matchers, low, high)
+            )
+        self._bulk = bulk
+        try:
+            return self._evaluate_steps(expr, start_ns, end_ns, step_ns)
+        finally:
+            self._bulk = None
+
+    def range_query_per_step(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> List[Series]:
+        """The seed range evaluation: one full TSDB select per step.
+
+        Kept as the reference implementation — the equivalence property
+        tests and the perf harness compare :meth:`range_query` against it.
+        """
+        expr = self._check_range(query, start_ns, end_ns, step_ns)
+        return self._evaluate_steps(expr, start_ns, end_ns, step_ns)
+
+    def _check_range(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> Expr:
         if step_ns <= 0:
             raise QueryError(f"step must be positive, got {step_ns}")
         if end_ns < start_ns:
             raise QueryError(f"bad range: {start_ns}..{end_ns}")
-        expr = parse_query(query)
-        collected = {}
+        return self.parse(query)
+
+    def _evaluate_steps(
+        self, expr: Expr, start_ns: int, end_ns: int, step_ns: int
+    ) -> List[Series]:
+        collected: Dict[Labels, List[Tuple[int, float]]] = {}
         time_ns = start_ns
         while time_ns <= end_ns:
             value = self._eval(expr, time_ns)
@@ -80,8 +341,6 @@ class QueryEngine:
             for labels, number in value:
                 collected.setdefault(labels, []).append((time_ns, number))
             time_ns += step_ns
-        from repro.pmag.model import Sample  # local import to avoid cycle noise
-
         return [
             Series(labels=labels, samples=[Sample(t, v) for t, v in points])
             for labels, points in sorted(collected.items(), key=lambda kv: kv[0].items())
@@ -108,14 +367,25 @@ class QueryEngine:
         raise QueryError(f"cannot evaluate node {expr!r}")
 
     def _select_range(self, selector: VectorSelector, start_ns: int, end_ns: int) -> List[Series]:
+        offset = selector.offset_ns
+        low = max(0, start_ns - offset)
+        high = max(0, end_ns - offset)
+        if self._bulk is not None:
+            bulk = self._bulk.get(selector)
+            if bulk is not None and bulk.covers(low, high):
+                return bulk.slice(low, high)
         matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
         matchers.extend(selector.matchers)
-        offset = selector.offset_ns
-        return self._tsdb.select(
-            matchers, max(0, start_ns - offset), max(0, end_ns - offset)
-        )
+        return self._tsdb.select(matchers, low, high)
 
     def _eval_instant_selector(self, selector: VectorSelector, time_ns: int) -> InstantVector:
+        offset = selector.offset_ns
+        low = max(0, time_ns - self._lookback_ns - offset)
+        high = max(0, time_ns - offset)
+        if self._bulk is not None:
+            bulk = self._bulk.get(selector)
+            if bulk is not None and bulk.covers(low, high):
+                return bulk.latest(low, high)
         series_list = self._select_range(selector, time_ns - self._lookback_ns, time_ns)
         return [
             (series.labels, series.samples[-1].value)
@@ -170,8 +440,19 @@ class QueryEngine:
         self, name: str, range_selector: RangeSelector, time_ns: int
     ) -> InstantVector:
         function = RANGE_FUNCTIONS[name]
+        selector = range_selector.selector
+        offset = selector.offset_ns
+        low = max(0, time_ns - range_selector.range_ns - offset)
+        high = max(0, time_ns - offset)
+        if self._bulk is not None:
+            bulk = self._bulk.get(selector)
+            if bulk is not None and bulk.covers(low, high):
+                return bulk.apply_range_function(
+                    ARRAY_RANGE_FUNCTIONS[name], low, high,
+                    range_selector.range_ns,
+                )
         series_list = self._select_range(
-            range_selector.selector, time_ns - range_selector.range_ns, time_ns
+            selector, time_ns - range_selector.range_ns, time_ns
         )
         result: InstantVector = []
         for series in series_list:

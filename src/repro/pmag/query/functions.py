@@ -120,3 +120,99 @@ RANGE_FUNCTIONS = {
     "sum_over_time": func_sum_over_time,
     "count_over_time": func_count_over_time,
 }
+
+
+# ---------------------------------------------------------------------------
+# Array-native variants.
+#
+# The bulk range evaluator keeps samples as parallel (timestamps, values)
+# lists and never materialises Sample objects, so each range function also
+# has an array form: f(times, values, range_ns).  Semantics must match the
+# Sample-based form exactly — a property test in tests/test_perf_equivalence
+# pins the two families together.
+# ---------------------------------------------------------------------------
+def _array_increase_with_resets(values: Sequence[float]) -> float:
+    total = 0.0
+    previous = values[0]
+    for value in values[1:]:
+        if value < previous:
+            total += value  # counter reset: count from zero
+        else:
+            total += value - previous
+        previous = value
+    return total
+
+
+def array_increase(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_increase`."""
+    if len(values) < 2:
+        raise QueryError("increase() needs at least two samples")
+    return _array_increase_with_resets(values)
+
+
+def array_rate(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_rate`."""
+    if len(values) < 2:
+        raise QueryError("rate() needs at least two samples")
+    elapsed_ns = times[-1] - times[0]
+    if elapsed_ns <= 0:
+        raise QueryError("rate() window has zero duration")
+    return _array_increase_with_resets(values) * NANOS_PER_SEC / elapsed_ns
+
+
+def array_irate(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_irate`."""
+    if len(values) < 2:
+        raise QueryError("irate() needs at least two samples")
+    elapsed_ns = times[-1] - times[-2]
+    if elapsed_ns <= 0:
+        raise QueryError("irate() samples share a timestamp")
+    delta = values[-1] - values[-2]
+    if delta < 0:
+        delta = values[-1]  # reset
+    return delta * NANOS_PER_SEC / elapsed_ns
+
+
+def array_delta(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_delta`."""
+    if len(values) < 2:
+        raise QueryError("delta() needs at least two samples")
+    return values[-1] - values[0]
+
+
+def array_avg_over_time(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_avg_over_time`."""
+    return sum(values) / len(values)
+
+
+def array_min_over_time(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_min_over_time`."""
+    return min(values)
+
+
+def array_max_over_time(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_max_over_time`."""
+    return max(values)
+
+
+def array_sum_over_time(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_sum_over_time`."""
+    return sum(values)
+
+
+def array_count_over_time(times: Sequence[int], values: Sequence[float], range_ns: int) -> float:
+    """Array form of :func:`func_count_over_time`."""
+    return float(len(values))
+
+
+ARRAY_RANGE_FUNCTIONS = {
+    "rate": array_rate,
+    "irate": array_irate,
+    "increase": array_increase,
+    "delta": array_delta,
+    "avg_over_time": array_avg_over_time,
+    "min_over_time": array_min_over_time,
+    "max_over_time": array_max_over_time,
+    "sum_over_time": array_sum_over_time,
+    "count_over_time": array_count_over_time,
+}

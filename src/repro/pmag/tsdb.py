@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TsdbError
 from repro.pmag.chunks import ChunkedSeries
@@ -52,21 +52,34 @@ class Tsdb:
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
-    def _candidates(self, matchers: Sequence[Matcher]) -> Iterable[Labels]:
-        equality = [m for m in matchers if m.op == "=" and m.value]
-        if equality:
-            sets = []
-            for matcher in equality:
-                postings = self._postings.get((matcher.name, matcher.value))
-                if not postings:
-                    return []
-                sets.append(postings)
-            smallest = min(sets, key=len)
-            return [
-                labels for labels in smallest
-                if all(labels in s for s in sets if s is not smallest)
-            ]
-        return list(self._series)
+    def _candidates(
+        self, matchers: Sequence[Matcher]
+    ) -> Tuple[Iterable[Labels], List[Matcher]]:
+        """Candidate series for ``matchers`` plus the residual matchers.
+
+        Equality matchers with a non-empty value are resolved through the
+        postings index and need not be re-applied.  Everything else — and
+        crucially equality matchers with an *empty* value, which in
+        Prometheus semantics match series *lacking* the label and therefore
+        have no postings entry to intersect — is returned as a residual
+        that callers must post-filter with :meth:`Matcher.matches`.
+        """
+        indexed = [m for m in matchers if m.op == "=" and m.value]
+        residual = [m for m in matchers if not (m.op == "=" and m.value)]
+        if not indexed:
+            return list(self._series), residual
+        sets = []
+        for matcher in indexed:
+            postings = self._postings.get((matcher.name, matcher.value))
+            if not postings:
+                return [], residual
+            sets.append(postings)
+        smallest = min(sets, key=len)
+        candidates = [
+            labels for labels in smallest
+            if all(labels in s for s in sets if s is not smallest)
+        ]
+        return candidates, residual
 
     def select(
         self,
@@ -78,13 +91,39 @@ class Tsdb:
         if end_ns < start_ns:
             raise TsdbError(f"bad window: {start_ns}..{end_ns}")
         result: List[Series] = []
-        for labels in self._candidates(matchers):
-            if not all(matcher.matches(labels) for matcher in matchers):
+        candidates, residual = self._candidates(matchers)
+        for labels in candidates:
+            if residual and not all(m.matches(labels) for m in residual):
                 continue
             samples = self._series[labels].window(start_ns, end_ns)
             if samples:
                 result.append(Series(labels=labels, samples=samples))
         result.sort(key=lambda s: s.labels.items())
+        return result
+
+    def select_arrays(
+        self,
+        matchers: Sequence[Matcher],
+        start_ns: int,
+        end_ns: int,
+    ) -> List[Tuple[Labels, List[int], List[float]]]:
+        """Like :meth:`select`, but as parallel (timestamps, values) arrays.
+
+        Same series, same order, same samples — without allocating a
+        :class:`Sample` per point.  The query engine's bulk range
+        evaluation reads through this.
+        """
+        if end_ns < start_ns:
+            raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+        result: List[Tuple[Labels, List[int], List[float]]] = []
+        candidates, residual = self._candidates(matchers)
+        for labels in candidates:
+            if residual and not all(m.matches(labels) for m in residual):
+                continue
+            times, values = self._series[labels].window_arrays(start_ns, end_ns)
+            if times:
+                result.append((labels, times, values))
+        result.sort(key=lambda entry: entry[0].items())
         return result
 
     def select_metric(
@@ -100,15 +139,13 @@ class Tsdb:
         matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
         matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
         best: Optional[Sample] = None
-        for labels in self._candidates(matchers):
-            if not all(matcher.matches(labels) for matcher in matchers):
+        candidates, residual = self._candidates(matchers)
+        for labels in candidates:
+            if residual and not all(m.matches(labels) for m in residual):
                 continue
-            last_ns = self._series[labels].last_time_ns()
-            if last_ns is None:
-                continue
-            window = self._series[labels].window(last_ns, last_ns)
-            if window and (best is None or window[-1].time_ns > best.time_ns):
-                best = window[-1]
+            sample = self._series[labels].last_sample()
+            if sample is not None and (best is None or sample.time_ns > best.time_ns):
+                best = sample
         return best
 
     # ------------------------------------------------------------------
@@ -143,9 +180,10 @@ class Tsdb:
         ``delete_series`` admin endpoint — used to purge a misbehaving
         exporter's data or a mis-labelled ingest.
         """
+        candidates, residual = self._candidates(matchers)
         victims = [
-            labels for labels in self._candidates(matchers)
-            if all(matcher.matches(labels) for matcher in matchers)
+            labels for labels in candidates
+            if all(m.matches(labels) for m in residual)
         ]
         for labels in victims:
             del self._series[labels]

@@ -148,6 +148,13 @@ class HookRegistry:
 
         Firing an unregistered hook is an error: it means a kernel subsystem
         and the hook catalogue disagree, which would silently lose metrics.
+
+        Zero and one attached observers are fast-pathed: most of the Table-2
+        hooks have nothing attached during app simulation, and the attached
+        ones almost always have exactly the eBPF VM — neither case needs the
+        defensive snapshot of the observer dict (taken only when several
+        observers could detach each other mid-dispatch), and the zero case
+        allocates no :class:`HookContext` at all.
         """
         if count <= 0:
             return
@@ -156,9 +163,13 @@ class HookRegistry:
         except KeyError:
             raise HookError(f"fired unknown hook: {name}") from None
         self._fire_counts[name] += count
-        if not observers:
+        remaining = len(observers)
+        if remaining == 0:
             return
         ctx = HookContext(hook=name, time_ns=time_ns, count=count, fields=fields)
+        if remaining == 1:
+            next(iter(observers.values()))(ctx)
+            return
         for observer in list(observers.values()):
             observer(ctx)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import DeploymentError
+from repro.errors import DeploymentError, TsdbError
 from repro.exporters import (
     CadvisorExporter,
     EbpfExporter,
@@ -206,7 +206,10 @@ class TeemonDeployment:
         Exporters charge CPU when they serve scrapes; the Prometheus,
         Grafana and PMAN processes do their work continuously, so a
         periodic tick charges each its calibrated fraction — this is the
-        CPU the Figure-4 experiment measures.
+        CPU the Figure-4 experiment measures.  The same tick records the
+        PMAG's own query-plan-cache counters, per §4's "monitor the
+        monitor" discussion: the monitoring stack's internals are series
+        like any other.
         """
         interval_ns = int(self.config.scrape_interval_s * NANOS_PER_SEC)
 
@@ -220,9 +223,26 @@ class TeemonDeployment:
                 self.kernel.scheduler.account_cpu_time(
                     thread, int(interval_ns * service.footprint.cpu_fraction)
                 )
+            self._record_self_metrics(self.kernel.clock.now_ns)
             self._accounting_timer = self.kernel.clock.call_later(interval_ns, tick)
 
         self._accounting_timer = self.kernel.clock.call_later(interval_ns, tick)
+
+    def _record_self_metrics(self, now_ns: int) -> None:
+        """Append the PMAG's query-cache statistics as ``pmag_query_cache_*``."""
+        stats = self.engine.cache_stats()
+        identity = {"job": "prometheus", "instance": self.kernel.hostname}
+        samples = (
+            ("pmag_query_cache_hits_total", float(stats.hits)),
+            ("pmag_query_cache_misses_total", float(stats.misses)),
+            ("pmag_query_cache_evictions_total", float(stats.evictions)),
+            ("pmag_query_cache_size", float(stats.size)),
+        )
+        for metric, value in samples:
+            try:
+                self.tsdb.append_sample(metric, now_ns, value, **identity)
+            except TsdbError:
+                pass  # duplicate instant (manual tick + scheduled tick)
 
     def shutdown(self) -> None:
         """Full teardown: stop everything and exit all TEEMon processes."""

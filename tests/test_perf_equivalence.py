@@ -1,0 +1,257 @@
+"""Equivalence properties for the ISSUE-1 hot-path optimizations.
+
+Every optimized path must be sample-for-sample identical to the seed
+semantics it replaced:
+
+* bulk range evaluation (``range_query``) vs per-step evaluation
+  (``range_query_per_step``, the retained seed algorithm);
+* indexed chunk windows (``window``/``window_arrays``) vs a linear decode
+  of ``chunk.samples()`` (the seed algorithm, re-implemented here);
+* array-form range functions vs the Sample-form originals;
+* ``last_sample`` vs ``window(last, last)``;
+* the batched chunk codec vs itself (round trip), including the empty and
+  single-sample chunks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import QueryError
+from repro.pmag.chunks import CHUNK_SIZE, Chunk, ChunkedSeries
+from repro.pmag.model import Sample
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.query.functions import ARRAY_RANGE_FUNCTIONS, RANGE_FUNCTIONS
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+
+# ---------------------------------------------------------------------------
+# Bulk vs per-step range evaluation
+# ---------------------------------------------------------------------------
+
+#: The dashboard/fig11 query population, exercising selectors, range
+#: functions, aggregation, grouping, arithmetic, comparisons and offsets.
+RANGE_QUERIES = (
+    "ebpf_syscalls_total",
+    "rate(ebpf_syscalls_total[1m])",
+    "rate(ebpf_syscalls_total[5m])",
+    "irate(ebpf_syscalls_total[1m])",
+    "increase(ebpf_syscalls_total[2m])",
+    "avg_over_time(ebpf_syscalls_total[1m])",
+    "max_over_time(ebpf_syscalls_total[1m])",
+    "sum by (name) (rate(ebpf_syscalls_total[1m]))",
+    "sum(rate(ebpf_syscalls_total[1m]))",
+    'ebpf_syscalls_total{name="read"}',
+    "ebpf_syscalls_total offset 30s",
+    "rate(ebpf_syscalls_total[1m]) * 2 + 1",
+    "rate(ebpf_syscalls_total[1m]) > 0.5",
+    "quantile_over_time(0.9, ebpf_syscalls_total[2m])",
+)
+
+
+def _tsdb_from(values_by_series):
+    tsdb = Tsdb()
+    for (name, idx), values in values_by_series.items():
+        for step, value in enumerate(values):
+            tsdb.append_sample(
+                "ebpf_syscalls_total", (step + 1) * seconds(5), value,
+                name=name, idx=str(idx), job="ebpf",
+            )
+    return tsdb
+
+
+_series_strategy = st.dictionaries(
+    st.tuples(st.sampled_from(("read", "write", "futex")), st.integers(0, 2)),
+    st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=40),
+    min_size=1, max_size=6,
+)
+
+
+@given(
+    _series_strategy,
+    st.sampled_from(RANGE_QUERIES),
+    st.integers(1, 8),      # step, in scrape intervals
+    st.integers(0, 10),     # range start offset, in scrape intervals
+)
+@settings(max_examples=120, deadline=None)
+def test_bulk_range_query_matches_per_step(values_by_series, query, step, lag):
+    """range_query == range_query_per_step, sample for sample."""
+    tsdb = _tsdb_from(values_by_series)
+    engine = QueryEngine(tsdb)
+    longest = max(len(v) for v in values_by_series.values())
+    end_ns = (longest + 2) * seconds(5)
+    start_ns = max(0, end_ns - lag * seconds(5))
+    step_ns = step * seconds(5)
+    bulk = engine.range_query(query, start_ns, end_ns, step_ns)
+    per_step = engine.range_query_per_step(query, start_ns, end_ns, step_ns)
+    assert bulk == per_step
+
+
+def test_bulk_range_query_matches_on_dense_series():
+    """The acceptance shape: many steps across a multi-chunk series."""
+    tsdb = Tsdb()
+    for step in range(1000):
+        tsdb.append_sample(
+            "bench_counter", (step + 1) * seconds(5),
+            float(step % 97), job="bench",
+        )
+    engine = QueryEngine(tsdb)
+    end_ns = 1000 * seconds(5)
+    for query in ("rate(bench_counter[5m])", "bench_counter",
+                  "sum(irate(bench_counter[1m]))"):
+        bulk = engine.range_query(query, seconds(5), end_ns, seconds(15))
+        per_step = engine.range_query_per_step(
+            query, seconds(5), end_ns, seconds(15)
+        )
+        assert bulk == per_step
+
+
+# ---------------------------------------------------------------------------
+# Indexed windows vs the seed linear scan
+# ---------------------------------------------------------------------------
+def _linear_window(series: ChunkedSeries, start_ns: int, end_ns: int):
+    """The seed algorithm: decode every chunk, filter by comparison."""
+    result = []
+    for chunk in series._chunks:  # noqa: SLF001 - reference implementation
+        if chunk.start_ns > end_ns:
+            break
+        if chunk.end_ns < start_ns:
+            continue
+        for sample in chunk.samples():
+            if sample.time_ns > end_ns:
+                break
+            if sample.time_ns >= start_ns:
+                result.append(sample)
+    return result
+
+
+_times_strategy = st.lists(
+    st.integers(0, 3000), min_size=0, max_size=300, unique=True
+).map(sorted)
+
+
+@given(_times_strategy, st.integers(0, 3000), st.integers(0, 3000))
+@settings(max_examples=150, deadline=None)
+def test_window_matches_linear_scan(times, a, b):
+    start_ns, end_ns = min(a, b), max(a, b)
+    series = ChunkedSeries()
+    for time_ns in times:
+        series.append(time_ns, float(time_ns) * 0.5)
+    expected = _linear_window(series, start_ns, end_ns)
+    assert series.window(start_ns, end_ns) == expected
+    array_times, array_values = series.window_arrays(start_ns, end_ns)
+    assert array_times == [s.time_ns for s in expected]
+    assert array_values == [s.value for s in expected]
+
+
+@given(_times_strategy)
+@settings(max_examples=100, deadline=None)
+def test_last_sample_matches_window(times):
+    series = ChunkedSeries()
+    for time_ns in times:
+        series.append(time_ns, float(time_ns) + 0.25)
+    if not times:
+        assert series.last_sample() is None
+        return
+    last_ns = series.last_time_ns()
+    assert series.last_sample() == series.window(last_ns, last_ns)[-1]
+
+
+@given(_times_strategy, st.integers(0, 3500))
+@settings(max_examples=100, deadline=None)
+def test_drop_before_matches_seed_semantics(times, cutoff_ns):
+    """Chunk-granular retention: identical survivors and drop count."""
+    series = ChunkedSeries()
+    reference = ChunkedSeries()
+    for time_ns in times:
+        series.append(time_ns, 1.0)
+        reference.append(time_ns, 1.0)
+    # Seed algorithm: pop whole chunks from the front while stale.
+    expected_dropped = 0
+    while reference._chunks and reference._chunks[0].end_ns < cutoff_ns:  # noqa: SLF001
+        expected_dropped += len(reference._chunks[0])  # noqa: SLF001
+        reference._chunks.pop(0)  # noqa: SLF001
+        reference._starts.pop(0)  # noqa: SLF001
+    assert series.drop_before(cutoff_ns) == expected_dropped
+    horizon = max(times) + 1 if times else 1
+    assert series.window(0, horizon) == _linear_window(reference, 0, horizon)
+    assert series.sample_count == sum(len(c) for c in reference._chunks)  # noqa: SLF001
+
+
+# ---------------------------------------------------------------------------
+# Array-form range functions vs the Sample-form originals
+# ---------------------------------------------------------------------------
+@given(
+    st.sampled_from(sorted(RANGE_FUNCTIONS)),
+    # Non-empty: evaluation never hands an empty window to a range function
+    # (both the select and the bulk paths drop sample-less series first).
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.floats(0, 1e9, allow_nan=False)),
+        min_size=1, max_size=30,
+        unique_by=lambda pair: pair[0],
+    ).map(sorted),
+)
+@settings(max_examples=200, deadline=None)
+def test_array_functions_match_sample_functions(name, points):
+    samples = [Sample(t, v) for t, v in points]
+    times = [t for t, _ in points]
+    values = [v for _, v in points]
+    range_ns = seconds(60)
+    try:
+        expected = RANGE_FUNCTIONS[name](samples, range_ns)
+    except QueryError:
+        with pytest.raises(QueryError):
+            ARRAY_RANGE_FUNCTIONS[name](times, values, range_ns)
+        return
+    assert ARRAY_RANGE_FUNCTIONS[name](times, values, range_ns) == expected
+
+
+# ---------------------------------------------------------------------------
+# Chunk codec round trip (batched struct pack/unpack, simplified decode)
+# ---------------------------------------------------------------------------
+@given(
+    st.integers(0, 10**15),
+    st.lists(
+        st.tuples(st.integers(1, 10**9), st.floats(allow_nan=False)),
+        min_size=0, max_size=CHUNK_SIZE - 1,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_chunk_codec_roundtrip(start_ns, deltas_and_values):
+    chunk = Chunk(start_ns)
+    time_ns = start_ns
+    for index, (delta, value) in enumerate(deltas_and_values):
+        time_ns = start_ns if index == 0 else time_ns + delta
+        chunk.append(time_ns, value)
+    decoded = Chunk.decode(chunk.encode())
+    assert decoded.start_ns == chunk.start_ns
+    assert list(decoded.samples()) == list(chunk.samples())
+    assert decoded.end_ns == chunk.end_ns
+
+
+def test_chunk_codec_roundtrip_empty():
+    chunk = Chunk(12345)
+    decoded = Chunk.decode(chunk.encode())
+    assert decoded.start_ns == 12345
+    assert len(decoded) == 0
+    assert list(decoded.samples()) == []
+
+
+def test_chunk_codec_roundtrip_single_sample():
+    chunk = Chunk(7)
+    chunk.append(7, 3.25)
+    decoded = Chunk.decode(chunk.encode())
+    assert list(decoded.samples()) == [Sample(7, 3.25)]
+
+
+def test_chunk_decode_rejects_corrupt_deltas():
+    chunk = Chunk(0)
+    chunk.append(0, 1.0)
+    chunk.append(10, 2.0)
+    data = bytearray(chunk.encode())
+    # Flip the second delta negative: 10 -> -10 (little-endian signed q).
+    import struct
+    struct.pack_into("<q", data, 12 + 8, -10)
+    from repro.errors import TsdbError
+    with pytest.raises(TsdbError):
+        Chunk.decode(bytes(data))

@@ -207,3 +207,56 @@ def test_select_empty_window_returns_nothing():
     tsdb = Tsdb()
     tsdb.append_sample("m", 100, 1.0)
     assert tsdb.select_metric("m", 200, 300) == []
+
+
+# ---------------------------------------------------------------------------
+# Empty-value equality matchers (Prometheus semantics: `job=""` matches
+# series WITHOUT a job label).  These have no postings entry, so the index
+# cannot serve them — regression tests for _candidates silently treating
+# them as indexed and returning nothing.
+# ---------------------------------------------------------------------------
+def _empty_matcher_tsdb() -> Tsdb:
+    tsdb = Tsdb()
+    tsdb.append_sample("m", 1, 1.0, job="ebpf")
+    tsdb.append_sample("m", 1, 2.0)  # no job label
+    tsdb.append_sample("m", 1, 3.0, job="node")
+    return tsdb
+
+
+def test_empty_value_eq_matcher_selects_unlabelled_series():
+    tsdb = _empty_matcher_tsdb()
+    result = tsdb.select(
+        [Matcher.eq("__name__", "m"), Matcher.eq("job", "")], 0, 10
+    )
+    assert len(result) == 1
+    assert result[0].samples[0].value == 2.0
+    assert not result[0].labels.has("job")
+
+
+def test_empty_value_eq_matcher_alone():
+    # No positive matcher at all: must still scan, not return [].
+    tsdb = _empty_matcher_tsdb()
+    result = tsdb.select([Matcher.eq("job", "")], 0, 10)
+    assert [s.samples[0].value for s in result] == [2.0]
+
+
+def test_empty_value_eq_matcher_excludes_labelled_series():
+    tsdb = _empty_matcher_tsdb()
+    result = tsdb.select(
+        [Matcher.eq("__name__", "m"), Matcher.eq("job", "ebpf")], 0, 10
+    )
+    assert [s.samples[0].value for s in result] == [1.0]
+
+
+def test_latest_with_empty_value_matcher():
+    tsdb = _empty_matcher_tsdb()
+    latest = tsdb.latest("m", job="")
+    assert latest is not None and latest.value == 2.0
+
+
+def test_delete_series_with_empty_value_matcher():
+    tsdb = _empty_matcher_tsdb()
+    deleted = tsdb.delete_series([Matcher.eq("job", "")])
+    assert deleted == 1
+    remaining = tsdb.select([Matcher.eq("__name__", "m")], 0, 10)
+    assert sorted(s.samples[0].value for s in remaining) == [1.0, 3.0]
