@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the monitoring transport.
+
+The package wraps the simulated HTTP network (and the link model beneath
+it) with seeded failure modes — flapping endpoints, delays past timeout
+budgets, slow links, corrupted/truncated expositions, stale replays,
+exporter clock skew — without touching handler code.  Everything is a
+pure function of (seed, URL, request order, virtual time); the
+:class:`FaultPlan` journal proves it.
+"""
+
+from repro.faults.injectors import (
+    CORRUPTION_MARKER,
+    ClockSkewInjector,
+    CorruptionInjector,
+    DelayInjector,
+    FaultContext,
+    FlapInjector,
+    Injector,
+    SlowLinkInjector,
+    StaleReplayInjector,
+)
+from repro.faults.network import FaultyHttpNetwork
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "CORRUPTION_MARKER",
+    "ClockSkewInjector",
+    "CorruptionInjector",
+    "DelayInjector",
+    "FaultContext",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyHttpNetwork",
+    "FlapInjector",
+    "Injector",
+    "SlowLinkInjector",
+    "StaleReplayInjector",
+]

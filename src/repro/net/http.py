@@ -19,10 +19,19 @@ from repro.errors import NetworkError
 
 @dataclass(frozen=True)
 class HttpResponse:
-    """An HTTP response (status + body)."""
+    """An HTTP response (status + body).
+
+    ``latency_s`` is the modelled wall time the request took.  The base
+    :class:`HttpNetwork` always reports 0.0 (an ideal transport); the fault
+    layer (:mod:`repro.faults`) wraps responses with injected delays, and
+    consumers with a timeout budget (the scrape manager, the push client)
+    compare against it instead of blocking — virtual time only moves
+    through the clock.
+    """
 
     status: int
     body: str
+    latency_s: float = 0.0
 
     @property
     def ok(self) -> bool:

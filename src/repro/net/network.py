@@ -31,6 +31,8 @@ class Link:
     def __post_init__(self) -> None:
         if self.bandwidth_bits_per_s <= 0:
             raise NetworkError("link bandwidth must be positive")
+        if self.base_latency_s < 0:
+            raise NetworkError("link latency cannot be negative")
         if not 0 < self.protocol_efficiency <= 1:
             raise NetworkError("protocol efficiency must be in (0, 1]")
 
@@ -47,6 +49,8 @@ class Link:
 
     def utilisation(self, offered_bytes_per_s: float) -> float:
         """Offered load as a fraction of capacity (may exceed 1)."""
+        if offered_bytes_per_s < 0:
+            raise NetworkError(f"negative offered load: {offered_bytes_per_s}")
         return offered_bytes_per_s / self.payload_bytes_per_s
 
     def queueing_delay_s(self, offered_bytes_per_s: float, packet_bytes: float = 1500.0) -> float:
@@ -57,6 +61,8 @@ class Link:
         real benchmark observes a saturated switch: losses and retransmits
         bound the measured latency.
         """
+        if packet_bytes <= 0:
+            raise NetworkError(f"packet size must be positive: {packet_bytes}")
         rho = self.utilisation(offered_bytes_per_s)
         service_s = packet_bytes / self.payload_bytes_per_s
         if rho >= 0.999:

@@ -17,12 +17,14 @@ burst-amplification the ablation measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import TsdbError
+from repro.net.http import HttpNetwork
 from repro.pmag.model import Labels, METRIC_NAME_LABEL
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+from repro.simkernel.rng import DeterministicRng
 
 
 @dataclass
@@ -112,3 +114,157 @@ class PushGateway:
         """Fraction of pushes dropped by quotas."""
         total = self.pushes_accepted + self.pushes_rejected
         return self.pushes_rejected / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # HTTP exposure (wire format: one sample per line)
+    # ------------------------------------------------------------------
+    def expose(self, network: HttpNetwork, host: str = "pushgw",
+               port: int = 9091, path: str = "/push") -> str:
+        """Serve pushes over the simulated HTTP network.
+
+        Registers a POST route whose body is one sample per line in the
+        :func:`encode_push_line` wire format; the reply reports
+        ``accepted=N rejected=M``.  Returns the gateway URL.  GETs on the
+        route answer with the gateway's counters (a crude health check).
+        """
+        endpoint = network.register(host, port, path, self._status_body)
+        endpoint.post_handler = self._handle_wire
+        return endpoint.url
+
+    def _status_body(self) -> str:
+        return (f"pushgateway_accepted_total {self.pushes_accepted}\n"
+                f"pushgateway_rejected_total {self.pushes_rejected}\n")
+
+    def _handle_wire(self, body: str) -> str:
+        accepted = rejected = 0
+        for line in body.split("\n"):
+            line = line.strip()
+            if not line:
+                continue
+            source, metric, value, labels = decode_push_line(line)
+            if self.push(source, metric, value, **labels):
+                accepted += 1
+            else:
+                rejected += 1
+        return f"accepted={accepted} rejected={rejected}"
+
+
+def encode_push_line(source: str, metric: str, value: float,
+                     labels: Dict[str, str]) -> str:
+    """Wire format: ``source metric value [k=v,k=v]`` (no spaces in values)."""
+    for token in (source, metric, *labels, *labels.values()):
+        if not token or any(c in token for c in " ,=\n"):
+            raise TsdbError(f"token not wire-safe: {token!r}")
+    line = f"{source} {metric} {value}"
+    if labels:
+        pairs = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        line += f" {pairs}"
+    return line
+
+
+def decode_push_line(line: str) -> Tuple[str, str, float, Dict[str, str]]:
+    """Inverse of :func:`encode_push_line`."""
+    pieces = line.split()
+    if len(pieces) not in (3, 4):
+        raise TsdbError(f"malformed push line: {line!r}")
+    source, metric, value_text = pieces[0], pieces[1], pieces[2]
+    try:
+        value = float(value_text)
+    except ValueError:
+        raise TsdbError(f"bad push value: {value_text!r}") from None
+    labels: Dict[str, str] = {}
+    if len(pieces) == 4:
+        for pair in pieces[3].split(","):
+            key, sep, val = pair.partition("=")
+            if not sep or not key or not val:
+                raise TsdbError(f"malformed push labels: {pieces[3]!r}")
+            labels[key] = val
+    return source, metric, value, labels
+
+
+class PushClient:
+    """Pushes samples to an HTTP-exposed gateway with timeout and retry.
+
+    The push path gets the same hardening as the scrape path: a response
+    slower than the timeout budget counts as a timeout, and failed
+    deliveries retry on the virtual clock with jittered exponential
+    backoff.  A push *rejected* by the gateway's quota is not retried —
+    retrying a rate-limited push would amplify exactly the burst the
+    quota exists to shed (§4).
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        network: HttpNetwork,
+        url: str,
+        source: str,
+        timeout_budget_s: float = 1.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_jitter: float = 0.5,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        if timeout_budget_s <= 0:
+            raise TsdbError(f"timeout budget must be positive, got {timeout_budget_s}")
+        if max_retries < 0:
+            raise TsdbError(f"negative retry count: {max_retries}")
+        if backoff_base_s <= 0:
+            raise TsdbError(f"backoff base must be positive, got {backoff_base_s}")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise TsdbError(f"backoff jitter must be in [0, 1), got {backoff_jitter}")
+        self._clock = clock
+        self._network = network
+        self.url = url
+        self.source = source
+        self.timeout_budget_s = timeout_budget_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
+        self._rng = (rng or DeterministicRng(0)).fork("push-backoff")
+        self.pushes_sent = 0
+        self.pushes_delivered = 0
+        self.pushes_rejected = 0
+        self.pushes_failed = 0
+        self.push_timeouts_total = 0
+        self.push_retries_total = 0
+
+    def push(self, metric: str, value: float, **labels: str) -> bool:
+        """Attempt one push now; returns True if delivered immediately.
+
+        On timeout or transport failure a retry is scheduled on the
+        virtual clock; the eventual outcome lands in
+        :attr:`pushes_delivered` / :attr:`pushes_failed`.
+        """
+        self.pushes_sent += 1
+        line = encode_push_line(self.source, metric, value, labels)
+        return self._attempt(line, attempt=0)
+
+    def _attempt(self, line: str, attempt: int) -> bool:
+        response = self._network.post_url(self.url, line)
+        latency_s = getattr(response, "latency_s", 0.0)
+        timed_out = latency_s > self.timeout_budget_s
+        if timed_out:
+            self.push_timeouts_total += 1
+        if response.ok and not timed_out:
+            if "rejected=0" in response.body:
+                self.pushes_delivered += 1
+                return True
+            # Quota rejection is a terminal, intentional drop.
+            self.pushes_rejected += 1
+            return False
+        if attempt < self.max_retries:
+            delay_s = self.backoff_base_s * (2 ** attempt)
+            if self.backoff_jitter:
+                delay_s *= 1.0 + self.backoff_jitter * (2.0 * self._rng.random() - 1.0)
+            self._clock.call_later(
+                int(delay_s * NANOS_PER_SEC),
+                lambda: self._retry(line, attempt + 1),
+            )
+            return False
+        self.pushes_failed += 1
+        return False
+
+    def _retry(self, line: str, attempt: int) -> None:
+        self.push_retries_total += 1
+        self._attempt(line, attempt)

@@ -1,15 +1,29 @@
-"""Pull-based metric scraping with service discovery.
+"""Pull-based metric scraping with service discovery and fault tolerance.
 
 The paper argues for pull over push (§4): the aggregator controls ingest
 rate, misbehaving services cannot flood it, and unreachable targets are
 detected because the scraper doubles as a health checker.  All three
-behaviours live here:
+behaviours live here, hardened against the failure modes
+:mod:`repro.faults` injects:
 
 * :class:`ScrapeTarget` — one endpoint with job/instance identity;
 * :class:`ScrapeManager` — scrapes every target each interval (default 5 s,
   the paper's default exporter query rate), parses the OpenMetrics body,
   appends samples to the TSDB with scrape-time labels attached, and writes
   the synthetic ``up`` series (1 healthy / 0 down) per target;
+* timeout budget — a response slower than ``timeout_budget_s`` is a
+  failure even if a body eventually arrived (the pull model's defence
+  against hung exporters);
+* retries — failed scrapes retry on the virtual clock with jittered
+  exponential backoff, capped so retries never collide with the next
+  scheduled interval;
+* staleness — a target that misses ``staleness_intervals`` consecutive
+  scheduled scrapes gets a ``scrape_target_stale`` marker (cleared on
+  recovery), so dashboards can distinguish "briefly down" from "gone";
+* self-monitoring — the scraper's own counters
+  (``scrape_timeouts_total``, ``scrape_retries_total``,
+  ``scrape_samples_dropped_total``, ``target_flaps_total``) are appended
+  as series each cycle: the monitor monitors itself, per §4;
 * service discovery — a callback returning the current target list, so a
   Kubernetes-style cluster can add and remove exporters dynamically
   (§5.4); static targets and discovered targets coexist.
@@ -17,7 +31,7 @@ behaviours live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import TsdbError
@@ -26,8 +40,12 @@ from repro.openmetrics.parser import parse_exposition
 from repro.pmag.model import Labels, METRIC_NAME_LABEL
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+from repro.simkernel.rng import DeterministicRng
 
 DEFAULT_SCRAPE_INTERVAL_NS = 5 * NANOS_PER_SEC
+
+#: Identity labels under which the scraper's own counters are stored.
+SELF_IDENTITY = {"job": "pmag", "instance": "scraper"}
 
 
 @dataclass(frozen=True)
@@ -52,6 +70,15 @@ class TargetHealth:
     last_scrape_ns: int = -1
     scrapes: int = 0
     failures: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    flaps: int = 0
+    #: Consecutive *scheduled* (non-retry) scrapes that failed.
+    missed_intervals: int = 0
+    stale: bool = False
+    #: Whether any scrape has completed — the first observation sets the
+    #: up/down baseline without counting a flap.
+    observed: bool = False
 
 
 class ScrapeManager:
@@ -63,19 +90,55 @@ class ScrapeManager:
         network: HttpNetwork,
         tsdb: Tsdb,
         interval_ns: int = DEFAULT_SCRAPE_INTERVAL_NS,
+        timeout_budget_s: float = 1.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_jitter: float = 0.5,
+        staleness_intervals: int = 3,
+        rng: Optional[DeterministicRng] = None,
+        self_monitor: bool = True,
     ) -> None:
         if interval_ns <= 0:
             raise TsdbError(f"scrape interval must be positive, got {interval_ns}")
+        if timeout_budget_s <= 0:
+            raise TsdbError(f"timeout budget must be positive, got {timeout_budget_s}")
+        if max_retries < 0:
+            raise TsdbError(f"negative retry count: {max_retries}")
+        if backoff_base_s <= 0:
+            raise TsdbError(f"backoff base must be positive, got {backoff_base_s}")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise TsdbError(f"backoff jitter must be in [0, 1), got {backoff_jitter}")
+        if staleness_intervals < 1:
+            raise TsdbError(f"staleness threshold must be >= 1, got {staleness_intervals}")
         self._clock = clock
         self._network = network
         self._tsdb = tsdb
         self.interval_ns = interval_ns
+        self.timeout_budget_s = timeout_budget_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
+        self.staleness_intervals = staleness_intervals
+        self.self_monitor = self_monitor
+        self._backoff_rng = (rng or DeterministicRng(0)).fork("scrape-backoff")
         self._static_targets: List[ScrapeTarget] = []
         self._discoverers: List[Callable[[], List[ScrapeTarget]]] = []
         self._health: Dict[ScrapeTarget, TargetHealth] = {}
+        self._retry_timers: Dict[ScrapeTarget, object] = {}
         self._timer = None
         self._running = False
+        #: Exposition samples appended (``up`` and scrape metadata are
+        #: tracked separately — a failed scrape ingests nothing).
         self.samples_ingested = 0
+        self.up_writes = 0
+        self.meta_writes = 0
+        #: Duplicate-timestamp samples silently dropped on append.
+        self.samples_dropped = 0
+        #: Staleness-marker transitions written (1.0 on stale, 0.0 on clear).
+        self.stale_writes = 0
+        self.timeouts_total = 0
+        self.retries_total = 0
+        self.flaps_total = 0
 
     # ------------------------------------------------------------------
     # Target management
@@ -108,66 +171,200 @@ class ScrapeManager:
         """Targets whose last scrape failed."""
         return [t for t, h in self._health.items() if not h.up and h.scrapes > 0]
 
+    def stale_targets(self) -> List[ScrapeTarget]:
+        """Targets that missed the staleness threshold of intervals."""
+        return [t for t, h in self._health.items() if h.stale]
+
     # ------------------------------------------------------------------
     # Scraping
     # ------------------------------------------------------------------
     def scrape_once(self) -> int:
-        """Scrape every current target now; returns samples ingested."""
+        """Scrape every current target now; returns exposition samples
+        ingested (the ``up`` write and scrape metadata are counted in
+        :attr:`up_writes` / :attr:`meta_writes`, not here — a failed
+        scrape ingests nothing)."""
         now = self._clock.now_ns
         ingested = 0
         for target in self.current_targets():
-            ingested += self._scrape_target(target, now)
+            self._cancel_retry(target)
+            health = self.health(target)
+            if health.scrapes > 0 and health.last_scrape_ns == now:
+                # An attempt (e.g. a retry that landed on the cycle
+                # boundary, or a manual scrape) already ran at this
+                # instant; one attempt per instant keeps the TSDB and the
+                # health record in agreement.
+                continue
+            ingested += self._scrape_target(target, now, attempt=0)
+        if self.self_monitor:
+            self._record_self_series(now)
         self._tsdb.enforce_retention(now)
         return ingested
 
-    def _scrape_target(self, target: ScrapeTarget, now_ns: int) -> int:
+    def _scrape_target(self, target: ScrapeTarget, now_ns: int, attempt: int) -> int:
         health = self.health(target)
         health.scrapes += 1
         health.last_scrape_ns = now_ns
         response = self._network.get_url(target.url)
         identity = target.identity()
+        latency_s = getattr(response, "latency_s", 0.0)
+        if latency_s > self.timeout_budget_s:
+            # The body (if any) arrived past the budget: discard it, as a
+            # real scraper's deadline would have fired already.
+            health.timeouts += 1
+            self.timeouts_total += 1
+            return self._handle_failure(target, health, now_ns, attempt, identity)
         if not response.ok:
-            health.up = False
-            health.failures += 1
-            health.consecutive_failures += 1
-            self._append("up", now_ns, 0.0, identity)
-            return 1
+            return self._handle_failure(target, health, now_ns, attempt, identity)
         try:
             samples = parse_exposition(response.body)
         except Exception:  # noqa: BLE001 - a bad exposition marks the target down
-            health.up = False
-            health.failures += 1
-            health.consecutive_failures += 1
-            self._append("up", now_ns, 0.0, identity)
-            return 1
-        health.up = True
-        health.consecutive_failures = 0
+            return self._handle_failure(target, health, now_ns, attempt, identity)
+        self._mark_up(target, health, identity, now_ns)
         ingested = 0
         for sample in samples:
             labels = dict(sample.labels)
             labels.update(identity)  # target identity wins on collision
-            self._append(sample.name, now_ns, sample.value, labels)
-            ingested += 1
-        self._append("up", now_ns, 1.0, identity)
+            if self._append(sample.name, now_ns, sample.value, labels):
+                ingested += 1
+        self.samples_ingested += ingested
+        if self._append("up", now_ns, 1.0, identity):
+            self.up_writes += 1
         # Scrape metadata, as Prometheus records it: how long the scrape
-        # took (modelled from the exposition size) and how many samples it
-        # yielded — operators watch these to spot bloated exporters.
-        duration_s = len(response.body) / 50e6 + 0.001  # parse rate + RTT
-        self._append("scrape_duration_seconds", now_ns, duration_s, identity)
-        self._append("scrape_samples_scraped", now_ns, float(ingested), identity)
-        return ingested + 3
+        # took (modelled from the exposition size plus any transport
+        # latency) and how many samples it yielded — operators watch these
+        # to spot bloated exporters and slow links.
+        duration_s = latency_s + len(response.body) / 50e6 + 0.001
+        if self._append("scrape_duration_seconds", now_ns, duration_s, identity):
+            self.meta_writes += 1
+        if self._append("scrape_samples_scraped", now_ns, float(ingested), identity):
+            self.meta_writes += 1
+        return ingested
 
-    def _append(self, name: str, now_ns: int, value: float, labels: Dict[str, str]) -> None:
+    # ------------------------------------------------------------------
+    # Failure handling, retries, staleness
+    # ------------------------------------------------------------------
+    def _handle_failure(
+        self,
+        target: ScrapeTarget,
+        health: TargetHealth,
+        now_ns: int,
+        attempt: int,
+        identity: Dict[str, str],
+    ) -> int:
+        health.failures += 1
+        health.consecutive_failures += 1
+        if attempt == 0:
+            health.missed_intervals += 1
+        if health.observed and health.up:
+            health.flaps += 1
+            self.flaps_total += 1
+        health.up = False
+        health.observed = True
+        if self._append("up", now_ns, 0.0, identity):
+            self.up_writes += 1
+        if not health.stale and health.missed_intervals >= self.staleness_intervals:
+            health.stale = True
+            if self._append("scrape_target_stale", now_ns, 1.0, identity):
+                self.stale_writes += 1
+        if attempt < self.max_retries:
+            self._schedule_retry(target, attempt)
+        return 0
+
+    def _mark_up(
+        self,
+        target: ScrapeTarget,
+        health: TargetHealth,
+        identity: Dict[str, str],
+        now_ns: int,
+    ) -> None:
+        if health.observed and not health.up:
+            health.flaps += 1
+            self.flaps_total += 1
+        health.up = True
+        health.observed = True
+        health.consecutive_failures = 0
+        health.missed_intervals = 0
+        if health.stale:
+            health.stale = False
+            if self._append("scrape_target_stale", now_ns, 0.0, identity):
+                self.stale_writes += 1
+
+    def backoff_delay_ns(self, attempt: int) -> int:
+        """Jittered exponential backoff before retry ``attempt + 1``.
+
+        ``base * 2^attempt``, multiplied by a uniform jitter factor in
+        ``[1 - jitter, 1 + jitter)`` drawn from the manager's seeded
+        stream, and capped at one scrape interval so a retry can never
+        land after the next scheduled cycle would have superseded it.
+        """
+        delay_s = self.backoff_base_s * (2 ** attempt)
+        if self.backoff_jitter:
+            delay_s *= 1.0 + self.backoff_jitter * (
+                2.0 * self._backoff_rng.random() - 1.0
+            )
+        return min(int(delay_s * NANOS_PER_SEC), self.interval_ns)
+
+    def _schedule_retry(self, target: ScrapeTarget, attempt: int) -> None:
+        delay_ns = self.backoff_delay_ns(attempt)
+        self._retry_timers[target] = self._clock.call_later(
+            delay_ns, lambda: self._retry(target, attempt + 1)
+        )
+
+    def _retry(self, target: ScrapeTarget, attempt: int) -> None:
+        self._retry_timers.pop(target, None)
+        if all(t.url != target.url for t in self.current_targets()):
+            return  # target went away between failure and retry
+        health = self.health(target)
+        health.retries += 1
+        self.retries_total += 1
+        self._scrape_target(target, self._clock.now_ns, attempt)
+
+    def _cancel_retry(self, target: ScrapeTarget) -> None:
+        timer = self._retry_timers.pop(target, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _cancel_all_retries(self) -> None:
+        for target in list(self._retry_timers):
+            self._cancel_retry(target)
+
+    # ------------------------------------------------------------------
+    # Ingest and self-monitoring
+    # ------------------------------------------------------------------
+    def _append(self, name: str, now_ns: int, value: float, labels: Dict[str, str]) -> bool:
         full = dict(labels)
         full[METRIC_NAME_LABEL] = name
         try:
             self._tsdb.append(Labels(full), now_ns, value)
-            self.samples_ingested += 1
+            return True
         except TsdbError:
             # Two scrapes in the same instant (e.g. manual + scheduled)
             # produce a duplicate timestamp; drop the later sample, which is
-            # what Prometheus does with out-of-order ingestion.
-            pass
+            # what Prometheus does with out-of-order ingestion — but count
+            # the drop so operators can see it happening.
+            self.samples_dropped += 1
+            return False
+
+    def _record_self_series(self, now_ns: int) -> None:
+        """Append the scraper's own counters — the monitor monitors itself."""
+        for name, value in (
+            ("scrape_timeouts_total", self.timeouts_total),
+            ("scrape_retries_total", self.retries_total),
+            ("scrape_samples_dropped_total", self.samples_dropped),
+            ("target_flaps_total", self.flaps_total),
+        ):
+            self._append(name, now_ns, float(value), SELF_IDENTITY)
+
+    def self_stats(self) -> Dict[str, int]:
+        """The self-monitoring counters as a plain mapping."""
+        return {
+            "scrape_timeouts_total": self.timeouts_total,
+            "scrape_retries_total": self.retries_total,
+            "scrape_samples_dropped_total": self.samples_dropped,
+            "target_flaps_total": self.flaps_total,
+            "samples_ingested": self.samples_ingested,
+            "up_writes": self.up_writes,
+        }
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -180,11 +377,12 @@ class ScrapeManager:
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop periodic scraping."""
+        """Stop periodic scraping and cancel outstanding retries."""
         self._running = False
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._cancel_all_retries()
 
     def _schedule_next(self) -> None:
         if not self._running:

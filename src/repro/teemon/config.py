@@ -19,6 +19,12 @@ class TeemonConfig:
     """
 
     scrape_interval_s: float = 5.0
+    #: Scrape responses slower than this are treated as timeouts.
+    scrape_timeout_s: float = 1.0
+    #: Failed scrapes retry this many times with jittered backoff.
+    scrape_max_retries: int = 2
+    #: Missed scheduled scrapes before a target gets a staleness marker.
+    scrape_staleness_intervals: int = 3
     retention_hours: float = 24.0
     enable_tme: bool = True
     enable_ebpf: bool = True
@@ -35,6 +41,14 @@ class TeemonConfig:
     def __post_init__(self) -> None:
         if self.scrape_interval_s <= 0:
             raise DeploymentError("scrape interval must be positive")
+        if self.scrape_timeout_s <= 0:
+            raise DeploymentError("scrape timeout must be positive")
+        if self.scrape_timeout_s >= self.scrape_interval_s:
+            raise DeploymentError("scrape timeout must be below the interval")
+        if self.scrape_max_retries < 0:
+            raise DeploymentError("scrape retries cannot be negative")
+        if self.scrape_staleness_intervals < 1:
+            raise DeploymentError("staleness threshold must be >= 1")
         if self.retention_hours <= 0:
             raise DeploymentError("retention must be positive")
         if self.analysis_every_s <= 0 or self.analysis_window_s <= 0:

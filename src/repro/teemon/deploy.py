@@ -104,6 +104,10 @@ class TeemonDeployment:
         self.scrape_manager = ScrapeManager(
             kernel.clock, self.network, self.tsdb,
             interval_ns=int(config.scrape_interval_s * NANOS_PER_SEC),
+            timeout_budget_s=config.scrape_timeout_s,
+            max_retries=config.scrape_max_retries,
+            staleness_intervals=config.scrape_staleness_intervals,
+            rng=kernel.rng,
         )
         for job, exporter in self.exporters.items():
             self.scrape_manager.add_target(

@@ -17,6 +17,7 @@ from repro.pmv.render import render_dashboard
 from repro.simkernel.clock import NANOS_PER_SEC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pmag.scrape import TargetHealth
     from repro.teemon.deploy import TeemonDeployment
 
 
@@ -55,6 +56,30 @@ class MonitoringSession:
         """Current free EPC pages (None before the first scrape)."""
         vector = self.query("sgx_epc_free_pages")
         return vector[0][1] if vector else None
+
+    # ------------------------------------------------------------------
+    # Scrape health
+    # ------------------------------------------------------------------
+    def target_health(self) -> Dict[str, "TargetHealth"]:
+        """Health record per target URL (the frontend's targets page)."""
+        manager = self._deployment.scrape_manager
+        return {
+            target.url: manager.health(target)
+            for target in manager.current_targets()
+        }
+
+    def down_targets(self) -> List[str]:
+        """URLs whose last scrape failed."""
+        return [t.url for t in self._deployment.scrape_manager.down_targets()]
+
+    def stale_targets(self) -> List[str]:
+        """URLs that missed the staleness threshold of scrape intervals."""
+        return [t.url for t in self._deployment.scrape_manager.stale_targets()]
+
+    def scrape_stats(self) -> Dict[str, int]:
+        """The scraper's self-monitoring counters (timeouts, retries,
+        dropped duplicates, target flaps, ingest totals)."""
+        return self._deployment.scrape_manager.self_stats()
 
     # ------------------------------------------------------------------
     # Alerts and dashboards

@@ -1,11 +1,26 @@
-"""Shared fixtures."""
+"""Shared fixtures and hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.simkernel.kernel import Kernel
 from repro.sgx.driver import SgxDriver
+
+# Property-test profiles.  "dev" keeps the local edit-test loop fast;
+# "ci" runs more examples with derandomized (fixed-seed) search so CI
+# failures reproduce exactly.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("dev", max_examples=100)
+settings.register_profile(
+    "ci",
+    max_examples=400,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,213 @@
+"""Unit tests for the fault-injection layer: injectors, plan, wrapper."""
+
+import pytest
+
+from repro.errors import NetworkError, OpenMetricsError
+from repro.faults import (
+    CORRUPTION_MARKER,
+    ClockSkewInjector,
+    CorruptionInjector,
+    DelayInjector,
+    FaultPlan,
+    FaultyHttpNetwork,
+    FlapInjector,
+    SlowLinkInjector,
+    StaleReplayInjector,
+)
+from repro.net.http import HttpNetwork
+from repro.net.network import Link
+from repro.openmetrics.parser import parse_exposition
+from repro.simkernel.clock import VirtualClock, seconds
+from repro.simkernel.rng import DeterministicRng
+
+URL = "http://h:9100/metrics"
+BODY = 'events_total 42\nbytes_total{dev="eth0"} 1000\n'
+
+
+def _wrapped(seed=7):
+    clock = VirtualClock()
+    inner = HttpNetwork()
+    inner.register("h", 9100, "/metrics", lambda: BODY)
+    plan = FaultPlan(clock, DeterministicRng(seed))
+    return clock, inner, plan, FaultyHttpNetwork(inner, plan)
+
+
+# ---------------------------------------------------------------------------
+# FlapInjector
+# ---------------------------------------------------------------------------
+def test_flap_schedule_is_deterministic_per_seed_and_url():
+    a = FlapInjector(DeterministicRng(3), mean_up_s=20, mean_down_s=5)
+    b = FlapInjector(DeterministicRng(3), mean_up_s=20, mean_down_s=5)
+    horizon = seconds(600)
+    assert a.schedule(URL, horizon) == b.schedule(URL, horizon)
+    assert a.schedule(URL, horizon)  # at least one down window in 10 min
+    # A different URL gets an independent schedule.
+    assert a.schedule("http://other:1/x", horizon) != a.schedule(URL, horizon)
+
+
+def test_flap_down_at_agrees_with_schedule():
+    flap = FlapInjector(DeterministicRng(3), mean_up_s=20, mean_down_s=5)
+    horizon = seconds(600)
+    windows = flap.schedule(URL, horizon)
+    for start, end in windows:
+        assert flap.down_at(URL, start)
+        assert flap.down_at(URL, end - 1)
+        assert not flap.down_at(URL, end)
+    assert not flap.down_at(URL, 0)  # schedules start up
+
+
+def test_flap_short_circuits_to_503_without_touching_handler():
+    clock, inner, plan, net = _wrapped()
+    calls = []
+    inner.unregister("h", 9100, "/metrics")
+    inner.register("h", 9100, "/metrics", lambda: calls.append(1) or BODY)
+    flap = plan.add(FlapInjector(DeterministicRng(3), mean_up_s=20, mean_down_s=5))
+    start, _end = flap.schedule(URL, seconds(600))[0]
+    clock.advance(start + 1)
+    response = net.get_url(URL)
+    assert response.status == 503
+    assert calls == []  # handler never ran
+    assert plan.counts() == {"flap": 1}
+
+
+# ---------------------------------------------------------------------------
+# Latency injectors
+# ---------------------------------------------------------------------------
+def test_delay_injector_adds_latency_in_range():
+    clock, _inner, plan, net = _wrapped()
+    plan.add(DelayInjector(DeterministicRng(5), probability=1.0,
+                           min_delay_s=2.0, max_delay_s=3.0))
+    response = net.get_url(URL)
+    assert response.ok  # the body still arrives — just late
+    assert 2.0 <= response.latency_s < 3.0
+
+
+def test_slow_link_latency_matches_link_model():
+    clock, _inner, plan, net = _wrapped()
+    link = Link(bandwidth_bits_per_s=1e6)  # 1 Mbit/s: slow enough to see
+    offered = 0.5 * link.payload_bytes_per_s
+    plan.add(SlowLinkInjector(DeterministicRng(5), link, offered))
+    response = net.get_url(URL)
+    assert response.latency_s == pytest.approx(
+        link.transfer_time_s(len(BODY), offered)
+    )
+
+
+def test_clock_skew_drifts_and_clamps_at_zero():
+    skew = ClockSkewInjector(DeterministicRng(1), offset_s=0.01,
+                             drift_per_s=0.001)
+    assert skew.skew_at(0) == pytest.approx(0.01)
+    assert skew.skew_at(seconds(10)) == pytest.approx(0.02)
+    clock, _inner, plan, net = _wrapped()
+    plan.add(ClockSkewInjector(DeterministicRng(1), offset_s=-5.0))
+    response = net.get_url(URL)
+    assert response.latency_s == 0.0  # negative skew clamps, never negative
+
+
+# ---------------------------------------------------------------------------
+# Payload injectors
+# ---------------------------------------------------------------------------
+def test_corrupted_bodies_never_parse():
+    clock, _inner, plan, net = _wrapped()
+    plan.add(CorruptionInjector(DeterministicRng(11), probability=1.0))
+    for _ in range(50):  # exercise all three corruption modes
+        response = net.get_url(URL)
+        assert CORRUPTION_MARKER.split()[0] in response.body
+        with pytest.raises(OpenMetricsError):
+            parse_exposition(response.body)
+
+
+def test_stale_replay_returns_previous_body():
+    clock, inner, plan, net = _wrapped()
+    bodies = iter([f"events_total {i}\n" for i in range(100)])
+    inner.unregister("h", 9100, "/metrics")
+    inner.register("h", 9100, "/metrics", lambda: next(bodies))
+    plan.add(StaleReplayInjector(DeterministicRng(2), probability=1.0))
+    first = net.get_url(URL)
+    assert first.body == "events_total 0\n"  # nothing to replay yet
+    second = net.get_url(URL)
+    assert second.body == "events_total 0\n"  # replayed
+    assert plan.counts() == {"stale-replay": 1}
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan composition and journal
+# ---------------------------------------------------------------------------
+def test_plan_journal_is_byte_identical_across_runs():
+    def run(seed):
+        clock, _inner, plan, net = _wrapped(seed)
+        plan.add(FlapInjector(DeterministicRng(seed).fork("flap"),
+                              mean_up_s=10, mean_down_s=5))
+        plan.add(DelayInjector(DeterministicRng(seed).fork("delay"),
+                               probability=0.3))
+        plan.add(CorruptionInjector(DeterministicRng(seed).fork("corrupt"),
+                                    probability=0.3))
+        for _ in range(100):
+            clock.advance(seconds(1))
+            net.get_url(URL)
+        return plan.journal_text()
+
+    assert run(9) == run(9)
+    assert run(9) != run(10)
+    assert run(9)  # faults were actually injected
+
+
+def test_plan_url_scoping():
+    clock, inner, plan, net = _wrapped()
+    inner.register("other", 1, "/x", lambda: "m_total 1\n")
+    plan.add(CorruptionInjector(DeterministicRng(1), probability=1.0),
+             urls=[URL])
+    assert not net.get_url("http://other:1/x").body.startswith(
+        CORRUPTION_MARKER.split()[0])
+    assert CORRUPTION_MARKER.split()[0] in net.get_url(URL).body
+    with pytest.raises(NetworkError):
+        plan.add(DelayInjector(DeterministicRng(1)), urls=[])
+
+
+# ---------------------------------------------------------------------------
+# FaultyHttpNetwork delegation
+# ---------------------------------------------------------------------------
+def test_wrapper_is_transparent_without_faults():
+    clock, inner, plan, net = _wrapped()
+    response = net.get_url(URL)
+    assert response.ok and response.body == BODY and response.latency_s == 0.0
+    assert net.requests_faulted == 0
+    assert net.requests_served == inner.requests_served == 1
+
+
+def test_wrapper_delegates_route_management():
+    clock, inner, plan, net = _wrapped()
+    endpoint = net.register("n", 1, "/m", lambda: "x 1\n")
+    assert net.lookup("n", 1, "/m") is endpoint
+    assert endpoint in net.endpoints()
+    assert inner.lookup("n", 1, "/m") is endpoint
+    net.unregister("n", 1, "/m")
+    assert net.get("n", 1, "/m").status == 404
+
+
+def test_wrapper_post_path_goes_through_faults():
+    clock, inner, plan, net = _wrapped()
+    endpoint = net.register("gw", 1, "/push", lambda: "ok")
+    endpoint.post_handler = lambda body: f"echo:{body}"
+    plan.add(DelayInjector(DeterministicRng(4), probability=1.0,
+                           min_delay_s=2.0, max_delay_s=2.5))
+    response = net.post_url("http://gw:1/push", "hello")
+    assert response.ok and response.body == "echo:hello"
+    assert response.latency_s >= 2.0
+    assert plan.counts() == {"delay": 1}
+
+
+def test_injector_parameter_validation():
+    rng = DeterministicRng(0)
+    with pytest.raises(NetworkError):
+        FlapInjector(rng, mean_up_s=0)
+    with pytest.raises(NetworkError):
+        DelayInjector(rng, probability=1.5)
+    with pytest.raises(NetworkError):
+        DelayInjector(rng, min_delay_s=3.0, max_delay_s=1.0)
+    with pytest.raises(NetworkError):
+        CorruptionInjector(rng, probability=-0.1)
+    with pytest.raises(NetworkError):
+        StaleReplayInjector(rng, probability=2.0)
+    with pytest.raises(NetworkError):
+        SlowLinkInjector(rng, Link(), offered_bytes_per_s=-1.0)

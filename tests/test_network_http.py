@@ -128,6 +128,19 @@ def test_parse_url_variants():
     assert parse_url("http://h") == ("h", 80, "/")
 
 
+def test_parse_url_no_path_with_port():
+    assert parse_url("http://h:9100") == ("h", 9100, "/")
+
+
+def test_parse_url_default_port_80():
+    host, port, path = parse_url("http://node-0/metrics")
+    assert (host, port, path) == ("node-0", 80, "/metrics")
+
+
+def test_parse_url_trailing_slash_only():
+    assert parse_url("http://h:90/") == ("h", 90, "/")
+
+
 def test_parse_url_errors():
     with pytest.raises(NetworkError):
         parse_url("https://h/")
@@ -135,3 +148,61 @@ def test_parse_url_errors():
         parse_url("http://h:abc/")
     with pytest.raises(NetworkError):
         parse_url("http://:80/")
+
+
+def test_parse_url_empty_port_rejected():
+    with pytest.raises(NetworkError):
+        parse_url("http://h:/metrics")
+    with pytest.raises(NetworkError):
+        parse_url("http://h:")
+
+
+def test_parse_url_empty_host_variants_rejected():
+    with pytest.raises(NetworkError):
+        parse_url("http://")
+    with pytest.raises(NetworkError):
+        parse_url("http:///metrics")
+    with pytest.raises(NetworkError):
+        parse_url("http://:9100")
+
+
+def test_parse_url_non_http_scheme_and_bare_host_rejected():
+    with pytest.raises(NetworkError):
+        parse_url("ftp://h/")
+    with pytest.raises(NetworkError):
+        parse_url("h:9100/metrics")
+
+
+def test_post_on_get_only_endpoint_is_405():
+    net = HttpNetwork()
+    net.register("h", 80, "/metrics", lambda: "m 1\n")
+    response = net.post("h", 80, "/metrics", "payload")
+    assert response.status == 405
+    assert not response.ok
+    assert net.requests_failed == 1
+    # The GET path is untouched by the failed POST.
+    assert net.get("h", 80, "/metrics").ok
+
+
+def test_post_unknown_and_unhealthy_endpoints():
+    net = HttpNetwork()
+    assert net.post("nope", 80, "/", "x").status == 404
+    endpoint = net.register("h", 80, "/", lambda: "ok")
+    endpoint.post_handler = lambda body: body.upper()
+    endpoint.healthy = False
+    assert net.post("h", 80, "/", "x").status == 503
+    endpoint.healthy = True
+    assert net.post_url("http://h:80/", "x").body == "X"
+
+
+def test_post_handler_exception_is_500():
+    net = HttpNetwork()
+    endpoint = net.register("h", 80, "/", lambda: "ok")
+
+    def boom(body):
+        raise RuntimeError("post kaput")
+
+    endpoint.post_handler = boom
+    response = net.post("h", 80, "/", "x")
+    assert response.status == 500
+    assert "post kaput" in response.body

@@ -1,11 +1,21 @@
-"""Push gateway tests."""
+"""Push gateway and push client tests."""
+
+from types import SimpleNamespace
 
 import pytest
 
 from repro.errors import TsdbError
-from repro.pmag.push import PushGateway
+from repro.faults import FaultPlan, FaultyHttpNetwork, Injector
+from repro.net.http import HttpNetwork
+from repro.pmag.push import (
+    PushClient,
+    PushGateway,
+    decode_push_line,
+    encode_push_line,
+)
 from repro.pmag.tsdb import Tsdb
-from repro.simkernel.clock import VirtualClock, seconds
+from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock, seconds
+from repro.simkernel.rng import DeterministicRng
 
 
 def _gateway(rate=10.0, burst=20.0):
@@ -74,3 +84,197 @@ def test_invalid_quotas_rejected():
     _clock, _tsdb, gateway = _gateway()
     with pytest.raises(TsdbError):
         gateway.set_quota("s", rate_per_s=-1, burst=1)
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+def test_push_line_roundtrip():
+    line = encode_push_line("svc", "events_total", 5.0, {"kind": "x", "az": "b"})
+    assert line == "svc events_total 5.0 az=b,kind=x"
+    assert decode_push_line(line) == ("svc", "events_total", 5.0,
+                                      {"az": "b", "kind": "x"})
+    bare = encode_push_line("svc", "m_total", 1.5, {})
+    assert decode_push_line(bare) == ("svc", "m_total", 1.5, {})
+
+
+def test_push_line_rejects_unsafe_tokens():
+    for source, metric, labels in [
+        ("a b", "m", {}),            # space in source
+        ("s", "m,x", {}),            # comma in metric
+        ("s", "m", {"k=v": "x"}),    # equals in label key
+        ("s", "m", {"k": ""}),       # empty label value
+        ("", "m", {}),               # empty source
+    ]:
+        with pytest.raises(TsdbError):
+            encode_push_line(source, metric, 1.0, labels)
+
+
+def test_decode_malformed_lines():
+    for line in ["", "svc", "svc m", "svc m notafloat",
+                 "svc m 1.0 k=v extra", "svc m 1.0 k", "svc m 1.0 =v",
+                 "svc m 1.0 k="]:
+        with pytest.raises(TsdbError):
+            decode_push_line(line)
+
+
+# ---------------------------------------------------------------------------
+# HTTP exposure
+# ---------------------------------------------------------------------------
+def test_gateway_expose_serves_wire_pushes_and_status():
+    clock, tsdb, gateway = _gateway()
+    clock.advance(seconds(1))
+    network = HttpNetwork()
+    url = gateway.expose(network)
+    assert url == "http://pushgw:9091/push"
+    body = "\n".join([
+        encode_push_line("svc", "events_total", 3.0, {"kind": "x"}),
+        "",  # blank lines are ignored
+        encode_push_line("svc", "bytes_total", 9.0, {}),
+    ])
+    response = network.post_url(url, body)
+    assert response.ok and response.body == "accepted=2 rejected=0"
+    assert tsdb.latest("events_total").value == 3.0
+    # GETs on the route answer with the gateway's counters.
+    assert "pushgateway_accepted_total 2" in network.get_url(url).body
+
+
+def test_gateway_expose_reports_quota_rejections():
+    clock, _tsdb, gateway = _gateway(rate=1.0, burst=2.0)
+    clock.advance(seconds(1))
+    network = HttpNetwork()
+    url = gateway.expose(network)
+    lines = "\n".join(encode_push_line("bursty", "m_total", 1.0, {})
+                      for _ in range(5))
+    assert network.post_url(url, lines).body == "accepted=2 rejected=3"
+
+
+# ---------------------------------------------------------------------------
+# PushClient: timeout, retry, terminal rejection
+# ---------------------------------------------------------------------------
+class _FirstNDelay(Injector):
+    """Delay only the first ``n`` requests past any sane budget."""
+
+    kind = "delay"
+
+    def __init__(self, rng, n, delay_s=5.0):
+        super().__init__(rng)
+        self.remaining = n
+        self.delay_s = delay_s
+
+    def after(self, ctx):
+        if ctx.response is not None and self.remaining > 0:
+            self.remaining -= 1
+            ctx.latency_s += self.delay_s
+            ctx.applied.append(self.kind)
+
+
+class _RequestRecorder(Injector):
+    """Record the virtual time of every request (for backoff checks)."""
+
+    kind = "record"
+
+    def __init__(self, rng):
+        super().__init__(rng)
+        self.times_ns = []
+
+    def before(self, ctx):
+        self.times_ns.append(ctx.now_ns)
+
+
+def _client_rig(seed=5, delay_first=0, rate=100.0, burst=200.0,
+                max_retries=2):
+    rng = DeterministicRng(seed)
+    clock = VirtualClock()
+    tsdb = Tsdb()
+    gateway = PushGateway(clock, tsdb, default_rate_per_s=rate,
+                          default_burst=burst)
+    inner = HttpNetwork()
+    url = gateway.expose(inner)
+    plan = FaultPlan(clock, rng.fork("plan"))
+    recorder = plan.add(_RequestRecorder(rng.fork("record")))
+    if delay_first:
+        plan.add(_FirstNDelay(rng.fork("delay"), n=delay_first))
+    network = FaultyHttpNetwork(inner, plan)
+    client = PushClient(clock, network, url, "svc", timeout_budget_s=1.0,
+                        max_retries=max_retries, rng=rng.fork("client"))
+    clock.advance(seconds(1))
+    return SimpleNamespace(clock=clock, tsdb=tsdb, gateway=gateway,
+                           client=client, recorder=recorder)
+
+
+def test_client_delivers_immediately_when_healthy():
+    rig = _client_rig()
+    assert rig.client.push("events_total", 7.0, kind="x")
+    assert rig.client.pushes_delivered == 1
+    assert rig.client.pushes_failed == 0
+    sample = rig.tsdb.latest("events_total")
+    assert sample is not None and sample.value == 7.0
+    assert rig.clock.pending_count() == 0  # nothing scheduled
+
+
+def test_client_quota_rejection_is_terminal_not_retried():
+    rig = _client_rig(rate=1.0, burst=1.0)
+    assert rig.client.push("m_total", 1.0)
+    assert not rig.client.push("m_total", 2.0)  # quota exhausted
+    assert rig.client.pushes_rejected == 1
+    # No retry was scheduled: retrying a rate-limited push would amplify
+    # exactly the burst the quota sheds.
+    assert rig.clock.pending_count() == 0
+    rig.clock.advance(seconds(60))
+    assert rig.client.push_retries_total == 0
+    assert rig.client.pushes_delivered == 1
+
+
+def test_client_timeout_then_retry_delivers():
+    rig = _client_rig(delay_first=1)
+    assert not rig.client.push("events_total", 4.0)  # first attempt times out
+    assert rig.client.push_timeouts_total == 1
+    assert rig.client.pushes_delivered == 0
+    assert rig.clock.pending_count() == 1  # the scheduled retry
+    rig.clock.advance(seconds(2))
+    assert rig.client.push_retries_total == 1
+    assert rig.client.pushes_delivered == 1
+    assert rig.tsdb.latest("events_total").value == 4.0
+
+
+def test_client_exhausted_retries_counted_as_failed():
+    rig = _client_rig(delay_first=10, max_retries=1)
+    assert not rig.client.push("m_total", 1.0)
+    rig.clock.advance(seconds(60))
+    assert rig.client.push_timeouts_total == 2  # original + one retry
+    assert rig.client.push_retries_total == 1
+    assert rig.client.pushes_failed == 1
+    assert rig.client.pushes_delivered == 0
+    # A timed-out push is not a lost push: the gateway processed both the
+    # original and the retry, it only answered too late.  Push gives
+    # at-least-once delivery under timeouts — one more §4 argument for
+    # pull, where a timed-out scrape ingests nothing.
+    assert rig.gateway.pushes_accepted == 2
+
+
+def test_client_retry_times_follow_jittered_backoff():
+    seed = 5
+    rig = _client_rig(seed=seed, delay_first=10, max_retries=2)
+    start_ns = rig.clock.now_ns
+    rig.client.push("m_total", 1.0)
+    rig.clock.advance(seconds(60))
+    # Replicate the client's backoff stream to predict the exact retry
+    # schedule: delay_k = base * 2^k * (1 + jitter * (2*rand - 1)).
+    stream = DeterministicRng(seed).fork("client").fork("push-backoff")
+    expected, t = [start_ns], start_ns
+    for attempt in range(2):
+        delay_s = rig.client.backoff_base_s * (2 ** attempt)
+        delay_s *= 1.0 + rig.client.backoff_jitter * (2.0 * stream.random() - 1.0)
+        t += int(delay_s * NANOS_PER_SEC)
+        expected.append(t)
+    assert rig.recorder.times_ns == expected
+
+
+def test_client_parameter_validation():
+    clock, network = VirtualClock(), HttpNetwork()
+    for kwargs in [dict(timeout_budget_s=0.0), dict(max_retries=-1),
+                   dict(backoff_base_s=0.0), dict(backoff_jitter=1.0)]:
+        with pytest.raises(TsdbError):
+            PushClient(clock, network, "http://pushgw:9091/push", "svc",
+                       **kwargs)

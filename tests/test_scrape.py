@@ -33,7 +33,10 @@ def test_scrape_once_ingests_samples():
     counter.inc(42)
     clock.advance(seconds(1))
     ingested = manager.scrape_once()
-    assert ingested == 4  # events_total + up + scrape duration/samples meta
+    assert ingested == 1  # events_total; up + scrape meta counted separately
+    assert manager.samples_ingested == 1
+    assert manager.up_writes == 1
+    assert manager.meta_writes == 2  # scrape duration + samples meta
     sample = tsdb.latest("events_total")
     assert sample is not None and sample.value == 42
 
