@@ -24,6 +24,7 @@ from repro.exporters.base import Exporter, ExporterFootprint
 from repro.exporters.cadvisor import CadvisorExporter
 from repro.exporters.ebpf_exporter import EbpfExporter, EbpfExporterConfig
 from repro.exporters.node_exporter import NodeExporter
+from repro.exporters.teemon_self import TeemonSelfExporter
 from repro.exporters.tme import TeeMetricsExporter
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "EbpfExporterConfig",
     "NodeExporter",
     "CadvisorExporter",
+    "TeemonSelfExporter",
 ]

@@ -1,0 +1,118 @@
+"""The ``teemon_self`` target: the monitoring stack as its own exporter.
+
+TEEMon's aggregator scrapes exporters; this module closes the loop by
+making the monitoring pipeline itself scrapable.  One endpoint (port
+9901) serves, in OpenMetrics format:
+
+* the scrape manager's own counters (``teemon_scrape_*_total``,
+  ``teemon_target_flaps_total``) — the *same* family objects registered
+  in :attr:`ScrapeManager.self_registry`, so the exposition is always a
+  live view and ``rate(teemon_scrape_retries_total[1m])`` is a real
+  PromQL query over real scraped series;
+* tracer counters (``teemon_trace_spans_started_total`` …), refreshed at
+  collect time from the live tracer;
+* ``teemon_span_duration_seconds`` — a histogram of span durations
+  (virtual time), labelled by span name, fed from the tracer's span-end
+  callback.  Each observation carries an OpenMetrics **exemplar**
+  ``{trace_id=…,span_id=…}``, so a slow bucket on a dashboard resolves
+  back to a concrete stored trace via ``TraceStore.get``.
+
+Unlike the paper's four per-host exporters this one is *not* an
+:class:`~repro.exporters.base.Exporter`: it has no host process and no
+modelled footprint (the pipeline's cost is already charged to the
+aggregator), it is purely an endpoint over state that exists anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.http import HttpEndpoint, HttpNetwork
+from repro.openmetrics.encoder import encode_registry
+from repro.openmetrics.registry import CollectorRegistry
+from repro.openmetrics.types import Exemplar
+from repro.simkernel.clock import NANOS_PER_SEC
+
+#: Port convention: one past the paper's exporter range (9100+); the
+#: self-telemetry endpoint is infrastructure, not a workload exporter.
+SELF_EXPORTER_PORT = 9901
+SELF_EXPORTER_PATH = "/metrics"
+SELF_JOB = "teemon_self"
+
+#: Span durations are virtual-time and mostly sub-millisecond; the
+#: default 5ms-and-up buckets would collapse them into one bucket.
+SPAN_DURATION_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0,
+)
+
+
+class TeemonSelfExporter:
+    """Serves the pipeline's self-telemetry as an OpenMetrics endpoint."""
+
+    def __init__(self, hostname: str, scrape_manager=None, tracer=None) -> None:
+        self.hostname = hostname
+        self.registry = CollectorRegistry()
+        self._tracer = tracer
+        self._endpoint: Optional[HttpEndpoint] = None
+        self.scrapes_served = 0
+        if scrape_manager is not None:
+            # Re-register the scrape manager's family objects: both
+            # registries share them, so this exposition is a live view.
+            for family in scrape_manager.self_registry.families():
+                self.registry.register(family)
+        if tracer is not None:
+            self._spans_started = self.registry.counter(
+                "teemon_trace_spans_started_total",
+                "Spans started by the pipeline tracer",
+            )
+            self._spans_ended = self.registry.counter(
+                "teemon_trace_spans_ended_total",
+                "Spans ended by the pipeline tracer",
+            )
+            self._traces_started = self.registry.counter(
+                "teemon_trace_traces_total",
+                "Traces started by the pipeline tracer",
+            )
+            self._span_duration = self.registry.histogram(
+                "teemon_span_duration_seconds",
+                "Span durations in virtual time, by span name",
+                label_names=("span",),
+                buckets=SPAN_DURATION_BUCKETS,
+            )
+            self.registry.on_collect(self._sync_tracer_counters)
+            tracer.on_span_end(self._observe_span)
+
+    def _sync_tracer_counters(self) -> None:
+        self._spans_started.labels().set_to(float(self._tracer.spans_started))
+        self._spans_ended.labels().set_to(float(self._tracer.spans_ended))
+        self._traces_started.labels().set_to(float(self._tracer.traces_started))
+
+    def _observe_span(self, span) -> None:
+        duration_s = span.duration_ns / NANOS_PER_SEC
+        self._span_duration.labels(span.name).observe(
+            duration_s,
+            exemplar=Exemplar.of(
+                duration_s,
+                timestamp_s=span.end_ns / NANOS_PER_SEC,
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+            ),
+        )
+
+    @property
+    def url(self) -> str:
+        """Endpoint URL once exposed."""
+        if self._endpoint is None:
+            raise RuntimeError("teemon_self endpoint not exposed yet")
+        return self._endpoint.url
+
+    def expose(self, network: HttpNetwork) -> HttpEndpoint:
+        """Publish the self-telemetry endpoint on the simulated network."""
+        self._endpoint = network.register(
+            self.hostname, SELF_EXPORTER_PORT, SELF_EXPORTER_PATH, self._serve
+        )
+        return self._endpoint
+
+    def _serve(self) -> str:
+        self.scrapes_served += 1
+        return encode_registry(self.registry)

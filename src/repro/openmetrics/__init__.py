@@ -16,7 +16,14 @@ component scrapes and parses.  This package implements both directions:
 from repro.openmetrics.encoder import encode_registry
 from repro.openmetrics.parser import ParsedSample, parse_exposition
 from repro.openmetrics.registry import CollectorRegistry
-from repro.openmetrics.types import Counter, Gauge, Histogram, MetricKind, Summary
+from repro.openmetrics.types import (
+    Counter,
+    Exemplar,
+    Gauge,
+    Histogram,
+    MetricKind,
+    Summary,
+)
 
 __all__ = [
     "MetricKind",
@@ -24,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Summary",
+    "Exemplar",
     "CollectorRegistry",
     "encode_registry",
     "parse_exposition",

@@ -5,9 +5,12 @@ from __future__ import annotations
 import math
 from typing import List, Mapping, Tuple
 
+from typing import Optional
+
 from repro.openmetrics.registry import CollectorRegistry
 from repro.openmetrics.types import (
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricFamily,
@@ -40,6 +43,24 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _exemplar_suffix(exemplar: Optional[Exemplar]) -> str:
+    """The ``# {labels} value ts`` tail, empty when there is no exemplar.
+
+    Exemplar-less lines stay byte-identical to the wire format without
+    exemplar support — the suffix is strictly additive.
+    """
+    if exemplar is None:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in exemplar.labels
+    )
+    suffix = f" # {{{inner}}} {_format_value(exemplar.value)}"
+    if exemplar.timestamp_s is not None:
+        suffix += f" {_format_value(exemplar.timestamp_s)}"
+    return suffix
+
+
 def encode_family(family: MetricFamily) -> str:
     """Encode one family, with # HELP and # TYPE headers."""
     lines: List[str] = [
@@ -49,14 +70,20 @@ def encode_family(family: MetricFamily) -> str:
     for values, child in family.children():
         labels = format_labels(family.label_names, values)
         if family.kind in (MetricKind.COUNTER, MetricKind.GAUGE):
-            lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+            exemplar = _exemplar_suffix(getattr(child, "exemplar", None))
+            lines.append(
+                f"{family.name}{labels} {_format_value(child.value)}{exemplar}"
+            )
         elif family.kind is MetricKind.HISTOGRAM:
-            for bound, cumulative in child.cumulative_buckets():
+            for index, (bound, cumulative) in enumerate(child.cumulative_buckets()):
                 bucket_labels = format_labels(
                     family.label_names + ("le",),
                     values + (_format_value(bound),),
                 )
-                lines.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+                exemplar = _exemplar_suffix(child.exemplars.get(index))
+                lines.append(
+                    f"{family.name}_bucket{bucket_labels} {cumulative}{exemplar}"
+                )
             lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
             lines.append(f"{family.name}_count{labels} {child.count}")
         elif family.kind is MetricKind.SUMMARY:

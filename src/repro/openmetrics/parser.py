@@ -2,16 +2,21 @@
 
 This is the aggregator's ingest path: the scrape manager GETs an
 exporter's endpoint and feeds the body through :func:`parse_exposition`,
-getting back flat :class:`ParsedSample` records (name, labels, value) that
-the TSDB appends with the scrape timestamp.
+getting back flat :class:`ParsedSample` records (name, labels, value,
+optional exemplar) that the TSDB appends with the scrape timestamp.
+
+Exemplars follow the OpenMetrics ``# {trace_id="…",span_id="…"} value ts``
+syntax after the sample value; samples without one parse exactly as
+before (``exemplar`` is None).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import OpenMetricsError
+from repro.openmetrics.types import Exemplar
 
 
 @dataclass(frozen=True)
@@ -21,6 +26,7 @@ class ParsedSample:
     name: str
     labels: Tuple[Tuple[str, str], ...]
     value: float
+    exemplar: Optional[Exemplar] = None
 
     def labels_dict(self) -> Dict[str, str]:
         """Labels as a dict."""
@@ -95,6 +101,32 @@ def _find_closing_brace(text: str, line_no: int) -> int:
     raise OpenMetricsError(f"line {line_no}: unterminated label set")
 
 
+def _parse_exemplar(text: str, line_no: int) -> Exemplar:
+    """Parse the part after the exemplar's ``#``: ``{labels} value [ts]``."""
+    text = text.strip()
+    if not text.startswith("{"):
+        raise OpenMetricsError(
+            f"line {line_no}: exemplar must start with a label set"
+        )
+    rest = text[1:]
+    close = _find_closing_brace(rest, line_no)
+    labels = _parse_labels(rest[:close], line_no)
+    pieces = rest[close + 1:].split()
+    if not pieces:
+        raise OpenMetricsError(f"line {line_no}: exemplar missing a value")
+    value = _parse_value(pieces[0])
+    timestamp_s = _parse_value(pieces[1]) if len(pieces) > 1 else None
+    return Exemplar(labels=labels, value=value, timestamp_s=timestamp_s)
+
+
+def _split_exemplar(value_part: str, line_no: int):
+    """Split a sample's value field from an optional exemplar tail."""
+    value_text, hash_mark, exemplar_text = value_part.partition("#")
+    if not hash_mark:
+        return value_part, None
+    return value_text, _parse_exemplar(exemplar_text, line_no)
+
+
 def parse_exposition(body: str) -> List[ParsedSample]:
     """Parse exposition text; comments and the EOF marker are skipped."""
     samples: List[ParsedSample] = []
@@ -104,15 +136,21 @@ def parse_exposition(body: str) -> List[ParsedSample]:
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
-        if "{" in line:
+        # A label set starts immediately after the metric name (before any
+        # space); a "{" later in the line belongs to an exemplar.
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace >= 0 and (space < 0 or brace < space):
             name_part, _, rest = line.partition("{")
             close = _find_closing_brace(rest, line_no)
             label_part, value_part = rest[:close], rest[close + 1:]
             name = name_part.strip()
             labels = _parse_labels(label_part, line_no)
-            value = _parse_value(value_part)
+            value_text, exemplar = _split_exemplar(value_part, line_no)
+            value = _parse_value(value_text)
         else:
-            pieces = line.split()
+            value_text, exemplar = _split_exemplar(line, line_no)
+            pieces = value_text.split()
             if len(pieces) < 2:
                 raise OpenMetricsError(f"line {line_no}: malformed sample: {line!r}")
             name = pieces[0]
@@ -120,5 +158,7 @@ def parse_exposition(body: str) -> List[ParsedSample]:
             value = _parse_value(pieces[1])
         if not name:
             raise OpenMetricsError(f"line {line_no}: empty metric name")
-        samples.append(ParsedSample(name=name, labels=labels, value=value))
+        samples.append(ParsedSample(
+            name=name, labels=labels, value=value, exemplar=exemplar,
+        ))
     return samples

@@ -29,6 +29,32 @@ _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 LabelValues = Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class Exemplar:
+    """An OpenMetrics exemplar: one traced observation behind a sample.
+
+    Rendered on the wire as ``# {trace_id="…",span_id="…"} value ts``
+    after the sample value.  Counters keep the most recent exemplar;
+    histograms keep one per bucket (the bucket the observation fell in),
+    per the OpenMetrics spec.
+    """
+
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    timestamp_s: Optional[float] = None
+
+    @classmethod
+    def of(cls, value: float, timestamp_s: Optional[float] = None,
+           **labels: str) -> "Exemplar":
+        """Build an exemplar from keyword labels (insertion order kept)."""
+        return cls(labels=tuple(labels.items()), value=value,
+                   timestamp_s=timestamp_s)
+
+    def labels_dict(self) -> Dict[str, str]:
+        """Labels as a dict."""
+        return dict(self.labels)
+
+
 class MetricKind(enum.Enum):
     """OpenMetrics metric families."""
 
@@ -111,12 +137,16 @@ class _CounterChild:
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.exemplar: Optional[Exemplar] = None
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0,
+            exemplar: Optional[Exemplar] = None) -> None:
         """Increase; negative amounts violate counter semantics."""
         if amount < 0:
             raise OpenMetricsError(f"counter cannot decrease (inc by {amount})")
         self.value += amount
+        if exemplar is not None:
+            self.exemplar = exemplar
 
     def set_to(self, value: float) -> None:
         """Set to an absolute value; must not go backwards.
@@ -139,9 +169,10 @@ class Counter(MetricFamily):
     def _new_child(self) -> _CounterChild:
         return _CounterChild()
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0,
+            exemplar: Optional[Exemplar] = None) -> None:
         """Increment the unlabelled child."""
-        self.labels().inc(amount)
+        self.labels().inc(amount, exemplar=exemplar)
 
     @property
     def value(self) -> float:
@@ -199,13 +230,18 @@ class _HistogramChild:
         self.bucket_counts = [0] * (len(self.upper_bounds) + 1)  # +Inf last
         self.sum = 0.0
         self.count = 0
+        #: Most recent exemplar per bucket index (+Inf bucket included).
+        self.exemplars: Dict[int, Exemplar] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float,
+                exemplar: Optional[Exemplar] = None) -> None:
+        """Record one observation (optionally carrying an exemplar)."""
         index = bisect.bisect_left(self.upper_bounds, value)
         self.bucket_counts[index] += 1
         self.sum += value
         self.count += 1
+        if exemplar is not None:
+            self.exemplars[index] = exemplar
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """(upper bound, cumulative count) pairs, +Inf last."""
@@ -241,9 +277,10 @@ class Histogram(MetricFamily):
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self._buckets)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[Exemplar] = None) -> None:
         """Observe into the unlabelled child."""
-        self.labels().observe(value)
+        self.labels().observe(value, exemplar=exemplar)
 
 
 class _SummaryChild:

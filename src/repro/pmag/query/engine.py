@@ -47,8 +47,14 @@ from repro.pmag.query.nodes import (
 )
 from repro.pmag.query.parser import parse_query
 from repro.pmag.tsdb import Tsdb
+from repro.trace import NOOP_TRACER
 
 LOOKBACK_NS = 5 * 60 * 1_000_000_000
+
+#: Modelled parse cost per query character (ns) for traced evaluations.
+PARSE_NS_PER_CHAR = 100
+#: Modelled evaluation cost per result series (ns) for traced evaluations.
+EVAL_NS_PER_SERIES = 1_000
 
 #: Default capacity of the query plan cache.  The full dashboard + rule +
 #: alert query population of a deployment is a few dozen strings; 256
@@ -242,11 +248,17 @@ class QueryEngine:
         tsdb: Tsdb,
         lookback_ns: int = LOOKBACK_NS,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        tracer=None,
     ) -> None:
         self._tsdb = tsdb
         self._lookback_ns = lookback_ns
         self._plan_cache = QueryPlanCache(plan_cache_size)
         self._bulk: Optional[Dict[VectorSelector, _BulkSelection]] = None
+        # Evaluation is the µs-scale hot path: every traced entry point
+        # checks ``tracer.enabled`` first and falls through to the exact
+        # untraced code when tracing is off, so the no-op tracer costs one
+        # attribute read per query.
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     # Public API
@@ -267,12 +279,35 @@ class QueryEngine:
         """Drop cached plans; useful after engine reconfiguration."""
         self._plan_cache.clear()
 
+    def _parse_traced(self, query: str):
+        """Parse under a ``query.parse`` span recording the cache outcome."""
+        hits_before = self._plan_cache.hits
+        with self._tracer.span("query.parse", {"query": query}) as span:
+            plan = self.parse(query)
+            hit = self._plan_cache.hits > hits_before
+            span.set_attribute("plan_cache_hit", hit)
+            if not hit:
+                span.add_virtual_time(len(query) * PARSE_NS_PER_CHAR)
+        return plan
+
     def instant(self, query: str, time_ns: int) -> InstantVector:
         """Evaluate at one instant; scalars become a single unlabelled entry."""
-        value = self._eval(self.parse(query), time_ns)
-        if isinstance(value, float):
-            return [(Labels({}), value)]
-        return value
+        if not self._tracer.enabled:
+            value = self._eval(self.parse(query), time_ns)
+            if isinstance(value, float):
+                return [(Labels({}), value)]
+            return value
+        with self._tracer.span("query.instant", {"query": query}):
+            expr = self._parse_traced(query)
+            with self._tracer.span("query.eval") as eval_span:
+                value = self._eval(expr, time_ns)
+                if isinstance(value, float):
+                    value = [(Labels({}), value)]
+                eval_span.set_attribute("series", len(value))
+                eval_span.add_virtual_time(
+                    EVAL_NS_PER_SERIES * max(1, len(value))
+                )
+            return value
 
     def scalar(self, query: str, time_ns: int) -> float:
         """Evaluate a query expected to yield exactly one value."""
@@ -291,9 +326,50 @@ class QueryEngine:
         Every selector in the expression is bulk-selected once over the
         whole range (plus its trailing window), then sliced per step.
         """
-        expr = self._check_range(query, start_ns, end_ns, step_ns)
-        windows: Dict[VectorSelector, int] = {}
-        _collect_selector_windows(expr, self._lookback_ns, windows)
+        if not self._tracer.enabled:
+            expr = self._check_range(query, start_ns, end_ns, step_ns)
+            windows: Dict[VectorSelector, int] = {}
+            _collect_selector_windows(expr, self._lookback_ns, windows)
+            self._bulk = self._bulk_select(windows, start_ns, end_ns)
+            try:
+                return self._evaluate_steps(expr, start_ns, end_ns, step_ns)
+            finally:
+                self._bulk = None
+        with self._tracer.span("query.range", {
+            "query": query, "start_ns": start_ns, "end_ns": end_ns,
+            "step_ns": step_ns,
+        }):
+            if step_ns <= 0:
+                raise QueryError(f"step must be positive, got {step_ns}")
+            if end_ns < start_ns:
+                raise QueryError(f"bad range: {start_ns}..{end_ns}")
+            expr = self._parse_traced(query)
+            windows = {}
+            _collect_selector_windows(expr, self._lookback_ns, windows)
+            with self._tracer.span("query.select", {
+                "selectors": len(windows),
+            }) as select_span:
+                self._bulk = self._bulk_select(windows, start_ns, end_ns)
+                series = sum(
+                    len(b._series) for b in self._bulk.values()
+                )
+                select_span.set_attribute("series", series)
+                select_span.add_virtual_time(EVAL_NS_PER_SERIES * max(1, series))
+            try:
+                with self._tracer.span("query.eval") as eval_span:
+                    result = self._evaluate_steps(expr, start_ns, end_ns, step_ns)
+                    eval_span.set_attribute("series", len(result))
+                    steps = (end_ns - start_ns) // step_ns + 1
+                    eval_span.add_virtual_time(
+                        EVAL_NS_PER_SERIES * max(1, len(result)) * steps
+                    )
+                return result
+            finally:
+                self._bulk = None
+
+    def _bulk_select(
+        self, windows: Dict[VectorSelector, int], start_ns: int, end_ns: int
+    ) -> Dict[VectorSelector, _BulkSelection]:
         bulk: Dict[VectorSelector, _BulkSelection] = {}
         for selector, window_ns in windows.items():
             matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
@@ -303,11 +379,7 @@ class QueryEngine:
             bulk[selector] = _BulkSelection(
                 low, high, self._tsdb.select_arrays(matchers, low, high)
             )
-        self._bulk = bulk
-        try:
-            return self._evaluate_steps(expr, start_ns, end_ns, step_ns)
-        finally:
-            self._bulk = None
+        return bulk
 
     def range_query_per_step(
         self, query: str, start_ns: int, end_ns: int, step_ns: int

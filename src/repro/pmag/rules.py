@@ -21,6 +21,7 @@ from repro.pmag.model import Labels, METRIC_NAME_LABEL
 from repro.pmag.query.engine import QueryEngine
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+from repro.trace import NOOP_TRACER
 
 DEFAULT_RULE_INTERVAL_NS = 15 * NANOS_PER_SEC
 
@@ -67,39 +68,64 @@ class RuleGroup:
         self.evaluations = 0
         self.last_error: Optional[str] = None
 
-    def evaluate(self, engine: QueryEngine, tsdb: Tsdb, now_ns: int) -> int:
+    def evaluate(
+        self, engine: QueryEngine, tsdb: Tsdb, now_ns: int, tracer=None
+    ) -> int:
         """Evaluate every rule at ``now_ns``; returns samples recorded.
 
         A failing rule is recorded in :attr:`last_error` and skipped — one
-        bad rule must not silence the rest of the group.
+        bad rule must not silence the rest of the group.  With a tracer,
+        the group evaluates under a ``rules.group`` span with one
+        ``rules.rule`` child per rule (the engine's ``query.*`` spans nest
+        inside it, so a rule trace shows its plan-cache outcome).
         """
+        tracer = tracer if tracer is not None else NOOP_TRACER
         recorded = 0
         self.evaluations += 1
-        for rule in self.rules:
-            try:
-                vector = engine.instant(rule.expr, now_ns)
-            except Exception as exc:  # noqa: BLE001 - rule-level fault barrier
-                self.last_error = f"{rule.record}: {exc}"
-                continue
-            for labels, value in vector:
-                mapping = dict(labels.items())
-                mapping[METRIC_NAME_LABEL] = rule.record
-                mapping.update(rule.static_labels)
-                try:
-                    tsdb.append(Labels(mapping), now_ns, value)
-                    recorded += 1
-                except TsdbError:
-                    pass  # duplicate timestamp (manual + scheduled eval)
+        with tracer.span("rules.group", {
+            "group": self.name, "rules": len(self.rules),
+        }) as group_span:
+            for rule in self.rules:
+                with tracer.span("rules.rule", {
+                    "record": rule.record, "expr": rule.expr,
+                }) as rule_span:
+                    try:
+                        vector = engine.instant(rule.expr, now_ns)
+                    except Exception as exc:  # noqa: BLE001 - rule-level fault barrier
+                        self.last_error = f"{rule.record}: {exc}"
+                        rule_span.set_status("error")
+                        rule_span.add_event("rules.error", message=str(exc))
+                        continue
+                    written = 0
+                    for labels, value in vector:
+                        mapping = dict(labels.items())
+                        mapping[METRIC_NAME_LABEL] = rule.record
+                        mapping.update(rule.static_labels)
+                        try:
+                            tsdb.append(Labels(mapping), now_ns, value)
+                            written += 1
+                        except TsdbError:
+                            pass  # duplicate timestamp (manual + scheduled eval)
+                    recorded += written
+                    rule_span.set_attribute("recorded", written)
+            group_span.set_attribute("recorded", recorded)
         return recorded
 
 
 class RuleEvaluator:
     """Runs rule groups on the virtual clock."""
 
-    def __init__(self, clock: VirtualClock, engine: QueryEngine, tsdb: Tsdb) -> None:
+    def __init__(
+        self,
+        clock: VirtualClock,
+        engine: QueryEngine,
+        tsdb: Tsdb,
+        tracer=None,
+    ) -> None:
         self._clock = clock
         self._engine = engine
         self._tsdb = tsdb
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._groups: List[RuleGroup] = []
         self._timers = {}
         self._running = False
@@ -121,7 +147,8 @@ class RuleEvaluator:
         """Evaluate every group now (manual trigger)."""
         now = self._clock.now_ns
         return sum(
-            group.evaluate(self._engine, self._tsdb, now) for group in self._groups
+            group.evaluate(self._engine, self._tsdb, now, tracer=self._tracer)
+            for group in self._groups
         )
 
     def start(self) -> None:
@@ -147,7 +174,8 @@ class RuleEvaluator:
             if not self._running:
                 return
             self.samples_recorded += group.evaluate(
-                self._engine, self._tsdb, self._clock.now_ns
+                self._engine, self._tsdb, self._clock.now_ns,
+                tracer=self._tracer,
             )
             self._timers[group.name] = self._clock.call_later(
                 group.interval_ns, tick

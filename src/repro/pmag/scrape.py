@@ -20,10 +20,22 @@ behaviours live here, hardened against the failure modes
 * staleness — a target that misses ``staleness_intervals`` consecutive
   scheduled scrapes gets a ``scrape_target_stale`` marker (cleared on
   recovery), so dashboards can distinguish "briefly down" from "gone";
-* self-monitoring — the scraper's own counters
-  (``scrape_timeouts_total``, ``scrape_retries_total``,
-  ``scrape_samples_dropped_total``, ``target_flaps_total``) are appended
-  as series each cycle: the monitor monitors itself, per §4;
+* self-monitoring — the scraper's own counters are real OpenMetrics
+  :class:`~repro.openmetrics.types.Counter` families in
+  :attr:`ScrapeManager.self_registry` (served by the ``teemon_self``
+  target, so ``rate(teemon_scrape_retries_total[1m])`` works in PromQL);
+  the legacy ``scrape_*_total`` series are still appended each cycle and
+  :meth:`ScrapeManager.self_stats` remains a dict view over the counters;
+* tracing — when constructed with a :class:`~repro.trace.tracer.Tracer`,
+  every scrape cycle produces one trace: per-target child spans cover the
+  HTTP fetch (with a W3C ``traceparent`` header propagated through the
+  transport), the OpenMetrics parse and the TSDB append, with injected
+  delays, timeouts and retry scheduling annotated as span events.
+  Retries continue their cycle's trace via the saved span context.
+  Tracing is off by default (the no-op tracer);
+* exemplars — samples whose exposition line carried an OpenMetrics
+  exemplar (``# {trace_id=…,span_id=…} v ts``) have it captured per
+  metric name, resolvable back to a stored trace;
 * service discovery — a callback returning the current target list, so a
   Kubernetes-style cluster can add and remove exporters dynamically
   (§5.4); static targets and discovered targets coexist.
@@ -32,20 +44,31 @@ behaviours live here, hardened against the failure modes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TsdbError
 from repro.net.http import HttpNetwork
 from repro.openmetrics.parser import parse_exposition
+from repro.openmetrics.registry import CollectorRegistry
+from repro.openmetrics.types import Exemplar
 from repro.pmag.model import Labels, METRIC_NAME_LABEL
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
 from repro.simkernel.rng import DeterministicRng
+from repro.trace import NOOP_TRACER, TRACEPARENT_HEADER
 
 DEFAULT_SCRAPE_INTERVAL_NS = 5 * NANOS_PER_SEC
 
 #: Identity labels under which the scraper's own counters are stored.
 SELF_IDENTITY = {"job": "pmag", "instance": "scraper"}
+
+#: Modelled exposition-transfer rate used for ``scrape_duration_seconds``
+#: and the fetch span's virtual time (bytes per second).
+TRANSFER_BYTES_PER_S = 50e6
+#: Modelled OpenMetrics parse rate (bytes per second).
+PARSE_BYTES_PER_S = 200e6
+#: Modelled per-sample TSDB append cost (nanoseconds).
+APPEND_NS_PER_SAMPLE = 2_000
 
 
 @dataclass(frozen=True)
@@ -97,6 +120,7 @@ class ScrapeManager:
         staleness_intervals: int = 3,
         rng: Optional[DeterministicRng] = None,
         self_monitor: bool = True,
+        tracer=None,
     ) -> None:
         if interval_ns <= 0:
             raise TsdbError(f"scrape interval must be positive, got {interval_ns}")
@@ -120,25 +144,100 @@ class ScrapeManager:
         self.backoff_jitter = backoff_jitter
         self.staleness_intervals = staleness_intervals
         self.self_monitor = self_monitor
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._backoff_rng = (rng or DeterministicRng(0)).fork("scrape-backoff")
         self._static_targets: List[ScrapeTarget] = []
         self._discoverers: List[Callable[[], List[ScrapeTarget]]] = []
         self._health: Dict[ScrapeTarget, TargetHealth] = {}
         self._retry_timers: Dict[ScrapeTarget, object] = {}
+        #: Trace context of the failed attempt, so a retry continues the
+        #: same trace instead of starting a fresh one.
+        self._retry_contexts: Dict[ScrapeTarget, object] = {}
         self._timer = None
         self._running = False
-        #: Exposition samples appended (``up`` and scrape metadata are
-        #: tracked separately — a failed scrape ingests nothing).
-        self.samples_ingested = 0
-        self.up_writes = 0
-        self.meta_writes = 0
-        #: Duplicate-timestamp samples silently dropped on append.
-        self.samples_dropped = 0
-        #: Staleness-marker transitions written (1.0 on stale, 0.0 on clear).
-        self.stale_writes = 0
-        self.timeouts_total = 0
-        self.retries_total = 0
-        self.flaps_total = 0
+        # The scraper's own counters, as registered OpenMetrics families —
+        # the ``teemon_self`` target serves this registry, which is what
+        # makes ``rate(teemon_scrape_retries_total[1m])`` a real PromQL
+        # query.  The int attributes below are properties over these.
+        registry = CollectorRegistry()
+        self.self_registry = registry
+        self._ingested_counter = registry.counter(
+            "teemon_scrape_samples_ingested_total",
+            "Exposition samples appended to the TSDB",
+        )
+        self._up_writes_counter = registry.counter(
+            "teemon_scrape_up_writes_total",
+            "Synthetic up-series samples written",
+        )
+        self._meta_writes_counter = registry.counter(
+            "teemon_scrape_meta_writes_total",
+            "Scrape metadata samples written (duration, sample count)",
+        )
+        self._dropped_counter = registry.counter(
+            "teemon_scrape_samples_dropped_total",
+            "Duplicate-timestamp samples dropped on append",
+        )
+        self._stale_writes_counter = registry.counter(
+            "teemon_scrape_stale_writes_total",
+            "Staleness-marker transitions written",
+        )
+        self._timeouts_counter = registry.counter(
+            "teemon_scrape_timeouts_total",
+            "Scrapes discarded because the response exceeded the budget",
+        )
+        self._retries_counter = registry.counter(
+            "teemon_scrape_retries_total",
+            "Retry attempts issued after failed scrapes",
+        )
+        self._flaps_counter = registry.counter(
+            "teemon_target_flaps_total",
+            "Target up/down transitions observed",
+        )
+        #: Latest exemplar seen per metric name on ingested samples.
+        self._exemplars: Dict[str, Tuple[Tuple[Tuple[str, str], ...], Exemplar]] = {}
+
+    # ------------------------------------------------------------------
+    # Self-monitoring counters (dict/attribute views over the registry)
+    # ------------------------------------------------------------------
+    @property
+    def samples_ingested(self) -> int:
+        """Exposition samples appended (``up``/metadata counted separately)."""
+        return int(self._ingested_counter.value)
+
+    @property
+    def up_writes(self) -> int:
+        """Synthetic ``up`` samples written."""
+        return int(self._up_writes_counter.value)
+
+    @property
+    def meta_writes(self) -> int:
+        """Scrape-metadata samples written."""
+        return int(self._meta_writes_counter.value)
+
+    @property
+    def samples_dropped(self) -> int:
+        """Duplicate-timestamp samples silently dropped on append."""
+        return int(self._dropped_counter.value)
+
+    @property
+    def stale_writes(self) -> int:
+        """Staleness-marker transitions written (1.0 stale, 0.0 clear)."""
+        return int(self._stale_writes_counter.value)
+
+    @property
+    def timeouts_total(self) -> int:
+        """Scrapes discarded past the timeout budget."""
+        return int(self._timeouts_counter.value)
+
+    @property
+    def retries_total(self) -> int:
+        """Retry attempts issued."""
+        return int(self._retries_counter.value)
+
+    @property
+    def flaps_total(self) -> int:
+        """Up/down transitions observed."""
+        return int(self._flaps_counter.value)
 
     # ------------------------------------------------------------------
     # Target management
@@ -184,60 +283,107 @@ class ScrapeManager:
         :attr:`up_writes` / :attr:`meta_writes`, not here — a failed
         scrape ingests nothing)."""
         now = self._clock.now_ns
+        tracer = self._tracer
         ingested = 0
-        for target in self.current_targets():
-            self._cancel_retry(target)
-            health = self.health(target)
-            if health.scrapes > 0 and health.last_scrape_ns == now:
-                # An attempt (e.g. a retry that landed on the cycle
-                # boundary, or a manual scrape) already ran at this
-                # instant; one attempt per instant keeps the TSDB and the
-                # health record in agreement.
-                continue
-            ingested += self._scrape_target(target, now, attempt=0)
-        if self.self_monitor:
-            self._record_self_series(now)
-        self._tsdb.enforce_retention(now)
+        targets = self.current_targets()
+        with tracer.span("scrape.cycle", {"targets": len(targets)}):
+            for target in targets:
+                self._cancel_retry(target)
+                health = self.health(target)
+                if health.scrapes > 0 and health.last_scrape_ns == now:
+                    # An attempt (e.g. a retry that landed on the cycle
+                    # boundary, or a manual scrape) already ran at this
+                    # instant; one attempt per instant keeps the TSDB and the
+                    # health record in agreement.
+                    continue
+                ingested += self._scrape_target(target, now, attempt=0)
+            if self.self_monitor:
+                with tracer.span("scrape.self_series"):
+                    self._record_self_series(now)
+            with tracer.span("tsdb.retention"):
+                self._tsdb.enforce_retention(now)
         return ingested
 
     def _scrape_target(self, target: ScrapeTarget, now_ns: int, attempt: int) -> int:
+        tracer = self._tracer
+        with tracer.span("scrape.target", {
+            "job": target.job, "instance": target.instance,
+            "url": target.url, "attempt": attempt,
+        }) as span:
+            return self._scrape_target_traced(target, now_ns, attempt, span)
+
+    def _scrape_target_traced(self, target, now_ns, attempt, span) -> int:
+        tracer = self._tracer
         health = self.health(target)
         health.scrapes += 1
         health.last_scrape_ns = now_ns
-        response = self._network.get_url(target.url)
+        with tracer.span("net.http.get", {"url": target.url}) as get_span:
+            headers = None
+            context = tracer.current_context()
+            if context is not None:
+                headers = {TRACEPARENT_HEADER: context.to_traceparent()}
+            response = self._network.get_url(target.url, headers=headers)
+            latency_s = getattr(response, "latency_s", 0.0)
+            get_span.set_attribute("status", response.status)
+            if latency_s:
+                get_span.add_event("transport.delay", latency_s=latency_s)
+            get_span.add_virtual_time(int(
+                (latency_s + len(response.body) / TRANSFER_BYTES_PER_S)
+                * NANOS_PER_SEC
+            ))
         identity = target.identity()
-        latency_s = getattr(response, "latency_s", 0.0)
         if latency_s > self.timeout_budget_s:
             # The body (if any) arrived past the budget: discard it, as a
             # real scraper's deadline would have fired already.
             health.timeouts += 1
-            self.timeouts_total += 1
-            return self._handle_failure(target, health, now_ns, attempt, identity)
+            self._timeouts_counter.inc()
+            span.add_event("scrape.timeout", latency_s=latency_s,
+                           budget_s=self.timeout_budget_s)
+            return self._handle_failure(target, health, now_ns, attempt,
+                                        identity, span)
         if not response.ok:
-            return self._handle_failure(target, health, now_ns, attempt, identity)
-        try:
-            samples = parse_exposition(response.body)
-        except Exception:  # noqa: BLE001 - a bad exposition marks the target down
-            return self._handle_failure(target, health, now_ns, attempt, identity)
+            span.add_event("scrape.http_failure", status=response.status)
+            return self._handle_failure(target, health, now_ns, attempt,
+                                        identity, span)
+        with tracer.span("openmetrics.parse", {"bytes": len(response.body)}) as parse_span:
+            try:
+                samples = parse_exposition(response.body)
+            except Exception:  # noqa: BLE001 - a bad exposition marks the target down
+                parse_span.set_status("error")
+                span.add_event("scrape.parse_failure")
+                return self._handle_failure(target, health, now_ns, attempt,
+                                            identity, span)
+            parse_span.set_attribute("samples", len(samples))
+            parse_span.add_virtual_time(int(
+                len(response.body) / PARSE_BYTES_PER_S * NANOS_PER_SEC
+            ))
         self._mark_up(target, health, identity, now_ns)
         ingested = 0
-        for sample in samples:
-            labels = dict(sample.labels)
-            labels.update(identity)  # target identity wins on collision
-            if self._append(sample.name, now_ns, sample.value, labels):
-                ingested += 1
-        self.samples_ingested += ingested
+        with tracer.span("tsdb.append", {"samples": len(samples)}) as append_span:
+            for sample in samples:
+                labels = dict(sample.labels)
+                labels.update(identity)  # target identity wins on collision
+                if self._append(sample.name, now_ns, sample.value, labels):
+                    ingested += 1
+                    if sample.exemplar is not None:
+                        self._exemplars[sample.name] = (
+                            sample.labels, sample.exemplar,
+                        )
+            append_span.set_attribute("ingested", ingested)
+            append_span.add_virtual_time(len(samples) * APPEND_NS_PER_SAMPLE)
+        self._ingested_counter.inc(ingested)
         if self._append("up", now_ns, 1.0, identity):
-            self.up_writes += 1
+            self._up_writes_counter.inc()
         # Scrape metadata, as Prometheus records it: how long the scrape
         # took (modelled from the exposition size plus any transport
         # latency) and how many samples it yielded — operators watch these
         # to spot bloated exporters and slow links.
-        duration_s = latency_s + len(response.body) / 50e6 + 0.001
+        duration_s = (latency_s + len(response.body) / TRANSFER_BYTES_PER_S
+                      + 0.001)
         if self._append("scrape_duration_seconds", now_ns, duration_s, identity):
-            self.meta_writes += 1
+            self._meta_writes_counter.inc()
         if self._append("scrape_samples_scraped", now_ns, float(ingested), identity):
-            self.meta_writes += 1
+            self._meta_writes_counter.inc()
         return ingested
 
     # ------------------------------------------------------------------
@@ -250,6 +396,7 @@ class ScrapeManager:
         now_ns: int,
         attempt: int,
         identity: Dict[str, str],
+        span=None,
     ) -> int:
         health.failures += 1
         health.consecutive_failures += 1
@@ -257,17 +404,25 @@ class ScrapeManager:
             health.missed_intervals += 1
         if health.observed and health.up:
             health.flaps += 1
-            self.flaps_total += 1
+            self._flaps_counter.inc()
         health.up = False
         health.observed = True
         if self._append("up", now_ns, 0.0, identity):
-            self.up_writes += 1
+            self._up_writes_counter.inc()
         if not health.stale and health.missed_intervals >= self.staleness_intervals:
             health.stale = True
             if self._append("scrape_target_stale", now_ns, 1.0, identity):
-                self.stale_writes += 1
+                self._stale_writes_counter.inc()
+        if span is not None:
+            span.set_status("error")
         if attempt < self.max_retries:
-            self._schedule_retry(target, attempt)
+            delay_ns = self._schedule_retry(target, attempt)
+            if span is not None:
+                span.add_event("scrape.retry_scheduled",
+                               attempt=attempt + 1, delay_ns=delay_ns)
+                context = getattr(span, "context", None)
+                if context is not None:
+                    self._retry_contexts[target] = context
         return 0
 
     def _mark_up(
@@ -279,7 +434,7 @@ class ScrapeManager:
     ) -> None:
         if health.observed and not health.up:
             health.flaps += 1
-            self.flaps_total += 1
+            self._flaps_counter.inc()
         health.up = True
         health.observed = True
         health.consecutive_failures = 0
@@ -287,7 +442,7 @@ class ScrapeManager:
         if health.stale:
             health.stale = False
             if self._append("scrape_target_stale", now_ns, 0.0, identity):
-                self.stale_writes += 1
+                self._stale_writes_counter.inc()
 
     def backoff_delay_ns(self, attempt: int) -> int:
         """Jittered exponential backoff before retry ``attempt + 1``.
@@ -304,25 +459,32 @@ class ScrapeManager:
             )
         return min(int(delay_s * NANOS_PER_SEC), self.interval_ns)
 
-    def _schedule_retry(self, target: ScrapeTarget, attempt: int) -> None:
+    def _schedule_retry(self, target: ScrapeTarget, attempt: int) -> int:
         delay_ns = self.backoff_delay_ns(attempt)
         self._retry_timers[target] = self._clock.call_later(
             delay_ns, lambda: self._retry(target, attempt + 1)
         )
+        return delay_ns
 
     def _retry(self, target: ScrapeTarget, attempt: int) -> None:
         self._retry_timers.pop(target, None)
+        parent = self._retry_contexts.pop(target, None)
         if all(t.url != target.url for t in self.current_targets()):
             return  # target went away between failure and retry
         health = self.health(target)
         health.retries += 1
-        self.retries_total += 1
-        self._scrape_target(target, self._clock.now_ns, attempt)
+        self._retries_counter.inc()
+        # The retry joins its cycle's trace through the saved context —
+        # one scrape, one trace, however many attempts it took.
+        with self._tracer.span("scrape.retry", {"attempt": attempt},
+                               parent=parent):
+            self._scrape_target(target, self._clock.now_ns, attempt)
 
     def _cancel_retry(self, target: ScrapeTarget) -> None:
         timer = self._retry_timers.pop(target, None)
         if timer is not None:
             timer.cancel()
+        self._retry_contexts.pop(target, None)
 
     def _cancel_all_retries(self) -> None:
         for target in list(self._retry_timers):
@@ -342,7 +504,7 @@ class ScrapeManager:
             # produce a duplicate timestamp; drop the later sample, which is
             # what Prometheus does with out-of-order ingestion — but count
             # the drop so operators can see it happening.
-            self.samples_dropped += 1
+            self._dropped_counter.inc()
             return False
 
     def _record_self_series(self, now_ns: int) -> None:
@@ -356,7 +518,8 @@ class ScrapeManager:
             self._append(name, now_ns, float(value), SELF_IDENTITY)
 
     def self_stats(self) -> Dict[str, int]:
-        """The self-monitoring counters as a plain mapping."""
+        """The self-monitoring counters as a plain mapping (a view over
+        the registered OpenMetrics families in :attr:`self_registry`)."""
         return {
             "scrape_timeouts_total": self.timeouts_total,
             "scrape_retries_total": self.retries_total,
@@ -365,6 +528,18 @@ class ScrapeManager:
             "samples_ingested": self.samples_ingested,
             "up_writes": self.up_writes,
         }
+
+    # ------------------------------------------------------------------
+    # Exemplars
+    # ------------------------------------------------------------------
+    def exemplar_for(self, metric_name: str) -> Optional[Exemplar]:
+        """The most recent exemplar ingested for ``metric_name`` (if any)."""
+        entry = self._exemplars.get(metric_name)
+        return entry[1] if entry is not None else None
+
+    def exemplar_metrics(self) -> List[str]:
+        """Metric names that have carried an exemplar."""
+        return sorted(self._exemplars)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -1,0 +1,133 @@
+"""Text rendering of stored traces: waterfalls and folded flame graphs.
+
+The tracing counterpart of :mod:`repro.pmv.render`: given the spans of
+one trace (from :class:`repro.trace.store.TraceStore`), draw the classic
+distributed-tracing **waterfall** — one row per span, indented by depth,
+with a bar showing where the span sits on the trace's virtual timeline —
+and the **folded-stack** form (``root;child;leaf <ns>``) that flame-graph
+tooling consumes.
+
+All timing is virtual-clock time, so two same-seed runs render the exact
+same text; the renderers are pure functions over span lists and never
+touch the tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_FULL, _EMPTY = "█", "·"
+
+
+def _format_ns(ns: int) -> str:
+    """A compact human duration: ns, µs, ms or s."""
+    if ns < 1_000:
+        return f"{ns}ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.1f}µs"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f}ms"
+    return f"{ns / 1_000_000_000:.3f}s"
+
+
+def _order_spans(spans: Sequence) -> List:
+    """Spans in waterfall order: parents before children, by start time.
+
+    Orphans (parent not in the trace, e.g. evicted or foreign context)
+    render as additional roots rather than disappearing.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[str], List] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_ns, s.seq))
+    ordered: List = []
+
+    def walk(span, depth: int) -> None:
+        ordered.append((span, depth))
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return ordered
+
+
+def render_waterfall(spans: Sequence, width: int = 100) -> str:
+    """Render one trace's spans as an indented waterfall.
+
+    ``width`` is the total line width; the timeline bar gets whatever is
+    left of it after the name/duration gutter.  Span events are drawn as
+    ``·`` annotation lines under their span.
+    """
+    if not spans:
+        return "(empty trace)"
+    ordered = _order_spans(spans)
+    trace_start = min(span.start_ns for span, _ in ordered)
+    trace_end = max(span.end_ns for span, _ in ordered)
+    total = max(1, trace_end - trace_start)
+    gutter = max(
+        len(f"{'  ' * depth}{span.name} ({_format_ns(span.duration_ns)})")
+        for span, depth in ordered
+    )
+    bar_width = max(10, width - gutter - 4)
+    lines = [
+        f"trace {ordered[0][0].trace_id}  "
+        f"({_format_ns(total)} over {len(spans)} spans)"
+    ]
+    for span, depth in ordered:
+        label = f"{'  ' * depth}{span.name} ({_format_ns(span.duration_ns)})"
+        lo = int((span.start_ns - trace_start) / total * bar_width)
+        hi = int((span.end_ns - trace_start) / total * bar_width)
+        hi = max(hi, lo + 1)  # zero-duration spans still get one cell
+        bar = _EMPTY * lo + _FULL * (hi - lo) + _EMPTY * (bar_width - hi)
+        marker = " !" if span.status == "error" else ""
+        lines.append(f"{label:<{gutter}}  |{bar}|{marker}")
+        for event in span.events:
+            attrs = ""
+            if event.attributes:
+                attrs = " " + ",".join(
+                    f"{k}={v!r}" for k, v in event.attributes
+                )
+            offset = _format_ns(event.time_ns - trace_start)
+            lines.append(
+                f"{'  ' * (depth + 1)}· @{offset} {event.name}{attrs}"
+            )
+    return "\n".join(lines)
+
+
+def render_flamegraph(spans: Sequence) -> str:
+    """Render spans as folded stacks: ``root;child;leaf self_ns``.
+
+    Self time is the span's duration minus its children's (floored at
+    zero: overlapping children cannot make a parent negative).  The
+    output is line-sorted, so it is stable across runs and diffable.
+    """
+    if not spans:
+        return ""
+    by_id = {span.span_id: span for span in spans}
+    child_time: Dict[str, int] = {}
+    for span in spans:
+        if span.parent_id in by_id:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0) + span.duration_ns
+            )
+
+    def stack_of(span) -> str:
+        parts = [span.name]
+        cursor = span
+        seen = {span.span_id}
+        while cursor.parent_id in by_id and cursor.parent_id not in seen:
+            cursor = by_id[cursor.parent_id]
+            seen.add(cursor.span_id)
+            parts.append(cursor.name)
+        return ";".join(reversed(parts))
+
+    folded: Dict[str, int] = {}
+    for span in spans:
+        self_ns = max(0, span.duration_ns - child_time.get(span.span_id, 0))
+        stack = stack_of(span)
+        folded[stack] = folded.get(stack, 0) + self_ns
+    return "\n".join(f"{stack} {ns}" for stack, ns in sorted(folded.items()))

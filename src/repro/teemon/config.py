@@ -37,8 +37,20 @@ class TeemonConfig:
     #: Evaluate the default recording-rule group (precomputed dashboard
     #: series such as ``job:syscalls:rate1m``).
     enable_recording_rules: bool = True
+    #: Trace the pipeline itself (scrapes, queries, rule evaluation) on
+    #: the virtual clock.  Off by default: the no-op tracer keeps the
+    #: query hot path untouched.
+    enable_tracing: bool = False
+    #: Bound of the in-memory trace store (whole traces, FIFO-evicted).
+    trace_max_traces: int = 256
+    #: Register the ``teemon_self`` scrape target serving the scraper's
+    #: and tracer's own metrics.  Requires nothing else; with tracing on
+    #: its histogram samples carry trace exemplars.
+    enable_self_telemetry: bool = True
 
     def __post_init__(self) -> None:
+        if self.trace_max_traces < 1:
+            raise DeploymentError("trace store capacity must be >= 1")
         if self.scrape_interval_s <= 0:
             raise DeploymentError("scrape interval must be positive")
         if self.scrape_timeout_s <= 0:

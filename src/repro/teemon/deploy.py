@@ -35,6 +35,7 @@ from repro.exporters import (
     TeeMetricsExporter,
 )
 from repro.exporters.base import Exporter, ExporterFootprint, MIB
+from repro.exporters.teemon_self import SELF_JOB, TeemonSelfExporter
 from repro.net.http import HttpNetwork
 from repro.orchestration.container import ContainerImage, DockerRuntime
 from repro.pmag.query.engine import QueryEngine
@@ -51,6 +52,7 @@ from repro.simkernel.clock import NANOS_PER_SEC
 from repro.simkernel.kernel import Kernel
 from repro.teemon.config import TeemonConfig
 from repro.teemon.session import MonitoringSession
+from repro.trace import NOOP_TRACER, Tracer, TraceStore
 
 #: Footprints of the non-exporter components (Figure 4 calibration).
 SERVICE_FOOTPRINTS: Dict[str, ExporterFootprint] = {
@@ -101,6 +103,20 @@ class TeemonDeployment:
         self.tsdb = Tsdb(
             retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC)
         )
+        # Pipeline tracing: one tracer shared by the scraper, the query
+        # engine and the rule evaluator, so a scrape cycle or a rule
+        # evaluation is one connected trace.  Span ids come from a named
+        # fork of the kernel's seeded rng — same seed, same trace ids.
+        if config.enable_tracing:
+            self.trace_store: Optional[TraceStore] = TraceStore(
+                max_traces=config.trace_max_traces
+            )
+            self.tracer = Tracer(
+                kernel.clock, rng=kernel.rng, store=self.trace_store
+            )
+        else:
+            self.trace_store = None
+            self.tracer = NOOP_TRACER
         self.scrape_manager = ScrapeManager(
             kernel.clock, self.network, self.tsdb,
             interval_ns=int(config.scrape_interval_s * NANOS_PER_SEC),
@@ -108,13 +124,28 @@ class TeemonDeployment:
             max_retries=config.scrape_max_retries,
             staleness_intervals=config.scrape_staleness_intervals,
             rng=kernel.rng,
+            tracer=self.tracer,
         )
         for job, exporter in self.exporters.items():
             self.scrape_manager.add_target(
                 ScrapeTarget(job=job, instance=kernel.hostname, url=exporter.url)
             )
-        self.engine = QueryEngine(self.tsdb)
-        self.rule_evaluator = RuleEvaluator(kernel.clock, self.engine, self.tsdb)
+        self.self_exporter: Optional[TeemonSelfExporter] = None
+        if config.enable_self_telemetry:
+            self.self_exporter = TeemonSelfExporter(
+                kernel.hostname,
+                scrape_manager=self.scrape_manager,
+                tracer=self.tracer if config.enable_tracing else None,
+            )
+            self.self_exporter.expose(self.network)
+            self.scrape_manager.add_target(ScrapeTarget(
+                job=SELF_JOB, instance=kernel.hostname,
+                url=self.self_exporter.url,
+            ))
+        self.engine = QueryEngine(self.tsdb, tracer=self.tracer)
+        self.rule_evaluator = RuleEvaluator(
+            kernel.clock, self.engine, self.tsdb, tracer=self.tracer
+        )
         if config.enable_recording_rules:
             self.rule_evaluator.add_group(default_recording_rules())
         rules = default_sgx_rules() + list(config.extra_rules)

@@ -14,6 +14,7 @@ from repro.errors import DeploymentError
 from repro.pmag.model import Series
 from repro.pman.alerts import Alert
 from repro.pmv.render import render_dashboard
+from repro.pmv.trace_view import render_flamegraph, render_waterfall
 from repro.simkernel.clock import NANOS_PER_SEC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,6 +81,40 @@ class MonitoringSession:
         """The scraper's self-monitoring counters (timeouts, retries,
         dropped duplicates, target flaps, ingest totals)."""
         return self._deployment.scrape_manager.self_stats()
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def _trace_store(self):
+        store = self._deployment.trace_store
+        if store is None:
+            raise DeploymentError(
+                "tracing is disabled; deploy with "
+                "TeemonConfig(enable_tracing=True)"
+            )
+        return store
+
+    def traces(self) -> List[str]:
+        """Stored trace ids, oldest first."""
+        return self._trace_store().trace_ids()
+
+    def trace(self, trace_id: Optional[str] = None):
+        """Spans of one stored trace (the newest when ``trace_id`` is None)."""
+        store = self._trace_store()
+        if trace_id is None:
+            trace_id = store.latest()
+            if trace_id is None:
+                raise DeploymentError("no traces recorded yet")
+        return store.get(trace_id)
+
+    def render_trace(self, trace_id: Optional[str] = None,
+                     width: int = 100) -> str:
+        """Waterfall rendering of one stored trace."""
+        return render_waterfall(self.trace(trace_id), width=width)
+
+    def render_trace_flamegraph(self, trace_id: Optional[str] = None) -> str:
+        """Folded-stack (flame graph) rendering of one stored trace."""
+        return render_flamegraph(self.trace(trace_id))
 
     # ------------------------------------------------------------------
     # Alerts and dashboards

@@ -1,0 +1,69 @@
+"""W3C-style trace context propagation.
+
+A :class:`TraceContext` is the wire-format identity of a span — the pair
+``(trace_id, span_id)`` — serialised as a ``traceparent`` header in the
+W3C Trace Context shape::
+
+    00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+
+(version ``00``, 16-byte trace id, 8-byte parent span id, sampled flag).
+The simulated HTTP layer carries the header on requests and echoes it on
+responses, so a scrape's server-side work can be tied back to the trace
+the scraper started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Header name, lowercase per the W3C Trace Context spec.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACE_ID_LEN = 32  # 16 bytes, hex
+_SPAN_ID_LEN = 16   # 8 bytes, hex
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex(text: str) -> bool:
+    return bool(text) and all(char in _HEX_DIGITS for char in text)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one span: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+    def to_traceparent(self) -> str:
+        """Serialise as a ``traceparent`` header value (always sampled)."""
+        return format_traceparent(self.trace_id, self.span_id)
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """``00-<trace_id>-<span_id>-01`` (version 00, sampled)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; None for anything malformed.
+
+    Propagation is best-effort by design: a bad header must never fail a
+    request, it just breaks the trace — exactly the W3C behaviour.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != "00":
+        return None
+    if len(trace_id) != _TRACE_ID_LEN or not _is_hex(trace_id):
+        return None
+    if len(span_id) != _SPAN_ID_LEN or not _is_hex(span_id):
+        return None
+    if trace_id == "0" * _TRACE_ID_LEN or span_id == "0" * _SPAN_ID_LEN:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

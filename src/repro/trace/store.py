@@ -1,0 +1,90 @@
+"""Bounded in-memory trace storage with per-trace lookup.
+
+Finished spans are appended in end order, grouped by trace id.  The store
+is bounded by *trace count* — a long-lived deployment tracing every scrape
+cycle evicts whole old traces FIFO rather than truncating recent ones —
+and exposes a canonical text journal, the determinism witness: two
+same-seed runs of the same workload must produce byte-identical journals
+(asserted by the chaos suite, like fault journals).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.tracer import Span
+
+#: Default trace capacity: generous for demos, bounded for soak runs.
+DEFAULT_MAX_TRACES = 256
+
+
+class TraceStore:
+    """Holds finished spans, grouped and evictable by trace."""
+
+    def __init__(self, max_traces: int = DEFAULT_MAX_TRACES) -> None:
+        if max_traces < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {max_traces}")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+        self.spans_stored = 0
+        self.traces_evicted = 0
+
+    # ------------------------------------------------------------------
+    def add(self, span: "Span") -> None:
+        """Store one finished span, evicting the oldest trace past capacity."""
+        spans = self._traces.get(span.trace_id)
+        if spans is None:
+            spans = self._traces[span.trace_id] = []
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+                self.traces_evicted += 1
+        spans.append(span)
+        self.spans_stored += 1
+
+    # ------------------------------------------------------------------
+    def get(self, trace_id: str) -> List["Span"]:
+        """All spans of one trace, in start order (empty if unknown)."""
+        spans = self._traces.get(trace_id, [])
+        return sorted(spans, key=lambda s: (s.start_ns, s.seq))
+
+    def trace_ids(self) -> List[str]:
+        """Stored trace ids, oldest first."""
+        return list(self._traces)
+
+    def latest(self, name: Optional[str] = None) -> Optional[str]:
+        """The newest trace id — optionally the newest whose *root* span
+        (no parent) is named ``name``."""
+        for trace_id in reversed(self._traces):
+            if name is None:
+                return trace_id
+            if any(s.parent_id is None and s.name == name
+                   for s in self._traces[trace_id]):
+                return trace_id
+        return None
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def span_count(self) -> int:
+        """Spans currently held (evicted traces excluded)."""
+        return sum(len(spans) for spans in self._traces.values())
+
+    def clear(self) -> None:
+        """Drop everything (statistics are kept)."""
+        self._traces.clear()
+
+    # ------------------------------------------------------------------
+    # Determinism witness
+    # ------------------------------------------------------------------
+    def journal_text(self) -> str:
+        """Every stored span as canonical text (byte-comparable).
+
+        Traces appear in insertion order; spans within a trace in end
+        order, which is deterministic because the simulation is.
+        """
+        lines: List[str] = []
+        for spans in self._traces.values():
+            lines.extend(span.line() for span in spans)
+        return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Spans and the tracer that makes them.
+
+Spans live on the :class:`~repro.simkernel.clock.VirtualClock`: a span's
+``start_ns``/``end_ns`` are virtual timestamps, and ids are drawn from a
+:class:`~repro.simkernel.rng.DeterministicRng` substream — two same-seed
+runs of the same workload produce byte-identical trace journals, the
+property the chaos suite asserts for fault journals.
+
+Because the simulation executes whole pipeline stages at a single clock
+instant, spans additionally carry *modelled* time: instrumented code calls
+:meth:`Span.add_virtual_time` with the stage's modelled cost (transport
+latency, parse cost, append cost), and a span's children are laid out
+sequentially along that modelled timeline.  A child starts at its
+parent's current cursor and, on ending, pushes the cursor to its own end
+— which is what makes the waterfall renderer show *where time goes*
+inside a scrape cycle rather than a stack of zero-width bars.
+
+Tracing is off by default with a near-zero no-op path: :data:`NOOP_TRACER`
+hands out one shared :data:`NOOP_SPAN` whose every method is a pass, so
+instrumented code can be written unconditionally (``with tracer.span(...)``)
+and hot paths can skip even that with an ``if tracer.enabled`` guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.rng import DeterministicRng
+from repro.trace.context import TraceContext
+from repro.trace.store import TraceStore
+
+#: Span status values (OpenTelemetry's three-valued status).
+STATUS_UNSET = "unset"
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (e.g. a retry being scheduled)."""
+
+    time_ns: int
+    name: str
+    attributes: Tuple[Tuple[str, object], ...] = ()
+
+    def line(self) -> str:
+        """Canonical single-line rendering (journal format)."""
+        attrs = ",".join(f"{k}={v!r}" for k, v in self.attributes)
+        return f"@{self.time_ns}:{self.name}{{{attrs}}}"
+
+
+class Span:
+    """One traced operation with virtual-time bounds.
+
+    Use as a context manager via :meth:`Tracer.span`; exceptions escaping
+    the body mark the span's status ``error`` (and still propagate).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "seq",
+        "start_ns", "end_ns", "cursor_ns", "status",
+        "attributes", "events", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        seq: int,
+        start_ns: int,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.seq = seq
+        self.start_ns = start_ns
+        #: The modelled "current time" inside the span; children start
+        #: here and completed work pushes it forward.
+        self.cursor_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.status = STATUS_UNSET
+        self.attributes: Dict[str, object] = dict(attributes) if attributes else {}
+        self.events: List[SpanEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> TraceContext:
+        """This span's propagation context."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def duration_ns(self) -> int:
+        """Virtual duration; 0 while the span is still open."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one attribute."""
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        """Record a point event at the span's current cursor."""
+        self.events.append(SpanEvent(
+            time_ns=self.cursor_ns, name=name,
+            attributes=tuple(sorted(attributes.items())),
+        ))
+
+    def add_virtual_time(self, delta_ns: int) -> None:
+        """Advance the span's modelled timeline by ``delta_ns``."""
+        if delta_ns > 0:
+            self.cursor_ns += delta_ns
+
+    def set_status(self, status: str) -> None:
+        """Set the span status (``ok`` / ``error``)."""
+        self.status = status
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.add_event("exception", type=exc_type.__name__, message=str(exc))
+        self._tracer._end(self)
+        return False  # never swallow
+
+    # ------------------------------------------------------------------
+    def line(self) -> str:
+        """Canonical single-line rendering (journal format)."""
+        attrs = ",".join(f"{k}={v!r}" for k, v in sorted(self.attributes.items()))
+        events = " ".join(event.line() for event in self.events)
+        parent = self.parent_id or "-"
+        base = (
+            f"{self.trace_id} {self.seq} {self.span_id} {parent} {self.name} "
+            f"{self.start_ns} {self.end_ns} {self.status} [{attrs}]"
+        )
+        return f"{base} {events}" if events else base
+
+
+class Tracer:
+    """Creates spans, maintains the active-span stack, feeds the store.
+
+    The simulation is single-threaded, so a plain stack gives correct and
+    deterministic implicit parenting: ``tracer.span(...)`` parents to the
+    innermost open span unless an explicit ``parent`` context is given
+    (the cross-request case — e.g. a retry continuing its cycle's trace).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        rng: Optional[DeterministicRng] = None,
+        store: Optional[TraceStore] = None,
+    ) -> None:
+        self._clock = clock
+        self._ids = (rng or DeterministicRng(0)).fork("trace-ids")
+        self.store = store if store is not None else TraceStore()
+        self._stack: List[Span] = []
+        self._seq = 0
+        self.spans_started = 0
+        self.spans_ended = 0
+        self.traces_started = 0
+        self._end_callbacks: List[Callable[[Span], None]] = []
+
+    # ------------------------------------------------------------------
+    # Id generation (deterministic under the seed)
+    # ------------------------------------------------------------------
+    def _new_trace_id(self) -> str:
+        return f"{self._ids.randint(1, (1 << 128) - 1):032x}"
+
+    def _new_span_id(self) -> str:
+        return f"{self._ids.randint(1, (1 << 64) - 1):016x}"
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, object]] = None,
+        parent: Optional[TraceContext] = None,
+    ) -> Span:
+        """Open a span (use as a context manager).
+
+        Parenting, most specific first: the explicit ``parent`` context,
+        else the innermost open span, else a fresh trace root.
+        """
+        top = self._stack[-1] if self._stack else None
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+            start_ns = top.cursor_ns if top is not None else self._clock.now_ns
+        elif top is not None:
+            trace_id, parent_id = top.trace_id, top.span_id
+            start_ns = top.cursor_ns
+        else:
+            trace_id, parent_id = self._new_trace_id(), None
+            start_ns = self._clock.now_ns
+            self.traces_started += 1
+        self._seq += 1
+        span = Span(
+            tracer=self, name=name, trace_id=trace_id,
+            span_id=self._new_span_id(), parent_id=parent_id,
+            seq=self._seq, start_ns=start_ns, attributes=attributes,
+        )
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def _end(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            # Out-of-order end: tolerate (drop deeper spans' stack slots)
+            # rather than corrupting the stack — tracing must never take
+            # the pipeline down.
+            if span in self._stack:
+                while self._stack and self._stack[-1] is not span:
+                    self._stack.pop()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        span.end_ns = span.cursor_ns
+        if span.status == STATUS_UNSET:
+            span.status = STATUS_OK
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None and parent.trace_id == span.trace_id:
+            # Sequential layout: the next sibling starts where this span
+            # ended on the modelled timeline.
+            if span.end_ns > parent.cursor_ns:
+                parent.cursor_ns = span.end_ns
+        self.spans_ended += 1
+        self.store.add(span)
+        for callback in self._end_callbacks:
+            callback(span)
+
+    # ------------------------------------------------------------------
+    # Context and observers
+    # ------------------------------------------------------------------
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost open span's context, for header injection."""
+        if not self._stack:
+            return None
+        return self._stack[-1].context
+
+    def on_span_end(self, callback: Callable[[Span], None]) -> None:
+        """Run ``callback`` on every finished span (self-telemetry feed)."""
+        self._end_callbacks.append(callback)
+
+
+class _NoopSpan:
+    """The shared do-nothing span; every method is a pass."""
+
+    __slots__ = ()
+
+    context = None
+    events: tuple = ()
+    attributes: dict = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        pass
+
+    def add_virtual_time(self, delta_ns: int) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+
+#: The shared no-op span instance.
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: hands out :data:`NOOP_SPAN`, stores nothing."""
+
+    enabled = False
+    store = None
+    spans_started = 0
+    spans_ended = 0
+    traces_started = 0
+
+    def span(self, name, attributes=None, parent=None) -> _NoopSpan:  # noqa: D102
+        return NOOP_SPAN
+
+    def current_context(self) -> None:  # noqa: D102
+        return None
+
+    def on_span_end(self, callback) -> None:  # noqa: D102
+        pass
+
+
+#: The shared no-op tracer — the off-by-default fast path.
+NOOP_TRACER = NoopTracer()

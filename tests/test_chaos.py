@@ -45,6 +45,7 @@ def build_rig(
     skew_s=0.0,
     retention_s=None,
     staleness_intervals=3,
+    traced=False,
 ):
     """A full scrape pipeline behind a seeded fault plan."""
     rng = DeterministicRng(seed)
@@ -74,10 +75,17 @@ def build_rig(
         plan.add(CorruptionInjector(rng.fork("corrupt"), probability=corrupt_p))
     network = FaultyHttpNetwork(inner, plan)
     tsdb = Tsdb(retention_ns=None if retention_s is None else seconds(retention_s))
+    trace_store = tracer = None
+    if traced:
+        from repro.trace import Tracer, TraceStore
+
+        trace_store = TraceStore(max_traces=4096)
+        tracer = Tracer(clock, rng=rng.fork("tracer"), store=trace_store)
     manager = ScrapeManager(
         clock, network, tsdb, interval_ns=seconds(INTERVAL_S),
         timeout_budget_s=1.0, max_retries=max_retries,
         staleness_intervals=staleness_intervals, rng=rng.fork("manager"),
+        tracer=tracer,
     )
     counters = []
     target_list = []
@@ -94,7 +102,7 @@ def build_rig(
     return SimpleNamespace(
         clock=clock, plan=plan, network=network, tsdb=tsdb, manager=manager,
         counters=counters, targets=target_list, injectors=injectors,
-        engine=QueryEngine(tsdb),
+        engine=QueryEngine(tsdb), trace_store=trace_store, tracer=tracer,
     )
 
 
@@ -279,3 +287,49 @@ def test_query_engine_over_chaotic_history():
     # Self-monitoring counters are queryable like any other series.
     timeout_vec = rig.engine.instant("scrape_timeouts_total", now)
     assert timeout_vec and timeout_vec[0][1] == float(rig.manager.timeouts_total)
+
+
+# ---------------------------------------------------------------------------
+# Tracing under chaos: the journal is part of the determinism contract
+# ---------------------------------------------------------------------------
+def test_same_seed_chaos_runs_emit_identical_trace_journals():
+    def run(seed):
+        rig = build_rig(seed, **MIXED, traced=True)
+        drive(rig, 150)
+        return rig.trace_store.journal_text()
+
+    first, second = run(41), run(41)
+    assert first == second  # byte-identical spans, ids, events, timings
+    assert first.count("\n") > 100  # the runs actually traced
+    assert run(42) != first
+
+
+def test_traced_chaos_matches_untraced_pipeline_state():
+    # Tracing must observe, never perturb: the TSDB, health records and
+    # fault journal of a traced run equal those of an untraced run.
+    traced = build_rig(51, **MIXED, traced=True)
+    plain = build_rig(51, **MIXED)
+    drive(traced, 150)
+    drive(plain, 150)
+    assert tsdb_digest(traced) == tsdb_digest(plain)
+    assert health_digest(traced) == health_digest(plain)
+    assert traced.plan.journal_text() == plain.plan.journal_text()
+    assert traced.manager.self_stats() == plain.manager.self_stats()
+
+
+def test_injected_faults_appear_as_span_events():
+    rig = build_rig(61, delay_p=0.5, traced=True, max_retries=1)
+    drive(rig, 120)
+    spans = [
+        span
+        for trace_id in rig.trace_store.trace_ids()
+        for span in rig.trace_store.get(trace_id)
+    ]
+    events = [e.name for s in spans for e in s.events]
+    # Injected delays surface on the fetch span; delays past the budget
+    # surface as timeouts with a scheduled retry.
+    assert "transport.delay" in events
+    assert "scrape.timeout" in events
+    assert "scrape.retry_scheduled" in events
+    retry_spans = [s for s in spans if s.name == "scrape.retry"]
+    assert retry_spans and all(s.parent_id for s in retry_spans)

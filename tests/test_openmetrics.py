@@ -231,3 +231,109 @@ def test_roundtrip_encode_parse():
     assert by_key[("syscalls_total", "read")] == 100
     assert by_key[("syscalls_total", "clock_gettime")] == 370_000
     assert by_key[("free_pages", None)] == 24_064
+
+
+# ---------------------------------------------------------------------------
+# Exemplars
+# ---------------------------------------------------------------------------
+def test_exemplar_of_keeps_label_order():
+    from repro.openmetrics import Exemplar
+
+    exemplar = Exemplar.of(0.25, timestamp_s=12.5,
+                           trace_id="a" * 32, span_id="b" * 16)
+    assert exemplar.labels == (("trace_id", "a" * 32), ("span_id", "b" * 16))
+    assert exemplar.labels_dict()["span_id"] == "b" * 16
+
+
+def test_counter_encodes_latest_exemplar():
+    from repro.openmetrics import Exemplar
+
+    registry = CollectorRegistry()
+    counter = registry.counter("hits_total", "h")
+    counter.inc(1, exemplar=Exemplar.of(1.0, trace_id="1" * 32))
+    counter.inc(2, exemplar=Exemplar.of(2.0, timestamp_s=7.0,
+                                        trace_id="2" * 32))
+    text = encode_registry(registry)
+    assert 'hits_total 3 # {trace_id="2222' in text
+    assert text.count("#" + " {") == 1  # only the latest exemplar
+
+
+def test_histogram_keeps_one_exemplar_per_bucket():
+    from repro.openmetrics import Exemplar
+
+    registry = CollectorRegistry()
+    histogram = registry.histogram("lat_seconds", "l", buckets=[0.1, 1.0])
+    histogram.observe(0.05, exemplar=Exemplar.of(0.05, trace_id="a" * 32))
+    histogram.observe(0.5, exemplar=Exemplar.of(0.5, trace_id="b" * 32))
+    histogram.observe(5.0, exemplar=Exemplar.of(5.0, trace_id="c" * 32))
+    lines = encode_registry(registry).splitlines()
+    bucket_lines = [l for l in lines if "_bucket" in l]
+    assert len(bucket_lines) == 3
+    assert all("# {" in l for l in bucket_lines)
+    assert 'le="+Inf"' in bucket_lines[-1] and '"cccc' in bucket_lines[-1]
+
+
+def test_exemplar_round_trip_through_parser():
+    from repro.openmetrics import Exemplar
+
+    registry = CollectorRegistry()
+    counter = registry.counter("hits_total", "h", ["path"])
+    counter.labels("/a").inc(
+        3, exemplar=Exemplar.of(3.0, timestamp_s=1.5,
+                                trace_id="a" * 32, span_id="b" * 16)
+    )
+    counter.labels("/b").inc(1)  # no exemplar
+    samples = parse_exposition(encode_registry(registry))
+    by_path = {s.labels_dict().get("path"): s for s in samples
+               if s.name == "hits_total"}
+    parsed = by_path["/a"].exemplar
+    assert parsed is not None
+    assert parsed.value == 3.0
+    assert parsed.timestamp_s == 1.5
+    assert parsed.labels_dict() == {"trace_id": "a" * 32, "span_id": "b" * 16}
+    assert by_path["/b"].exemplar is None
+
+
+def test_exemplar_less_lines_stay_byte_identical():
+    # The exemplar suffix must be strictly additive: a registry without
+    # exemplars encodes exactly as it did before exemplar support.
+    registry = CollectorRegistry()
+    counter = registry.counter("syscalls_total", "s", ["name"])
+    counter.labels("read").inc(100)
+    registry.gauge("free_pages", "f").set_to(24_064)
+    histogram = registry.histogram("lat_seconds", "l", buckets=[0.1, 1.0])
+    histogram.observe(0.05)
+    text = encode_registry(registry)
+    assert "#" not in text.replace("# HELP", "").replace("# TYPE", "") \
+        .replace("# EOF", "")
+    assert 'syscalls_total{name="read"} 100\n' in text
+    assert "free_pages 24064\n" in text
+    assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+
+
+def test_parser_handles_exemplar_on_unlabelled_sample():
+    samples = parse_exposition(
+        'hits_total 5 # {trace_id="ab"} 5 12.5\n# EOF\n'
+    )
+    assert samples[0].value == 5
+    assert samples[0].exemplar.labels_dict() == {"trace_id": "ab"}
+    assert samples[0].exemplar.value == 5
+    assert samples[0].exemplar.timestamp_s == 12.5
+
+
+def test_parser_rejects_malformed_exemplar():
+    with pytest.raises(OpenMetricsError):
+        parse_exposition("hits_total 5 # not-braces 5\n")
+    with pytest.raises(OpenMetricsError):
+        parse_exposition('hits_total 5 # {trace_id="ab"}\n')
+
+
+def test_label_value_containing_hash_is_not_an_exemplar():
+    registry = CollectorRegistry()
+    counter = registry.counter("hits_total", "h", ["path"])
+    counter.labels("/a#frag").inc(2)
+    samples = parse_exposition(encode_registry(registry))
+    sample = next(s for s in samples if s.name == "hits_total")
+    assert sample.labels_dict()["path"] == "/a#frag"
+    assert sample.exemplar is None
+    assert sample.value == 2
