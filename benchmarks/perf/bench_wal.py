@@ -1,0 +1,126 @@
+"""WAL-overhead benchmark: the pipeline with durability off vs on.
+
+Measures the same full scrape → rule-evaluation → render cycle as
+``bench_pipeline``'s ``scrape_cycle``, three ways:
+
+* ``off``  — WAL disabled (the default): ingest takes the exact pre-WAL
+  path, one ``is None`` check per append.  This is the number that must
+  not regress: durability must cost nothing to deployments that did not
+  ask for it;
+* ``on``   — WAL enabled (write-through to the simulated medium, flushes
+  on the scrape cadence, periodic checkpoints);
+* ``overhead_ratio`` — ``on / off``, the price of crash safety.
+
+With ``--baseline BENCH_pipeline.json`` the script compares the WAL-off
+cycle time against the baseline report's ``scrape_cycle.cycle_ms`` and
+exits non-zero if it regressed more than ``--max-regression`` (default
+5%) — the CI gate that keeps the durability hook free when disabled.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_wal [--quick]
+        [--output BENCH_wal.json]
+        [--baseline BENCH_pipeline.json] [--max-regression 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from benchmarks.perf.harness import BenchReport, best_of
+
+from repro.experiments.common import make_sgx_host
+from repro.simkernel.clock import seconds
+from repro.teemon import TeemonConfig, deploy
+
+SCHEMA = "teemon.bench.wal/1"
+
+
+def time_cycles(enable_wal: bool, cycles: int, repeats: int):
+    """Best wall-clock seconds per full pipeline cycle, plus WAL volume."""
+    kernel, _driver = make_sgx_host(seed=7)
+    deployment = deploy(
+        kernel, TeemonConfig(enable_wal=enable_wal), start=False
+    )
+    session = deployment.session
+
+    def cycle() -> None:
+        kernel.clock.advance(seconds(5))
+        deployment.scrape_manager.scrape_once()
+        deployment.rule_evaluator.evaluate_all_once()
+        if enable_wal:
+            deployment.wal.flush()
+        session.render("sgx")
+
+    cycle()  # warm-up: first scrape creates every series
+    elapsed = best_of(repeats, lambda: [cycle() for _ in range(cycles)])
+    wal = deployment.wal
+    volume = (wal.records_total, deployment.disk.bytes_written) if wal else (0, 0)
+    deployment.shutdown()
+    return elapsed / cycles, volume
+
+
+def run_suite(quick: bool) -> BenchReport:
+    """Measure the cycle with the WAL off and on."""
+    report = BenchReport(quick=quick)
+    cycles = 5 if quick else 25
+    repeats = 1 if quick else 3
+    off_s, _ = time_cycles(False, cycles, repeats)
+    on_s, (records, wal_bytes) = time_cycles(True, cycles, repeats)
+    report.add(
+        "wal_overhead",
+        off_ms=off_s * 1e3,
+        on_ms=on_s * 1e3,
+        overhead_ratio=on_s / off_s,
+        cycles=cycles,
+        wal_records=records,
+        wal_bytes=wal_bytes,
+    )
+    return report
+
+
+def check_baseline(report: BenchReport, baseline_path: str,
+                   max_regression: float) -> int:
+    """Gate: WAL-off must stay within ``max_regression`` of baseline."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_ms = baseline["results"]["scrape_cycle"]["cycle_ms"]
+    off_ms = report.results[0].metrics["off_ms"]
+    ratio = off_ms / baseline_ms
+    limit = 1.0 + max_regression
+    verdict = "OK" if ratio <= limit else "REGRESSION"
+    print(
+        f"wal-off cycle: {off_ms:.3f}ms vs baseline "
+        f"{baseline_ms:.3f}ms -> x{ratio:.3f} (limit x{limit:.3f}) {verdict}"
+    )
+    return 0 if ratio <= limit else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_wal.json",
+                        help="report path (default: ./BENCH_wal.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_pipeline.json to gate the off-path against")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="allowed wal-off regression vs baseline")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick)
+    payload = report.to_payload()
+    payload["schema"] = SCHEMA
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(report.render())
+    print(f"\nwrote {args.output}")
+    if args.baseline:
+        return check_baseline(report, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,10 @@ class NetworkError(ReproError):
     """Simulated network failure (unreachable endpoint, ...)."""
 
 
+class StorageError(ReproError):
+    """Simulated durable-medium misuse (unknown file, bad offset, ...)."""
+
+
 class OpenMetricsError(ReproError):
     """Malformed OpenMetrics exposition text or invalid metric usage."""
 
@@ -80,6 +84,10 @@ class TsdbError(ReproError):
 
 class QueryError(TsdbError):
     """The query engine could not parse or evaluate an expression."""
+
+
+class WalError(TsdbError):
+    """Write-ahead-log misuse (bad segment name, oversized record, ...)."""
 
 
 class AnalysisError(ReproError):

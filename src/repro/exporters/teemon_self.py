@@ -11,6 +11,13 @@ making the monitoring pipeline itself scrapable.  One endpoint (port
   PromQL query over real scraped series;
 * tracer counters (``teemon_trace_spans_started_total`` …), refreshed at
   collect time from the live tracer;
+* durability telemetry (``teemon_wal_*``) — live views over the
+  write-ahead-log writer: records written through, flushes, checkpoints,
+  segments, and the unflushed-record loss window;
+* recovery telemetry (``teemon_recovery_*``) — cumulative crash-recovery
+  statistics of the deployment: recoveries, records replayed, records
+  and segments quarantined for corruption, and the *exact* samples lost
+  to crashes as measured against the simulated medium's loss report;
 * ``teemon_span_duration_seconds`` — a histogram of span durations
   (virtual time), labelled by span name, fed from the tracer's span-end
   callback.  Each observation carries an OpenMetrics **exemplar**
@@ -49,10 +56,13 @@ SPAN_DURATION_BUCKETS = (
 class TeemonSelfExporter:
     """Serves the pipeline's self-telemetry as an OpenMetrics endpoint."""
 
-    def __init__(self, hostname: str, scrape_manager=None, tracer=None) -> None:
+    def __init__(self, hostname: str, scrape_manager=None, tracer=None,
+                 wal=None, recovery_stats=None) -> None:
         self.hostname = hostname
         self.registry = CollectorRegistry()
         self._tracer = tracer
+        self._wal = wal
+        self._recovery_stats = recovery_stats
         self._endpoint: Optional[HttpEndpoint] = None
         self.scrapes_served = 0
         if scrape_manager is not None:
@@ -81,6 +91,77 @@ class TeemonSelfExporter:
             )
             self.registry.on_collect(self._sync_tracer_counters)
             tracer.on_span_end(self._observe_span)
+        if wal is not None:
+            # Durability telemetry: live views over the WAL writer.  The
+            # counters reset on a restart (a fresh writer per process
+            # incarnation, as with a real daemon's in-process counters);
+            # ``rate()`` handles counter resets.
+            self._wal_records = self.registry.counter(
+                "teemon_wal_records_total",
+                "Samples written through to the write-ahead log",
+            )
+            self._wal_flushes = self.registry.counter(
+                "teemon_wal_flushes_total",
+                "WAL segment fsyncs performed",
+            )
+            self._wal_checkpoints = self.registry.counter(
+                "teemon_wal_checkpoints_total",
+                "Checkpoints written (snapshot + segment truncation)",
+            )
+            self._wal_segments = self.registry.counter(
+                "teemon_wal_segments_total",
+                "WAL segments opened",
+            )
+            self._wal_unflushed = self.registry.gauge(
+                "teemon_wal_unflushed_records",
+                "Records appended since the last flush (the loss window)",
+            )
+            self.registry.on_collect(self._sync_wal_counters)
+        if recovery_stats is not None:
+            # Recovery telemetry: cumulative across every resurrection of
+            # the deployment (the deployment object outlives the monitor
+            # process, so these never reset).
+            self._recoveries = self.registry.counter(
+                "teemon_recovery_total",
+                "Crash recoveries performed by this deployment",
+            )
+            self._recovery_replayed = self.registry.counter(
+                "teemon_recovery_records_replayed_total",
+                "WAL records replayed into the database across recoveries",
+            )
+            self._recovery_quarantined = self.registry.counter(
+                "teemon_recovery_records_quarantined_total",
+                "Corrupt WAL records skipped (CRC mismatch or bad payload)",
+            )
+            self._recovery_segments_quarantined = self.registry.counter(
+                "teemon_recovery_segments_quarantined_total",
+                "WAL segments abandoned for unwalkable corruption",
+            )
+            self._recovery_samples_lost = self.registry.gauge(
+                "teemon_recovery_samples_lost",
+                "Exact samples destroyed by crashes, as measured against "
+                "the medium's own loss report",
+            )
+            self.registry.on_collect(self._sync_recovery_counters)
+
+    def _sync_wal_counters(self) -> None:
+        self._wal_records.labels().set_to(float(self._wal.records_total))
+        self._wal_flushes.labels().set_to(float(self._wal.flushes_total))
+        self._wal_checkpoints.labels().set_to(float(self._wal.checkpoints_total))
+        self._wal_segments.labels().set_to(float(self._wal.segments_total))
+        self._wal_unflushed.labels().set_to(float(self._wal.unflushed_records))
+
+    def _sync_recovery_counters(self) -> None:
+        stats = self._recovery_stats()
+        self._recoveries.labels().set_to(float(stats["recoveries"]))
+        self._recovery_replayed.labels().set_to(float(stats["records_replayed"]))
+        self._recovery_quarantined.labels().set_to(
+            float(stats["records_quarantined"])
+        )
+        self._recovery_segments_quarantined.labels().set_to(
+            float(stats["segments_quarantined"])
+        )
+        self._recovery_samples_lost.labels().set_to(float(stats["samples_lost"]))
 
     def _sync_tracer_counters(self) -> None:
         self._spans_started.labels().set_to(float(self._tracer.spans_started))

@@ -3,11 +3,19 @@
 The package wraps the simulated HTTP network (and the link model beneath
 it) with seeded failure modes — flapping endpoints, delays past timeout
 budgets, slow links, corrupted/truncated expositions, stale replays,
-exporter clock skew — without touching handler code.  Everything is a
-pure function of (seed, URL, request order, virtual time); the
-:class:`FaultPlan` journal proves it.
+exporter clock skew — without touching handler code, and extends the
+same discipline to the storage and process path: disk bit rot, torn
+writes at power loss, and seeded process crashes
+(:mod:`repro.faults.disk`).  Everything is a pure function of
+(seed, URL/file, request order, virtual time); the :class:`FaultPlan`
+journal proves it.
 """
 
+from repro.faults.disk import (
+    CrashInjector,
+    DiskBitFlipInjector,
+    TornWriteInjector,
+)
 from repro.faults.injectors import (
     CORRUPTION_MARKER,
     ClockSkewInjector,
@@ -26,7 +34,9 @@ __all__ = [
     "CORRUPTION_MARKER",
     "ClockSkewInjector",
     "CorruptionInjector",
+    "CrashInjector",
     "DelayInjector",
+    "DiskBitFlipInjector",
     "FaultContext",
     "FaultEvent",
     "FaultPlan",
@@ -35,4 +45,5 @@ __all__ = [
     "Injector",
     "SlowLinkInjector",
     "StaleReplayInjector",
+    "TornWriteInjector",
 ]

@@ -1,0 +1,180 @@
+"""Storage and process fault injectors.
+
+PR 2 built seeded chaos for the *network* path; these injectors extend
+the same discipline to the *storage and process* path.  All three are
+pure functions of their seed (plus, for the disk hooks, the write/crash
+order): same seed, same workload → byte-identical fault sequences, which
+the kill-loop soak asserts through the :class:`~repro.faults.plan.FaultPlan`
+journal.
+
+* :class:`DiskBitFlipInjector` — bit rot on the way to the medium: with
+  some probability a written payload has one random bit flipped.  Hooked
+  into :meth:`~repro.simkernel.disk.SimDisk.add_write_fault`.
+* :class:`TornWriteInjector` — a crash leaves a torn prefix of the
+  unsynced tail on the platter instead of truncating cleanly.  Hooked
+  into :meth:`~repro.simkernel.disk.SimDisk.add_crash_fault`.
+* :class:`CrashInjector` — kills the monitoring process at seeded
+  virtual times mid-run and schedules its supervised restart; the
+  process-level analogue of :class:`~repro.faults.injectors.FlapInjector`,
+  with the same lazily-extended exponential schedule so tests can
+  recompute exactly when crashes were injected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NetworkError
+from repro.faults.injectors import Injector
+from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock, seconds
+from repro.simkernel.disk import SimDisk
+from repro.simkernel.rng import DeterministicRng
+
+
+class DiskBitFlipInjector(Injector):
+    """With probability ``probability``, flip one bit of a written payload.
+
+    Models silent bit rot between the write buffer and the medium.  The
+    WAL's per-record CRC32 (and the snapshot's whole-file CRC32) must
+    detect every flip at recovery time — the quarantine counters prove
+    provenance.  Journalled as ``disk-bitflip`` against the file name.
+    """
+
+    kind = "disk-bitflip"
+
+    def __init__(self, rng: DeterministicRng, probability: float = 0.01,
+                 plan=None) -> None:
+        super().__init__(rng)
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError(f"bad probability: {probability}")
+        self.probability = probability
+        self.plan = plan
+        self.flips = 0
+
+    def attach(self, disk: SimDisk) -> "DiskBitFlipInjector":
+        """Install this injector as a write fault on ``disk``."""
+        disk.add_write_fault(self._hook)
+        return self
+
+    def _hook(self, name: str, data: bytes) -> bytes:
+        if not data:
+            return data
+        stream = self.stream(name)
+        if not stream.chance(self.probability):
+            return data
+        byte_index = stream.randint(0, len(data) - 1)
+        bit = stream.randint(0, 7)
+        mutated = bytearray(data)
+        mutated[byte_index] ^= 1 << bit
+        self.flips += 1
+        if self.plan is not None:
+            self.plan.record(self.kind, name)
+        return bytes(mutated)
+
+
+class TornWriteInjector(Injector):
+    """With probability ``probability``, a crash tears the unsynced tail.
+
+    A real device crash does not always truncate at the last sync: part
+    of the write in flight may already be on the platter.  When this
+    injector fires, a uniformly chosen prefix of the tail survives —
+    possibly ending mid-record, which recovery must treat as a torn tail
+    rather than corruption.  Journalled as ``disk-torn``.
+    """
+
+    kind = "disk-torn"
+
+    def __init__(self, rng: DeterministicRng, probability: float = 0.5,
+                 plan=None) -> None:
+        super().__init__(rng)
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError(f"bad probability: {probability}")
+        self.probability = probability
+        self.plan = plan
+        self.tears = 0
+
+    def attach(self, disk: SimDisk) -> "TornWriteInjector":
+        """Install this injector as a crash fault on ``disk``."""
+        disk.add_crash_fault(self._hook)
+        return self
+
+    def _hook(self, name: str, tail: bytes) -> int:
+        if not tail:
+            return 0
+        stream = self.stream(name)
+        if not stream.chance(self.probability):
+            return 0
+        retained = stream.randint(1, len(tail))
+        self.tears += 1
+        if self.plan is not None:
+            self.plan.record(self.kind, name)
+        return retained
+
+
+class CrashInjector(Injector):
+    """Kill the monitoring session at seeded virtual times.
+
+    The schedule is a lazily extended sequence of exponentially
+    distributed inter-crash intervals generated from the injector's own
+    substream — a function of the seed alone, like
+    :class:`~repro.faults.injectors.FlapInjector`'s flap windows — so a
+    test can ask :meth:`schedule` for the exact crash instants it will
+    inject and compare them against the journal.  :meth:`arm` wires the
+    schedule onto the virtual clock against a
+    :class:`~repro.teemon.supervisor.MonitorSupervisor`: at each instant
+    the supervisor's :meth:`crash` runs, and recovery is scheduled
+    ``restart_delay_s`` later.
+    """
+
+    kind = "crash"
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        mean_interval_s: float = 60.0,
+        min_interval_s: float = 5.0,
+        restart_delay_s: float = 1.0,
+        max_crashes: int = 0,
+    ) -> None:
+        super().__init__(rng)
+        if mean_interval_s <= 0 or min_interval_s <= 0:
+            raise NetworkError("crash intervals must be positive")
+        if restart_delay_s < 0:
+            raise NetworkError(f"negative restart delay: {restart_delay_s}")
+        self.mean_interval_s = mean_interval_s
+        self.min_interval_s = min_interval_s
+        self.restart_delay_s = restart_delay_s
+        self.max_crashes = max_crashes
+        self._times: List[int] = []
+
+    def schedule(self, until_ns: int) -> List[int]:
+        """The seeded crash instants (ns) up to ``until_ns``."""
+        stream = self.stream("schedule")
+        while (not self._times or self._times[-1] <= until_ns) and (
+            not self.max_crashes or len(self._times) < self.max_crashes + 1
+        ):
+            gap = max(self.min_interval_s, stream.exponential(self.mean_interval_s))
+            last = self._times[-1] if self._times else 0
+            self._times.append(last + int(gap * NANOS_PER_SEC))
+        times = [t for t in self._times if t <= until_ns]
+        if self.max_crashes:
+            times = times[:self.max_crashes]
+        return times
+
+    def arm(self, clock: VirtualClock, supervisor, until_ns: int) -> List[int]:
+        """Schedule crash/recover pairs on the clock; returns the instants.
+
+        Each instant fires ``supervisor.crash()`` followed, after the
+        restart delay, by ``supervisor.recover()``.  Instants already in
+        the past (the clock may have advanced) are skipped.
+        """
+        times = [t for t in self.schedule(until_ns) if t >= clock.now_ns]
+        delay_ns = seconds(self.restart_delay_s)
+
+        def fire() -> None:
+            supervisor.crash()
+            clock.call_later(delay_ns, supervisor.recover)
+
+        for when in times:
+            clock.call_at(when, fire)
+        return times

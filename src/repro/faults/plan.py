@@ -98,6 +98,19 @@ class FaultPlan:
                            method=ctx.method, kind=kind)
             )
 
+    def record(self, kind: str, subject: str, method: str = "DISK") -> None:
+        """Journal a non-HTTP fault (disk corruption, process crash, ...).
+
+        The storage and process chaos paths share the journal with the
+        network injectors so one text captures the whole fault history of
+        a run; ``subject`` takes the place of the URL (a file name, a
+        component name) and ``method`` names the fault domain.
+        """
+        self.journal.append(
+            FaultEvent(time_ns=self.clock.now_ns, url=subject,
+                       method=method, kind=kind)
+        )
+
     # ------------------------------------------------------------------
     # Determinism witness
     # ------------------------------------------------------------------

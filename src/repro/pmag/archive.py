@@ -8,25 +8,37 @@ labels + delta-encoded chunks, the on-disk format of
 supporting backup, transfer between deployments, and post-mortem analysis
 of a finished run.
 
-Format (version 1)::
+Format (version 2, current)::
 
-    header:  magic "TMSNAP" | u16 version | u32 series count
+    header:  magic "TMSNAP" | u16 version | u32 crc32 | u32 series count
     series:  u32 label count | (u16 len + utf8 key | u16 len + utf8 value)*
              u32 chunk count | (u32 len | chunk bytes)*
+
+The CRC32 covers every byte after the crc field itself (series count
+included), so a torn or bit-flipped snapshot is detected up front instead
+of restoring silently-wrong data.  Version-1 snapshots (no crc field) are
+still read byte-for-byte; new snapshots are always written as version 2.
+
+Restore adopts decoded chunks directly into each series — O(chunks), not
+O(samples) — which also preserves the exact chunk boundaries the snapshot
+recorded, so restored databases behave identically under chunk-granular
+retention.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Tuple
+import zlib
+from typing import List
 
 from repro.errors import TsdbError
-from repro.pmag.chunks import Chunk
+from repro.pmag.chunks import Chunk, ChunkedSeries
 from repro.pmag.model import Labels
 from repro.pmag.tsdb import Tsdb
 
 MAGIC = b"TMSNAP"
-VERSION = 1
+VERSION = 2
+_V1 = 1
 
 
 def _pack_text(text: str) -> bytes:
@@ -62,10 +74,10 @@ class _Reader:
         return self._offset >= len(self._data)
 
 
-def snapshot(tsdb: Tsdb) -> bytes:
-    """Serialise every series of ``tsdb`` to bytes."""
+def _encode_body(tsdb: Tsdb) -> bytes:
+    """The series payload shared by both snapshot versions."""
     pieces: List[bytes] = [
-        MAGIC, struct.pack("<HI", VERSION, len(tsdb._series))  # noqa: SLF001
+        struct.pack("<I", len(tsdb._series))  # noqa: SLF001
     ]
     for labels, storage in tsdb._series.items():  # noqa: SLF001 - archival is a DB feature
         items = labels.items()
@@ -82,13 +94,29 @@ def snapshot(tsdb: Tsdb) -> bytes:
     return b"".join(pieces)
 
 
+def snapshot(tsdb: Tsdb) -> bytes:
+    """Serialise every series of ``tsdb`` to bytes (version 2)."""
+    body = _encode_body(tsdb)
+    return MAGIC + struct.pack("<HI", VERSION, zlib.crc32(body)) + body
+
+
 def restore(data: bytes) -> Tsdb:
-    """Rebuild a TSDB from :func:`snapshot` output."""
+    """Rebuild a TSDB from :func:`snapshot` output (version 1 or 2)."""
     reader = _Reader(data)
     if reader.take(len(MAGIC)) != MAGIC:
         raise TsdbError("not a TEEMon snapshot (bad magic)")
     version = reader.u16()
-    if version != VERSION:
+    if version == VERSION:
+        expected_crc = reader.u32()
+        # The CRC covers everything after the crc field itself:
+        # magic (6) | version (2) | crc (4) | covered...
+        actual_crc = zlib.crc32(data[len(MAGIC) + 6:])
+        if actual_crc != expected_crc:
+            raise TsdbError(
+                f"snapshot checksum mismatch: "
+                f"crc32 {actual_crc:#010x} != recorded {expected_crc:#010x}"
+            )
+    elif version != _V1:
         raise TsdbError(f"unsupported snapshot version: {version}")
     series_count = reader.u32()
     tsdb = Tsdb()
@@ -101,20 +129,47 @@ def restore(data: bytes) -> Tsdb:
             mapping[key] = value
         labels = Labels(mapping)
         chunk_count = reader.u32()
+        storage = ChunkedSeries()
         for _ in range(chunk_count):
             length = reader.u32()
             chunk = Chunk.decode(reader.take(length))
-            for sample in chunk.samples():
-                tsdb.append(labels, sample.time_ns, sample.value)
+            if len(chunk):
+                storage.adopt_chunk(chunk)
+        if storage.sample_count:
+            tsdb.install_series(labels, storage)
+    if not reader.exhausted:
+        raise TsdbError(
+            f"trailing garbage after last series: "
+            f"{len(data) - reader._offset} bytes"  # noqa: SLF001
+        )
     return tsdb
 
 
 def snapshot_window(tsdb: Tsdb, start_ns: int, end_ns: int) -> bytes:
-    """Snapshot only the samples inside a time window (incident export)."""
+    """Snapshot only the samples inside a time window (incident export).
+
+    Chunks entirely inside the window are carried over as-is (boundary
+    preservation again); only the edge chunks straddling the window are
+    re-built from their surviving samples.
+    """
     if end_ns < start_ns:
         raise TsdbError(f"bad window: {start_ns}..{end_ns}")
     trimmed = Tsdb()
     for labels, storage in tsdb._series.items():  # noqa: SLF001
-        for sample in storage.window(start_ns, end_ns):
-            trimmed.append(labels, sample.time_ns, sample.value)
+        out = ChunkedSeries()
+        for chunk in storage._chunks:  # noqa: SLF001
+            if chunk.start_ns > end_ns or chunk.end_ns < start_ns:
+                continue
+            if chunk.start_ns >= start_ns and chunk.end_ns <= end_ns:
+                out.adopt_chunk(chunk)
+                continue
+            samples = chunk.window_samples(start_ns, end_ns)
+            if not samples:
+                continue
+            partial = Chunk(samples[0].time_ns)
+            for sample in samples:
+                partial.append(sample.time_ns, sample.value)
+            out.adopt_chunk(partial)
+        if out.sample_count:
+            trimmed.install_series(labels, out)
     return snapshot(trimmed)

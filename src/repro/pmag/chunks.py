@@ -170,6 +170,24 @@ class ChunkedSeries:
         self._chunks[-1].append(time_ns, value)
         self._count += 1
 
+    def adopt_chunk(self, chunk: Chunk) -> None:
+        """Append a fully-built chunk (the archive restore fast path).
+
+        Preserves the chunk boundaries the snapshot recorded instead of
+        re-chunking sample-by-sample — O(chunks), not O(samples).  The
+        chunk must be non-empty and strictly after the current tail.
+        """
+        if len(chunk) == 0:
+            raise TsdbError("cannot adopt an empty chunk")
+        last = self.last_time_ns()
+        if last is not None and chunk._times[0] <= last:  # noqa: SLF001
+            raise TsdbError(
+                f"out-of-order chunk: starts {chunk._times[0]} <= {last}"  # noqa: SLF001
+            )
+        self._chunks.append(chunk)
+        self._starts.append(chunk.start_ns)
+        self._count += len(chunk)
+
     def window(self, start_ns: int, end_ns: int) -> List[Sample]:
         """Samples with ``start_ns <= t <= end_ns``."""
         if end_ns < start_ns:

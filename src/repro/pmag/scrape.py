@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import TsdbError
+from repro.errors import OpenMetricsError, TsdbError
 from repro.net.http import HttpNetwork
 from repro.openmetrics.parser import parse_exposition
 from repro.openmetrics.registry import CollectorRegistry
@@ -269,6 +269,42 @@ class ScrapeManager:
     def down_targets(self) -> List[ScrapeTarget]:
         """Targets whose last scrape failed."""
         return [t for t, h in self._health.items() if not h.up and h.scrapes > 0]
+
+    # ------------------------------------------------------------------
+    # Recovery seeding
+    # ------------------------------------------------------------------
+    def seed_target_state(self, target: ScrapeTarget, up: bool,
+                          stale: bool = False) -> None:
+        """Restore a target's pre-crash health baseline.
+
+        Called by the recovery path with state derived from the recovered
+        TSDB's ``up`` / ``scrape_target_stale`` series, so the first
+        post-restart scrape compares against the pre-crash state: a
+        target that was up and still is does not count a flap, and a
+        target that was already stale does not re-write its marker.
+        """
+        health = self.health(target)
+        health.up = up
+        health.observed = True
+        health.stale = stale
+        health.missed_intervals = self.staleness_intervals if stale else 0
+
+    def seed_counters(self, values: Dict[str, float]) -> None:
+        """Restore self-stat counters from recovered series values.
+
+        Keys are family names (e.g. ``teemon_scrape_timeouts_total``);
+        unknown names are ignored and counters only move forward, so
+        seeding from a stale recovered value can never rewind a live
+        counter.
+        """
+        for name, value in values.items():
+            try:
+                family = self.self_registry.get(name)
+            except OpenMetricsError:
+                continue
+            child = family.labels()
+            if value > child.value:
+                child.set_to(value)
 
     def stale_targets(self) -> List[ScrapeTarget]:
         """Targets that missed the staleness threshold of intervals."""

@@ -24,6 +24,16 @@ class Tsdb:
         self._postings: Dict[tuple, Set[Labels]] = {}
         self.retention_ns = retention_ns
         self.total_appends = 0
+        self._wal = None
+
+    def attach_wal(self, wal) -> None:
+        """Write successful appends through to a write-ahead log.
+
+        The log is notified *after* the in-memory append succeeds, so
+        rejected samples (out-of-order, bad labels) never reach the WAL
+        and replay is free of known-bad records.
+        """
+        self._wal = wal
 
     # ------------------------------------------------------------------
     # Ingest
@@ -40,6 +50,26 @@ class Tsdb:
                 self._postings.setdefault(pair, set()).add(labels)
         storage.append(time_ns, value)
         self.total_appends += 1
+        if self._wal is not None:
+            self._wal.append(labels, time_ns, value)
+
+    def install_series(self, labels: Labels, storage: ChunkedSeries) -> None:
+        """Install a fully-built series (the archive/WAL restore fast path).
+
+        Bypasses per-sample appends: the chunk layout of ``storage`` is
+        preserved exactly, so a restored database is byte-identical to the
+        snapshotted one under further chunk-granular operations (retention,
+        re-snapshot).  Restored samples count towards ``total_appends``
+        so ingest totals stay monotonic across a crash/restore cycle.
+        """
+        if not labels.metric_name:
+            raise TsdbError(f"series needs a {METRIC_NAME_LABEL} label: {labels!r}")
+        if labels in self._series:
+            raise TsdbError(f"series already exists: {labels!r}")
+        self._series[labels] = storage
+        for pair in labels.items():
+            self._postings.setdefault(pair, set()).add(labels)
+        self.total_appends += storage.sample_count
 
     def append_sample(self, metric: str, time_ns: int, value: float, **labels: str) -> None:
         """Convenience ingest by metric name and keyword labels.

@@ -19,12 +19,15 @@ It provides
 * a syscall table and dispatcher firing the ``raw_syscalls`` tracepoints
   (:mod:`repro.simkernel.syscalls`),
 * a tiny ``/proc`` + ``/sys`` virtual filesystem
-  (:mod:`repro.simkernel.procfs`), and
+  (:mod:`repro.simkernel.procfs`),
+* a durable storage medium with sync/crash semantics
+  (:mod:`repro.simkernel.disk`), and
 * the :class:`~repro.simkernel.kernel.Kernel` facade that wires it all
   together.
 """
 
 from repro.simkernel.clock import VirtualClock
+from repro.simkernel.disk import DiskCrashReport, LostTail, SimDisk
 from repro.simkernel.hooks import HookKind, HookRegistry, HookContext
 from repro.simkernel.kernel import Kernel
 from repro.simkernel.process import Process, Thread
@@ -33,6 +36,9 @@ from repro.simkernel.rng import DeterministicRng
 __all__ = [
     "VirtualClock",
     "DeterministicRng",
+    "DiskCrashReport",
+    "LostTail",
+    "SimDisk",
     "HookKind",
     "HookRegistry",
     "HookContext",

@@ -19,5 +19,12 @@ See :mod:`repro.teemon.deploy` for the deployment object and
 from repro.teemon.config import TeemonConfig
 from repro.teemon.deploy import TeemonDeployment, deploy
 from repro.teemon.session import MonitoringSession
+from repro.teemon.supervisor import MonitorSupervisor
 
-__all__ = ["TeemonConfig", "deploy", "TeemonDeployment", "MonitoringSession"]
+__all__ = [
+    "TeemonConfig",
+    "deploy",
+    "TeemonDeployment",
+    "MonitoringSession",
+    "MonitorSupervisor",
+]

@@ -47,6 +47,22 @@ class TeemonConfig:
     #: and tracer's own metrics.  Requires nothing else; with tracing on
     #: its histogram samples carry trace exemplars.
     enable_self_telemetry: bool = True
+    #: Write every accepted sample through to a write-ahead log on the
+    #: deployment's simulated disk (crash-safe storage).  Off by default:
+    #: durability-off must stay free.
+    enable_wal: bool = False
+    #: Directory prefix for WAL segments and checkpoints on the disk.
+    wal_dir: str = "wal"
+    #: Flush (fsync) the live segment every N records (0 = timed flushes
+    #: only).  The unflushed window bounds crash data loss.
+    wal_flush_records: int = 0
+    #: Rotate the live segment after this many records.
+    wal_segment_records: int = 4096
+    #: Flush the WAL on the virtual clock this often; ``None`` defaults
+    #: to the scrape interval (loss bounded by one scrape of samples).
+    wal_flush_every_s: Optional[float] = None
+    #: Take a checkpoint (snapshot + segment truncation) this often.
+    checkpoint_every_s: float = 300.0
 
     def __post_init__(self) -> None:
         if self.trace_max_traces < 1:
@@ -68,3 +84,13 @@ class TeemonConfig:
         if not (self.enable_tme or self.enable_ebpf
                 or self.enable_node_exporter or self.enable_cadvisor):
             raise DeploymentError("at least one exporter must be enabled")
+        if self.wal_flush_records < 0:
+            raise DeploymentError("wal_flush_records cannot be negative")
+        if self.wal_segment_records < 1:
+            raise DeploymentError("wal_segment_records must be >= 1")
+        if self.wal_flush_every_s is not None and self.wal_flush_every_s <= 0:
+            raise DeploymentError("wal_flush_every_s must be positive")
+        if self.checkpoint_every_s <= 0:
+            raise DeploymentError("checkpoint_every_s must be positive")
+        if not self.wal_dir:
+            raise DeploymentError("wal_dir must be a non-empty prefix")

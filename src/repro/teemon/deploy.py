@@ -35,13 +35,19 @@ from repro.exporters import (
     TeeMetricsExporter,
 )
 from repro.exporters.base import Exporter, ExporterFootprint, MIB
-from repro.exporters.teemon_self import SELF_JOB, TeemonSelfExporter
+from repro.exporters.teemon_self import (
+    SELF_EXPORTER_PATH,
+    SELF_EXPORTER_PORT,
+    SELF_JOB,
+    TeemonSelfExporter,
+)
 from repro.net.http import HttpNetwork
 from repro.orchestration.container import ContainerImage, DockerRuntime
 from repro.pmag.query.engine import QueryEngine
 from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
-from repro.pmag.scrape import ScrapeManager, ScrapeTarget
+from repro.pmag.scrape import SELF_IDENTITY, ScrapeManager, ScrapeTarget
 from repro.pmag.tsdb import Tsdb
+from repro.pmag.wal import RecoveryReport, WalWriter
 from repro.pman.analyzer import PmanAnalyzer, default_sgx_rules
 from repro.pmv.dashboards import (
     build_docker_dashboard,
@@ -49,6 +55,7 @@ from repro.pmv.dashboards import (
     build_sgx_dashboard,
 )
 from repro.simkernel.clock import NANOS_PER_SEC
+from repro.simkernel.disk import SimDisk
 from repro.simkernel.kernel import Kernel
 from repro.teemon.config import TeemonConfig
 from repro.teemon.session import MonitoringSession
@@ -86,10 +93,21 @@ class ServiceProcess:
 
 
 class TeemonDeployment:
-    """A running single-host TEEMon instance."""
+    """A running single-host TEEMon instance.
+
+    The constructor separates *substrate* (exporter containers, service
+    processes, the network, the durable disk — things that exist outside
+    the monitoring process and survive its crash) from the *monitor*
+    (TSDB, scraper, query engine, analyzer, dashboards — in-memory state
+    of the aggregation process, rebuilt by :meth:`resurrect` after a
+    :meth:`kill`).  :class:`~repro.teemon.session.MonitoringSession`
+    dereferences the deployment's attributes on every call, so one
+    session object stays valid across restarts.
+    """
 
     def __init__(self, kernel: Kernel, config: TeemonConfig,
-                 network: Optional[HttpNetwork] = None) -> None:
+                 network: Optional[HttpNetwork] = None,
+                 disk: Optional[SimDisk] = None) -> None:
         self.kernel = kernel
         self.config = config
         self.network = network if network is not None else HttpNetwork()
@@ -98,11 +116,57 @@ class TeemonDeployment:
         self.services: Dict[str, ServiceProcess] = {}
         self._running = False
         self._accounting_timer = None
+        self._wal_flush_timer = None
+        self._wal_checkpoint_timer = None
+        #: Whether the monitor is currently dead (killed, not resurrected).
+        self.crashed = False
+        #: The durable medium backing the WAL (substrate: survives kills).
+        self.disk: Optional[SimDisk] = disk
+        if self.disk is None and config.enable_wal:
+            self.disk = SimDisk()
+        #: Cumulative recovery statistics across every resurrection of
+        #: this deployment; served as ``teemon_recovery_*`` self-series.
+        self.recovery_stats: Dict[str, float] = {
+            "recoveries": 0,
+            "records_replayed": 0,
+            "records_quarantined": 0,
+            "records_duplicate": 0,
+            "segments_quarantined": 0,
+            "checkpoints_quarantined": 0,
+            "torn_tails": 0,
+            "samples_lost": 0,
+        }
+        self.last_recovery = None
 
         self._create_exporters()
-        self.tsdb = Tsdb(
-            retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC)
-        )
+        self._build_monitor()
+        self._create_services()
+        self.session = MonitoringSession(self)
+
+    def _build_monitor(self, tsdb: Optional[Tsdb] = None) -> None:
+        """(Re)create the monitoring process's in-memory objects.
+
+        ``tsdb`` is the recovered database on resurrection, None on first
+        build.  Substrate objects (exporters, services, network, disk)
+        are untouched; everything the aggregation process holds in memory
+        is built fresh — which is exactly what a process restart does.
+        """
+        kernel = self.kernel
+        config = self.config
+        if tsdb is None:
+            tsdb = Tsdb(
+                retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC)
+            )
+        self.tsdb = tsdb
+        self.wal: Optional[WalWriter] = None
+        if config.enable_wal:
+            self.wal = WalWriter(
+                self.disk,
+                directory=config.wal_dir,
+                flush_every_records=config.wal_flush_records,
+                segment_max_records=config.wal_segment_records,
+            )
+            self.tsdb.attach_wal(self.wal)
         # Pipeline tracing: one tracer shared by the scraper, the query
         # engine and the rule evaluator, so a scrape cycle or a rule
         # evaluation is one connected trace.  Span ids come from a named
@@ -136,6 +200,10 @@ class TeemonDeployment:
                 kernel.hostname,
                 scrape_manager=self.scrape_manager,
                 tracer=self.tracer if config.enable_tracing else None,
+                wal=self.wal,
+                recovery_stats=(
+                    (lambda: self.recovery_stats) if config.enable_wal else None
+                ),
             )
             self.self_exporter.expose(self.network)
             self.scrape_manager.add_target(ScrapeTarget(
@@ -161,8 +229,6 @@ class TeemonDeployment:
         }
         for dashboard in self.dashboards.values():
             self.analyzer.alerts.add_sink(dashboard.alert_sink())
-        self._create_services()
-        self.session = MonitoringSession(self)
 
     # ------------------------------------------------------------------
     def _create_exporters(self) -> None:
@@ -215,15 +281,19 @@ class TeemonDeployment:
         """Begin scraping, analysis, and service CPU accounting."""
         if self._running:
             raise DeploymentError("deployment already started")
+        if self.crashed:
+            raise DeploymentError("deployment crashed; resurrect() it first")
         self.scrape_manager.start()
         self.analyzer.start()
         if self.config.enable_recording_rules:
             self.rule_evaluator.start()
         self._running = True
         self._schedule_service_accounting()
+        self._schedule_wal_maintenance()
 
     def stop(self) -> None:
-        """Stop scraping and analysis (exporters stay resident)."""
+        """Stop scraping and analysis gracefully (exporters stay
+        resident; the WAL is flushed so a graceful stop loses nothing)."""
         if not self._running:
             raise DeploymentError("deployment not running")
         self.scrape_manager.stop()
@@ -231,9 +301,142 @@ class TeemonDeployment:
         if self.config.enable_recording_rules:
             self.rule_evaluator.stop()
         self._running = False
-        if self._accounting_timer is not None:
-            self._accounting_timer.cancel()
-            self._accounting_timer = None
+        self._cancel_maintenance_timers()
+        if self.wal is not None:
+            self.wal.flush()
+
+    def _cancel_maintenance_timers(self) -> None:
+        for attr in ("_accounting_timer", "_wal_flush_timer",
+                     "_wal_checkpoint_timer"):
+            timer = getattr(self, attr)
+            if timer is not None:
+                timer.cancel()
+                setattr(self, attr, None)
+
+    # ------------------------------------------------------------------
+    # Crash and recovery
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Die abruptly: every monitor timer stops, nothing is flushed.
+
+        Models a process crash (SIGKILL, OOM, power loss of the
+        aggregation host).  Unflushed WAL records and every in-memory
+        structure are simply gone; the substrate — exporter containers,
+        the network, the disk — keeps running.  Pair with a
+        :meth:`~repro.simkernel.disk.SimDisk.crash` of the disk to model
+        whole-host power loss, then :meth:`resurrect`.
+        """
+        if not self._running:
+            raise DeploymentError("cannot kill a deployment that is not running")
+        self.scrape_manager.stop()
+        self.analyzer.stop()
+        if self.config.enable_recording_rules:
+            self.rule_evaluator.stop()
+        self._running = False
+        self._cancel_maintenance_timers()
+        self.crashed = True
+
+    def resurrect(self, tsdb: Tsdb,
+                  report: Optional[RecoveryReport] = None) -> None:
+        """Restart the monitor after :meth:`kill` with a recovered TSDB.
+
+        Rebuilds every in-memory monitor object around ``tsdb`` (normally
+        the result of :func:`repro.pmag.wal.recover`), re-registers the
+        self-telemetry endpoint, seeds scrape-manager state from the
+        recovered series so ``up``/staleness/flap semantics are correct
+        across the restart, folds ``report`` into the cumulative
+        ``teemon_recovery_*`` statistics, takes a fresh checkpoint (the
+        recovery itself becomes durable), and starts scraping again.
+        """
+        if not self.crashed:
+            raise DeploymentError("resurrect() requires a killed deployment")
+        if self.self_exporter is not None:
+            self.network.unregister(
+                self.kernel.hostname, SELF_EXPORTER_PORT, SELF_EXPORTER_PATH
+            )
+        if report is not None:
+            self.last_recovery = report
+            stats = self.recovery_stats
+            stats["records_replayed"] += report.records_replayed
+            stats["records_quarantined"] += report.records_quarantined
+            stats["records_duplicate"] += report.records_duplicate
+            stats["segments_quarantined"] += report.segments_quarantined
+            stats["checkpoints_quarantined"] += report.checkpoints_quarantined
+            stats["torn_tails"] += report.torn_tails
+            stats["samples_lost"] += report.samples_lost
+        self.recovery_stats["recoveries"] += 1
+        self.crashed = False
+        self._build_monitor(tsdb=tsdb)
+        self._seed_scrape_state()
+        if self.wal is not None:
+            # The recovery checkpoint: replayed segments are truncated and
+            # the recovered state itself becomes the new durable baseline.
+            self.wal.checkpoint(self.tsdb)
+        self.start()
+
+    def _seed_scrape_state(self) -> None:
+        """Rebuild scraper health/counters from the recovered TSDB."""
+        manager = self.scrape_manager
+        for target in manager.current_targets():
+            identity = target.identity()
+            up_sample = self.tsdb.latest("up", **identity)
+            if up_sample is None:
+                continue  # never scraped before the crash
+            stale_sample = self.tsdb.latest("scrape_target_stale", **identity)
+            manager.seed_target_state(
+                target,
+                up=up_sample.value >= 1.0,
+                stale=stale_sample is not None and stale_sample.value >= 1.0,
+            )
+        seeds = {}
+        for series_name, family_name in (
+            ("scrape_timeouts_total", "teemon_scrape_timeouts_total"),
+            ("scrape_retries_total", "teemon_scrape_retries_total"),
+            ("scrape_samples_dropped_total", "teemon_scrape_samples_dropped_total"),
+            ("target_flaps_total", "teemon_target_flaps_total"),
+        ):
+            sample = self.tsdb.latest(series_name, **SELF_IDENTITY)
+            if sample is not None:
+                seeds[family_name] = sample.value
+        if seeds:
+            manager.seed_counters(seeds)
+
+    def _schedule_wal_maintenance(self) -> None:
+        """Timed WAL flushes and checkpoints on the virtual clock.
+
+        The flush cadence (default: the scrape interval) is the loss
+        bound: a crash destroys at most the records appended since the
+        previous flush.  Flush timers are scheduled after the scrape
+        timer, so at a shared instant the cycle's samples land before the
+        flush that makes them durable.
+        """
+        if self.wal is None:
+            return
+        clock = self.kernel.clock
+        flush_every_s = self.config.wal_flush_every_s
+        if flush_every_s is None:
+            flush_every_s = self.config.scrape_interval_s
+        flush_ns = int(flush_every_s * NANOS_PER_SEC)
+        checkpoint_ns = int(self.config.checkpoint_every_s * NANOS_PER_SEC)
+
+        def flush_tick() -> None:
+            if not self._running:
+                return
+            self.wal.flush()
+            self._wal_flush_timer = clock.call_later(flush_ns, flush_tick)
+
+        def checkpoint_tick() -> None:
+            if not self._running:
+                return
+            self.wal.checkpoint(self.tsdb)
+            self._wal_checkpoint_timer = clock.call_later(
+                checkpoint_ns, checkpoint_tick
+            )
+
+        self._wal_flush_timer = clock.call_later(flush_ns, flush_tick)
+        self._wal_checkpoint_timer = clock.call_later(
+            checkpoint_ns, checkpoint_tick
+        )
 
     def _schedule_service_accounting(self) -> None:
         """Charge the aggregation/visualisation services their CPU share.
@@ -309,9 +512,12 @@ def deploy(
     config: Optional[TeemonConfig] = None,
     network: Optional[HttpNetwork] = None,
     start: bool = True,
+    disk: Optional[SimDisk] = None,
 ) -> TeemonDeployment:
     """Deploy TEEMon on a host; returns the running deployment."""
-    deployment = TeemonDeployment(kernel, config or TeemonConfig(), network=network)
+    deployment = TeemonDeployment(
+        kernel, config or TeemonConfig(), network=network, disk=disk
+    )
     if start:
         deployment.start()
     return deployment

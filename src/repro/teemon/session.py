@@ -83,6 +83,29 @@ class MonitoringSession:
         return self._deployment.scrape_manager.self_stats()
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def wal_stats(self) -> Dict[str, int]:
+        """The write-ahead log's counters for this process incarnation."""
+        wal = self._deployment.wal
+        if wal is None:
+            raise DeploymentError(
+                "durability is disabled; deploy with "
+                "TeemonConfig(enable_wal=True)"
+            )
+        return {
+            "records_total": wal.records_total,
+            "flushes_total": wal.flushes_total,
+            "checkpoints_total": wal.checkpoints_total,
+            "segments_total": wal.segments_total,
+            "unflushed_records": wal.unflushed_records,
+        }
+
+    def recovery_stats(self) -> Dict[str, float]:
+        """Cumulative crash-recovery statistics of the deployment."""
+        return dict(self._deployment.recovery_stats)
+
+    # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------
     def _trace_store(self):

@@ -1,11 +1,13 @@
 """TSDB snapshot/restore tests, including a hypothesis roundtrip."""
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import TsdbError
-from repro.pmag.archive import restore, snapshot, snapshot_window
+from repro.pmag.archive import MAGIC, VERSION, restore, snapshot, snapshot_window
 from repro.pmag.model import Matcher
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import seconds
@@ -63,13 +65,67 @@ def test_snapshot_window_validation():
 def test_restore_rejects_garbage():
     with pytest.raises(TsdbError, match="magic"):
         restore(b"NOTASNAPSHOT")
-    with pytest.raises(TsdbError, match="truncated"):
+    # A truncated v2 snapshot fails its whole-file checksum up front.
+    with pytest.raises(TsdbError, match="checksum"):
         restore(snapshot(_populated_tsdb())[:20])
     # Wrong version.
     data = bytearray(snapshot(Tsdb()))
     data[6] = 99
     with pytest.raises(TsdbError, match="version"):
         restore(bytes(data))
+
+
+def test_restore_rejects_trailing_garbage():
+    data = snapshot(_populated_tsdb())
+    # Appending bytes breaks the v2 checksum...
+    with pytest.raises(TsdbError, match="checksum"):
+        restore(data + b"\x00garbage")
+    # ...and even a v1 snapshot (no checksum) rejects bytes past the
+    # last series.
+    v1 = _as_v1(data)
+    assert restore(v1).sample_count() == _populated_tsdb().sample_count()
+    with pytest.raises(TsdbError, match="trailing garbage"):
+        restore(v1 + b"\x00garbage")
+
+
+def test_v2_checksum_detects_bitflip():
+    data = bytearray(snapshot(_populated_tsdb()))
+    data[len(data) // 2] ^= 0x10
+    with pytest.raises(TsdbError, match="checksum"):
+        restore(bytes(data))
+
+
+def _as_v1(v2_snapshot: bytes) -> bytes:
+    """Rewrite a v2 snapshot as the version-1 layout (no crc field)."""
+    assert v2_snapshot[:6] == MAGIC
+    return MAGIC + struct.pack("<H", 1) + v2_snapshot[12:]
+
+
+def test_restore_reads_version1_snapshots():
+    original = _populated_tsdb()
+    restored = restore(_as_v1(snapshot(original)))
+    assert _dump(restored) == _dump(original)
+
+
+def test_snapshot_is_version2():
+    data = snapshot(Tsdb())
+    assert data[:6] == MAGIC
+    (version,) = struct.unpack_from("<H", data, 6)
+    assert version == VERSION == 2
+
+
+def test_restore_preserves_chunk_boundaries():
+    # 250 samples > 2 full chunks; restore must keep the same chunk
+    # layout, not re-chunk from sample zero — which makes snapshot an
+    # idempotent byte-for-byte round trip.
+    tsdb = Tsdb()
+    for step in range(250):
+        tsdb.append_sample("m", (step + 1) * 1000, float(step))
+    restored = restore(snapshot(tsdb))
+    original_chunks = next(iter(tsdb._series.values()))  # noqa: SLF001
+    restored_chunks = next(iter(restored._series.values()))  # noqa: SLF001
+    assert restored_chunks.chunk_count == original_chunks.chunk_count
+    assert snapshot(restored) == snapshot(tsdb)
 
 
 def test_empty_tsdb_roundtrip():

@@ -1,6 +1,9 @@
 """TSDB model, chunks and database tests."""
 
 import pytest
+from hypothesis import given as hyp_given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as hyp_st
 
 from repro.errors import TsdbError
 from repro.pmag.chunks import CHUNK_SIZE, Chunk, ChunkedSeries
@@ -260,3 +263,60 @@ def test_delete_series_with_empty_value_matcher():
     assert deleted == 1
     remaining = tsdb.select([Matcher.eq("__name__", "m")], 0, 10)
     assert sorted(s.samples[0].value for s in remaining) == [1.0, 3.0]
+
+
+# ---------------------------------------------------------------------------
+# Postings-index consistency under interleaved mutation
+# ---------------------------------------------------------------------------
+def _postings_rebuilt(tsdb):
+    """What the inverted index *should* contain, rebuilt from scratch."""
+    expected = {}
+    for labels in tsdb._series:  # noqa: SLF001
+        for pair in labels.items():
+            expected.setdefault(pair, set()).add(labels)
+    return expected
+
+
+def _assert_index_consistent(tsdb):
+    assert tsdb._postings == _postings_rebuilt(tsdb)  # noqa: SLF001
+
+
+@hyp_given(hyp_st.lists(
+    hyp_st.one_of(
+        # (op, series index, timestamp bucket)
+        hyp_st.tuples(hyp_st.just("append"), hyp_st.integers(0, 5),
+                      hyp_st.integers(1, 40)),
+        hyp_st.tuples(hyp_st.just("delete"), hyp_st.integers(0, 5),
+                      hyp_st.just(0)),
+        hyp_st.tuples(hyp_st.just("retention"), hyp_st.just(0),
+                      hyp_st.integers(1, 40)),
+    ),
+    min_size=1, max_size=60,
+))
+@hyp_settings(max_examples=60, deadline=None)
+def test_postings_match_series_under_interleaved_mutation(ops):
+    """delete_series / enforce_retention / re-append of a deleted label
+    set must leave the inverted index exactly matching the live series —
+    no stale postings, no missing ones, no empty sets left behind."""
+    tsdb = Tsdb(retention_ns=10_000)
+    # Per-series high-water marks so re-appends after a delete can reuse
+    # the label set with fresh timestamps (appends are in-order only).
+    clock = {}
+    for op, index, arg in ops:
+        name = f"m{index % 3}"
+        labels = Labels.of(name, job=f"j{index % 2}", idx=str(index))
+        if op == "append":
+            t = clock.get(labels, 0) + arg * 500
+            clock[labels] = t
+            tsdb.append(labels, t, float(arg))
+        elif op == "delete":
+            tsdb.delete_series([Matcher.eq("idx", str(index))])
+        else:
+            tsdb.enforce_retention(now_ns=arg * 1_000)
+        _assert_index_consistent(tsdb)
+    # No posting set may be empty, and selection through the index must
+    # agree with a full scan.
+    assert all(tsdb._postings.values())  # noqa: SLF001
+    for labels in list(tsdb._series):  # noqa: SLF001
+        matchers = [Matcher.eq(k, v) for k, v in labels.items()]
+        assert [s.labels for s in tsdb.select(matchers, 0, 10**18)] == [labels]
