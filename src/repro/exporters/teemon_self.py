@@ -18,6 +18,10 @@ making the monitoring pipeline itself scrapable.  One endpoint (port
   statistics of the deployment: recoveries, records replayed, records
   and segments quarantined for corruption, and the *exact* samples lost
   to crashes as measured against the simulated medium's loss report;
+* storage-engine telemetry (``teemon_storage_*``) — shard count,
+  per-shard series/sample counts (``{shard="N"}``), compaction passes,
+  samples folded into downsampled buckets, bytes saved by downsampling,
+  and range evaluations served from rollups;
 * ``teemon_span_duration_seconds`` — a histogram of span durations
   (virtual time), labelled by span name, fed from the tracer's span-end
   callback.  Each observation carries an OpenMetrics **exemplar**
@@ -57,12 +61,13 @@ class TeemonSelfExporter:
     """Serves the pipeline's self-telemetry as an OpenMetrics endpoint."""
 
     def __init__(self, hostname: str, scrape_manager=None, tracer=None,
-                 wal=None, recovery_stats=None) -> None:
+                 wal=None, recovery_stats=None, storage=None) -> None:
         self.hostname = hostname
         self.registry = CollectorRegistry()
         self._tracer = tracer
         self._wal = wal
         self._recovery_stats = recovery_stats
+        self._storage = storage
         self._endpoint: Optional[HttpEndpoint] = None
         self.scrapes_served = 0
         if scrape_manager is not None:
@@ -143,6 +148,70 @@ class TeemonSelfExporter:
                 "the medium's own loss report",
             )
             self.registry.on_collect(self._sync_recovery_counters)
+        if storage is not None:
+            # Storage-engine telemetry: shard layout and the block
+            # lifecycle's compaction counters, refreshed at collect time
+            # from the engine's ``storage_stats()``.
+            self._storage_shards = self.registry.gauge(
+                "teemon_storage_shards",
+                "Shards behind the storage engine",
+            )
+            self._storage_series = self.registry.gauge(
+                "teemon_storage_series",
+                "Distinct series held, per shard",
+                label_names=("shard",),
+            )
+            self._storage_samples = self.registry.gauge(
+                "teemon_storage_samples",
+                "Raw (not yet downsampled) samples held, per shard",
+                label_names=("shard",),
+            )
+            self._storage_rollup_samples = self.registry.gauge(
+                "teemon_storage_rollup_samples",
+                "Samples folded into downsampled buckets, per shard",
+                label_names=("shard",),
+            )
+            self._storage_compactions = self.registry.counter(
+                "teemon_storage_compactions_total",
+                "Block-compaction passes run",
+            )
+            self._storage_compacted = self.registry.counter(
+                "teemon_storage_samples_compacted_total",
+                "Raw samples folded into downsampled rollup buckets",
+            )
+            self._storage_bytes_saved = self.registry.gauge(
+                "teemon_storage_downsample_bytes_saved",
+                "Approximate bytes released by replacing raw chunks with "
+                "rollup buckets",
+            )
+            self._storage_downsampled_reads = self.registry.counter(
+                "teemon_storage_downsampled_reads_total",
+                "Range-function evaluations served from downsampled buckets",
+            )
+            self.registry.on_collect(self._sync_storage_counters)
+
+    def _sync_storage_counters(self) -> None:
+        stats = self._storage()
+        self._storage_shards.labels().set_to(float(stats["shards"]))
+        for index, shard in enumerate(stats["per_shard"]):
+            label = str(index)
+            self._storage_series.labels(label).set_to(float(shard["series"]))
+            self._storage_samples.labels(label).set_to(float(shard["samples"]))
+            self._storage_rollup_samples.labels(label).set_to(
+                float(shard["rollup_samples"])
+            )
+        self._storage_compactions.labels().set_to(
+            float(stats["compactions_total"])
+        )
+        self._storage_compacted.labels().set_to(
+            float(stats["samples_compacted_total"])
+        )
+        self._storage_bytes_saved.labels().set_to(
+            float(stats["bytes_saved_total"])
+        )
+        self._storage_downsampled_reads.labels().set_to(
+            float(stats["downsampled_reads_total"])
+        )
 
     def _sync_wal_counters(self) -> None:
         self._wal_records.labels().set_to(float(self._wal.records_total))

@@ -9,7 +9,10 @@ supports data queries over specified time ranges and labeled dimensions"
 
 * :mod:`repro.pmag.model` — labelled series and samples;
 * :mod:`repro.pmag.chunks` — chunked, delta-encoded sample storage;
-* :mod:`repro.pmag.tsdb` — the database: append, label index, retention;
+* :mod:`repro.pmag.tsdb` — the database: the :class:`StorageEngine`
+  interface plus :class:`Tsdb`, its single-shard implementation;
+* :mod:`repro.pmag.storage` — :class:`ShardedTsdb`, the fingerprint-
+  routed multi-shard engine, and :func:`build_storage_engine`;
 * :mod:`repro.pmag.scrape` — pull-based scraping with service discovery
   and target health (the ``up`` metric);
 * :mod:`repro.pmag.query` — a PromQL-subset query engine with range
@@ -19,6 +22,17 @@ supports data queries over specified time ranges and labeled dimensions"
 
 from repro.pmag.model import Labels, Sample, Series
 from repro.pmag.scrape import ScrapeManager, ScrapeTarget
-from repro.pmag.tsdb import Tsdb
+from repro.pmag.storage import ShardedTsdb, build_storage_engine
+from repro.pmag.tsdb import StorageEngine, Tsdb
 
-__all__ = ["Labels", "Sample", "Series", "Tsdb", "ScrapeManager", "ScrapeTarget"]
+__all__ = [
+    "Labels",
+    "Sample",
+    "Series",
+    "ShardedTsdb",
+    "StorageEngine",
+    "Tsdb",
+    "build_storage_engine",
+    "ScrapeManager",
+    "ScrapeTarget",
+]

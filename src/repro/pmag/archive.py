@@ -8,16 +8,25 @@ labels + delta-encoded chunks, the on-disk format of
 supporting backup, transfer between deployments, and post-mortem analysis
 of a finished run.
 
-Format (version 2, current)::
+Format (version 2, the single-store layout)::
 
     header:  magic "TMSNAP" | u16 version | u32 crc32 | u32 series count
     series:  u32 label count | (u16 len + utf8 key | u16 len + utf8 value)*
              u32 chunk count | (u32 len | chunk bytes)*
 
-The CRC32 covers every byte after the crc field itself (series count
-included), so a torn or bit-flipped snapshot is detected up front instead
-of restoring silently-wrong data.  Version-1 snapshots (no crc field) are
-still read byte-for-byte; new snapshots are always written as version 2.
+Version 3 is the sharded layout, written when snapshotting a
+:class:`~repro.pmag.storage.ShardedTsdb`::
+
+    header:  magic "TMSNAP" | u16 version=3 | u32 crc32 | u32 shard count
+    shards:  (u32 body length | version-2 body)*   — one per shard, in order
+
+The CRC32 covers every byte after the crc field itself, so a torn or
+bit-flipped snapshot is detected up front instead of restoring
+silently-wrong data.  Version-1 snapshots (no crc field) are still read
+byte-for-byte.  :func:`restore` returns the engine shape the snapshot
+recorded: a plain :class:`~repro.pmag.tsdb.Tsdb` for v1/v2 (the
+single-store layout *is* "shard 0" of a one-shard world) and a
+``ShardedTsdb`` with the recorded shard count for v3.
 
 Restore adopts decoded chunks directly into each series — O(chunks), not
 O(samples) — which also preserves the exact chunk boundaries the snapshot
@@ -39,6 +48,7 @@ from repro.pmag.tsdb import Tsdb
 MAGIC = b"TMSNAP"
 VERSION = 2
 _V1 = 1
+_V3 = 3
 
 
 def _pack_text(text: str) -> bytes:
@@ -94,32 +104,29 @@ def _encode_body(tsdb: Tsdb) -> bytes:
     return b"".join(pieces)
 
 
-def snapshot(tsdb: Tsdb) -> bytes:
-    """Serialise every series of ``tsdb`` to bytes (version 2)."""
-    body = _encode_body(tsdb)
-    return MAGIC + struct.pack("<HI", VERSION, zlib.crc32(body)) + body
+def snapshot(engine) -> bytes:
+    """Serialise a storage engine to bytes.
+
+    A single-store :class:`Tsdb` writes the version-2 layout it always
+    did (byte-identical for unchanged databases); a sharded engine —
+    even one with a single shard — writes version 3, one version-2 body
+    per shard, so the shard layout survives the round trip exactly.
+    """
+    if isinstance(engine, Tsdb):
+        body = _encode_body(engine)
+        return MAGIC + struct.pack("<HI", VERSION, zlib.crc32(body)) + body
+    pieces: List[bytes] = [struct.pack("<I", engine.shard_count)]
+    for index in range(engine.shard_count):
+        shard_body = _encode_body(engine.shard(index))
+        pieces.append(struct.pack("<I", len(shard_body)))
+        pieces.append(shard_body)
+    body = b"".join(pieces)
+    return MAGIC + struct.pack("<HI", _V3, zlib.crc32(body)) + body
 
 
-def restore(data: bytes) -> Tsdb:
-    """Rebuild a TSDB from :func:`snapshot` output (version 1 or 2)."""
-    reader = _Reader(data)
-    if reader.take(len(MAGIC)) != MAGIC:
-        raise TsdbError("not a TEEMon snapshot (bad magic)")
-    version = reader.u16()
-    if version == VERSION:
-        expected_crc = reader.u32()
-        # The CRC covers everything after the crc field itself:
-        # magic (6) | version (2) | crc (4) | covered...
-        actual_crc = zlib.crc32(data[len(MAGIC) + 6:])
-        if actual_crc != expected_crc:
-            raise TsdbError(
-                f"snapshot checksum mismatch: "
-                f"crc32 {actual_crc:#010x} != recorded {expected_crc:#010x}"
-            )
-    elif version != _V1:
-        raise TsdbError(f"unsupported snapshot version: {version}")
+def _decode_series(reader: _Reader, tsdb: Tsdb) -> None:
+    """Read one version-2 body (series count + series) into ``tsdb``."""
     series_count = reader.u32()
-    tsdb = Tsdb()
     for _ in range(series_count):
         label_count = reader.u32()
         mapping = {}
@@ -137,25 +144,72 @@ def restore(data: bytes) -> Tsdb:
                 storage.adopt_chunk(chunk)
         if storage.sample_count:
             tsdb.install_series(labels, storage)
+
+
+def restore(data: bytes):
+    """Rebuild a storage engine from :func:`snapshot` output (v1/v2/v3).
+
+    Returns a plain :class:`Tsdb` for version 1/2 snapshots and a
+    :class:`~repro.pmag.storage.ShardedTsdb` with the recorded shard
+    count for version 3 — each shard's series installed on the exact
+    shard the snapshot recorded.
+    """
+    reader = _Reader(data)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise TsdbError("not a TEEMon snapshot (bad magic)")
+    version = reader.u16()
+    if version in (VERSION, _V3):
+        expected_crc = reader.u32()
+        # The CRC covers everything after the crc field itself:
+        # magic (6) | version (2) | crc (4) | covered...
+        actual_crc = zlib.crc32(data[len(MAGIC) + 6:])
+        if actual_crc != expected_crc:
+            raise TsdbError(
+                f"snapshot checksum mismatch: "
+                f"crc32 {actual_crc:#010x} != recorded {expected_crc:#010x}"
+            )
+    elif version != _V1:
+        raise TsdbError(f"unsupported snapshot version: {version}")
+    if version == _V3:
+        from repro.pmag.storage import ShardedTsdb
+
+        shard_count = reader.u32()
+        if shard_count < 1:
+            raise TsdbError(f"bad shard count in snapshot: {shard_count}")
+        engine = ShardedTsdb(shard_count)
+        for index in range(shard_count):
+            length = reader.u32()
+            shard_reader = _Reader(reader.take(length))
+            _decode_series(shard_reader, engine.shard(index))
+            if not shard_reader.exhausted:
+                raise TsdbError(
+                    f"trailing garbage after shard {index} series"
+                )
+        result = engine
+    else:
+        tsdb = Tsdb()
+        _decode_series(reader, tsdb)
+        result = tsdb
     if not reader.exhausted:
         raise TsdbError(
             f"trailing garbage after last series: "
             f"{len(data) - reader._offset} bytes"  # noqa: SLF001
         )
-    return tsdb
+    return result
 
 
-def snapshot_window(tsdb: Tsdb, start_ns: int, end_ns: int) -> bytes:
+def snapshot_window(tsdb, start_ns: int, end_ns: int) -> bytes:
     """Snapshot only the samples inside a time window (incident export).
 
     Chunks entirely inside the window are carried over as-is (boundary
     preservation again); only the edge chunks straddling the window are
-    re-built from their surviving samples.
+    re-built from their surviving samples.  Works on any engine; the
+    trimmed export is always a single-store (version 2) snapshot.
     """
     if end_ns < start_ns:
         raise TsdbError(f"bad window: {start_ns}..{end_ns}")
     trimmed = Tsdb()
-    for labels, storage in tsdb._series.items():  # noqa: SLF001
+    for labels, storage in tsdb.series_items():
         out = ChunkedSeries()
         for chunk in storage._chunks:  # noqa: SLF001
             if chunk.start_ns > end_ns or chunk.end_ns < start_ns:

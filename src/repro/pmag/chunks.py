@@ -242,6 +242,38 @@ class ChunkedSeries:
         self._count -= dropped
         return dropped
 
+    def split_before(self, cutoff_ns: int) -> Tuple[List[int], List[float]]:
+        """Detach and return every sample with ``t < cutoff_ns``.
+
+        Sample-granular, unlike :meth:`drop_before`: a chunk straddling
+        the cutoff is split, so compaction can fold exactly the samples
+        below a bucket-aligned horizon and no others.  Returns the
+        detached (timestamps, values) parallel arrays in time order.
+        """
+        times: List[int] = []
+        values: List[float] = []
+        keep = 0
+        while keep < len(self._chunks) and self._chunks[keep].end_ns < cutoff_ns:
+            chunk = self._chunks[keep]
+            times.extend(chunk._times)
+            values.extend(chunk._values)
+            keep += 1
+        del self._chunks[:keep]
+        del self._starts[:keep]
+        if self._chunks and self._chunks[0].start_ns < cutoff_ns:
+            head = self._chunks[0]
+            split = bisect_left(head._times, cutoff_ns)
+            if split:
+                times.extend(head._times[:split])
+                values.extend(head._values[:split])
+                rebuilt = Chunk(head._times[split])
+                rebuilt._times = head._times[split:]
+                rebuilt._values = head._values[split:]
+                self._chunks[0] = rebuilt
+                self._starts[0] = rebuilt.start_ns
+        self._count -= len(times)
+        return times, values
+
     def memory_bytes(self) -> int:
         """Approximate in-memory footprint."""
         return sum(chunk.memory_bytes() for chunk in self._chunks)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError
+from repro.pmag.blocks import aggregate_arrays
 from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Sample, Series
 from repro.pmag.query.functions import (
     ARRAY_RANGE_FUNCTIONS,
@@ -216,6 +217,81 @@ class _BulkSelection:
         return result
 
 
+#: Range functions whose value over a window is a pure function of the
+#: window's :class:`~repro.pmag.blocks.WindowAggregate` — exactly the
+#: rollups compaction stores.  ``rate``/``increase``/``delta`` need every
+#: sample (counter-reset detection) and never read rollups.
+_ROLLUP_COMPOSERS = {
+    "avg_over_time": lambda agg: agg.total / agg.count,
+    "min_over_time": lambda agg: agg.minimum,
+    "max_over_time": lambda agg: agg.maximum,
+    "sum_over_time": lambda agg: agg.total,
+    "count_over_time": lambda agg: float(agg.count),
+}
+
+
+class _RollupSelection:
+    """One selector's downsampled buckets, merged with its raw buffer.
+
+    Serves the composable ``*_over_time`` functions from per-bucket
+    aggregates instead of raw samples.  Every window is answered as
+    rollup-aggregate ⊕ raw-aggregate per series: compaction *moves*
+    samples from raw chunks into buckets, so the two parts are disjoint
+    and their merge is exactly what evaluating the original raw samples
+    would produce (for aligned windows — :meth:`apply` returns None on
+    misaligned bounds and the caller falls back to the raw path).
+    """
+
+    __slots__ = ("resolution_ns", "_entries", "_raw", "_stats")
+
+    def __init__(self, resolution_ns, entries, raw, stats) -> None:
+        self.resolution_ns = resolution_ns
+        # (labels, labels sans __name__, rollup), sorted by labels.items().
+        self._entries = entries
+        self._raw = raw  # the selector's _BulkSelection (may be None)
+        self._stats = stats  # the engine's StorageStats (read counter)
+
+    def apply(
+        self, name: str, start_ns: int, end_ns: int
+    ) -> Optional[List[Tuple[Labels, float]]]:
+        """The instant vector for one window, or None if misaligned."""
+        resolution = self.resolution_ns
+        if start_ns % resolution or end_ns % resolution:
+            return None
+        compose = _ROLLUP_COMPOSERS[name]
+        raw_series = self._raw._series if self._raw is not None else []
+        entries = self._entries
+        result: List[Tuple[Labels, float]] = []
+        i = j = 0
+        # Positional merge on the shared sort key (labels.items()): a
+        # series may be raw-only (young), rollup-only (fully compacted),
+        # or both (straddling the compaction horizon).
+        while i < len(raw_series) or j < len(entries):
+            raw_key = raw_series[i][0].items() if i < len(raw_series) else None
+            rollup_key = entries[j][0].items() if j < len(entries) else None
+            if rollup_key is None or (raw_key is not None and raw_key < rollup_key):
+                _labels, sans_name, times, values = raw_series[i]
+                i += 1
+                aggregate = aggregate_arrays(times, values, start_ns, end_ns)
+            elif raw_key is None or rollup_key < raw_key:
+                _labels, sans_name, rollup = entries[j]
+                j += 1
+                aggregate = rollup.window_aggregate(start_ns, end_ns)
+            else:
+                _labels, sans_name, rollup = entries[j]
+                _rl, _rs, times, values = raw_series[i]
+                i += 1
+                j += 1
+                aggregate = rollup.window_aggregate(start_ns, end_ns).merge(
+                    aggregate_arrays(times, values, start_ns, end_ns)
+                )
+            if aggregate.count == 0:
+                continue  # no samples in this window; series is absent
+            result.append((sans_name, compose(aggregate)))
+        self._stats.downsampled_reads_total += 1
+        return result
+
+
 def _collect_selector_windows(
     expr: Expr, lookback_ns: int, windows: Dict[VectorSelector, int]
 ) -> None:
@@ -254,6 +330,7 @@ class QueryEngine:
         self._lookback_ns = lookback_ns
         self._plan_cache = QueryPlanCache(plan_cache_size)
         self._bulk: Optional[Dict[VectorSelector, _BulkSelection]] = None
+        self._rollup_sel: Optional[Dict[VectorSelector, _RollupSelection]] = None
         # Evaluation is the µs-scale hot path: every traced entry point
         # checks ``tracer.enabled`` first and falls through to the exact
         # untraced code when tracing is off, so the no-op tracer costs one
@@ -331,10 +408,14 @@ class QueryEngine:
             windows: Dict[VectorSelector, int] = {}
             _collect_selector_windows(expr, self._lookback_ns, windows)
             self._bulk = self._bulk_select(windows, start_ns, end_ns)
+            self._rollup_sel = self._rollup_select(
+                windows, start_ns, end_ns, step_ns
+            )
             try:
                 return self._evaluate_steps(expr, start_ns, end_ns, step_ns)
             finally:
                 self._bulk = None
+                self._rollup_sel = None
         with self._tracer.span("query.range", {
             "query": query, "start_ns": start_ns, "end_ns": end_ns,
             "step_ns": step_ns,
@@ -350,6 +431,9 @@ class QueryEngine:
                 "selectors": len(windows),
             }) as select_span:
                 self._bulk = self._bulk_select(windows, start_ns, end_ns)
+                self._rollup_sel = self._rollup_select(
+                    windows, start_ns, end_ns, step_ns
+                )
                 series = sum(
                     len(b._series) for b in self._bulk.values()
                 )
@@ -366,6 +450,7 @@ class QueryEngine:
                 return result
             finally:
                 self._bulk = None
+                self._rollup_sel = None
 
     def _bulk_select(
         self, windows: Dict[VectorSelector, int], start_ns: int, end_ns: int
@@ -380,6 +465,40 @@ class QueryEngine:
                 low, high, self._tsdb.select_arrays(matchers, low, high)
             )
         return bulk
+
+    def _rollup_select(
+        self,
+        windows: Dict[VectorSelector, int],
+        start_ns: int,
+        end_ns: int,
+        step_ns: int,
+    ) -> Optional[Dict[VectorSelector, _RollupSelection]]:
+        """Pre-select downsampled buckets when this range query can use them.
+
+        Engaged only when the engine's store carries rollups and the
+        requested step is at least the downsample resolution — finer
+        steps need raw samples anyway.  Must run after
+        :meth:`_bulk_select`: each selection pairs the rollups with the
+        selector's raw buffer so straddling series merge exactly.
+        """
+        tsdb = self._tsdb
+        resolution = tsdb.downsample_resolution_ns
+        if not resolution or step_ns < resolution or not tsdb.has_rollups():
+            return None
+        selections: Dict[VectorSelector, _RollupSelection] = {}
+        for selector, window_ns in windows.items():
+            matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
+            matchers.extend(selector.matchers)
+            low = max(0, start_ns - window_ns - selector.offset_ns)
+            high = max(0, end_ns - selector.offset_ns)
+            entries = [
+                (labels, labels.without(METRIC_NAME_LABEL), rollup)
+                for labels, rollup in tsdb.select_rollups(matchers, low, high)
+            ]
+            selections[selector] = _RollupSelection(
+                resolution, entries, self._bulk.get(selector), tsdb.stats
+            )
+        return selections
 
     def range_query_per_step(
         self, query: str, start_ns: int, end_ns: int, step_ns: int
@@ -516,6 +635,12 @@ class QueryEngine:
         offset = selector.offset_ns
         low = max(0, time_ns - range_selector.range_ns - offset)
         high = max(0, time_ns - offset)
+        if self._rollup_sel is not None and name in _ROLLUP_COMPOSERS:
+            selection = self._rollup_sel.get(selector)
+            if selection is not None:
+                composed = selection.apply(name, low, high)
+                if composed is not None:
+                    return composed
         if self._bulk is not None:
             bulk = self._bulk.get(selector)
             if bulk is not None and bulk.covers(low, high):

@@ -1,15 +1,160 @@
-"""The time-series database."""
+"""The time-series database.
+
+Storage is pluggable behind :class:`StorageEngine`: :class:`Tsdb` (this
+module) is the single-shard implementation, and
+:class:`repro.pmag.storage.ShardedTsdb` fans the same interface out over
+N of them.  Everything above — scrape ingest, the query engine, rules,
+dashboards, archive, WAL — talks to the interface, so shard count is
+configuration, not surgery.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TsdbError
+from repro.pmag.blocks import BlockPolicy, SeriesRollup, StorageStats
 from repro.pmag.chunks import ChunkedSeries
 from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Sample, Series
 
 
-class Tsdb:
+class StorageEngine(ABC):
+    """What the rest of the stack needs from time-series storage.
+
+    Implementations must keep three wire-shape invariants so the layers
+    above stay engine-agnostic:
+
+    * ``select``/``select_arrays`` return series sorted by
+      ``labels.items()`` — the merge key sharded engines must preserve;
+    * appends are per-series monotonic (out-of-order rejected), so WAL
+      replay is idempotent regardless of how series are routed;
+    * ``storage_stats()`` returns the shape the ``teemon_storage_*``
+      self-telemetry renders: shard count, per-shard series/sample
+      counts, and the compaction counters.
+
+    The attributes ``retention_ns``, ``total_appends``, ``stats`` and
+    ``block_policy`` are part of the interface as plain attributes.
+    """
+
+    retention_ns: Optional[int]
+    total_appends: int
+    stats: StorageStats
+    block_policy: Optional[BlockPolicy]
+
+    # -- ingest --------------------------------------------------------
+    @abstractmethod
+    def append(self, labels: Labels, time_ns: int, value: float) -> None:
+        """Append one sample to the series identified by ``labels``."""
+
+    @abstractmethod
+    def install_series(self, labels: Labels, storage: ChunkedSeries) -> None:
+        """Install a fully-built series (archive/WAL restore fast path)."""
+
+    @abstractmethod
+    def attach_wal(self, wal) -> None:
+        """Write successful appends through to a write-ahead log."""
+
+    def append_sample(
+        self, metric: str, time_ns: int, value: float, **labels: str
+    ) -> None:
+        """Convenience ingest by metric name and keyword labels.
+
+        The positional parameter is ``metric`` so ``name`` remains usable
+        as a keyword label.
+        """
+        self.append(Labels.of(metric, **labels), time_ns, value)
+
+    # -- selection -----------------------------------------------------
+    @abstractmethod
+    def select(
+        self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
+    ) -> List[Series]:
+        """All series matching every matcher, with samples in the window."""
+
+    @abstractmethod
+    def select_arrays(
+        self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
+    ) -> List[Tuple[Labels, List[int], List[float]]]:
+        """Like :meth:`select`, but as parallel (timestamps, values) arrays."""
+
+    @abstractmethod
+    def select_rollups(
+        self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
+    ) -> List[Tuple[Labels, SeriesRollup]]:
+        """Downsampled rollups of matching series overlapping the window."""
+
+    @abstractmethod
+    def latest(self, metric: str, **label_filters: str) -> Optional[Sample]:
+        """Newest sample of the best series matching name + filters."""
+
+    def select_metric(
+        self, metric: str, start_ns: int, end_ns: int, **label_filters: str
+    ) -> List[Series]:
+        """Select by metric name plus equality label filters."""
+        matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
+        matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
+        return self.select(matchers, start_ns, end_ns)
+
+    # -- introspection -------------------------------------------------
+    @abstractmethod
+    def series_count(self) -> int:
+        """Number of distinct series."""
+
+    @abstractmethod
+    def sample_count(self) -> int:
+        """Total raw (not yet downsampled) samples."""
+
+    @abstractmethod
+    def label_values(self, label_name: str) -> List[str]:
+        """Distinct values of one label across all series."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate storage footprint."""
+
+    @abstractmethod
+    def series_items(self) -> Iterable[Tuple[Labels, ChunkedSeries]]:
+        """Every (labels, raw storage) pair, in stable insertion order."""
+
+    @abstractmethod
+    def has_rollups(self) -> bool:
+        """Whether any series carries downsampled buckets."""
+
+    @abstractmethod
+    def storage_stats(self) -> dict:
+        """Shard layout and compaction counters (self-telemetry shape)."""
+
+    def metric_names(self) -> List[str]:
+        """All metric names with at least one series."""
+        return self.label_values(METRIC_NAME_LABEL)
+
+    @property
+    @abstractmethod
+    def shard_count(self) -> int:
+        """Number of shards behind this engine (1 for the monolith)."""
+
+    @property
+    def downsample_resolution_ns(self) -> Optional[int]:
+        """Rollup bucket width, or None when downsampling is off."""
+        policy = self.block_policy
+        return policy.resolution_ns if policy is not None else None
+
+    # -- maintenance ---------------------------------------------------
+    @abstractmethod
+    def delete_series(self, matchers: Sequence[Matcher]) -> int:
+        """Admin API: drop every series matching all matchers."""
+
+    @abstractmethod
+    def enforce_retention(self, now_ns: int) -> int:
+        """Drop data older than the retention horizon; returns samples dropped."""
+
+    @abstractmethod
+    def compact(self, now_ns: int) -> int:
+        """Fold raw samples past the downsample horizon into rollups."""
+
+
+class Tsdb(StorageEngine):
     """Labelled time-series storage with an inverted label index.
 
     Append-only per series (out-of-order appends are rejected, as in
@@ -17,13 +162,25 @@ class Tsdb:
     for every (label name, value) pair, the set of series carrying it.
     Selection intersects postings for equality matchers, then filters the
     survivors with the remaining matchers.
+
+    With a :class:`~repro.pmag.blocks.BlockPolicy`, :meth:`compact` folds
+    samples older than the downsample horizon into per-series
+    :class:`~repro.pmag.blocks.SeriesRollup` buckets and drops the raw
+    chunks; retention then cuts at block granularity.
     """
 
-    def __init__(self, retention_ns: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        retention_ns: Optional[int] = None,
+        block_policy: Optional[BlockPolicy] = None,
+    ) -> None:
         self._series: Dict[Labels, ChunkedSeries] = {}
         self._postings: Dict[tuple, Set[Labels]] = {}
+        self._rollups: Dict[Labels, SeriesRollup] = {}
         self.retention_ns = retention_ns
+        self.block_policy = block_policy
         self.total_appends = 0
+        self.stats = StorageStats()
         self._wal = None
 
     def attach_wal(self, wal) -> None:
@@ -48,6 +205,13 @@ class Tsdb:
             self._series[labels] = storage
             for pair in labels.items():
                 self._postings.setdefault(pair, set()).add(labels)
+        if self._rollups and storage.sample_count == 0:
+            # The raw head is empty but history may live in the rollup;
+            # monotonicity must hold against the folded tail too.
+            rollup = self._rollups.get(labels)
+            last = rollup.last_time_ns() if rollup is not None else None
+            if last is not None and time_ns <= last:
+                raise TsdbError(f"out-of-order append: {time_ns} <= {last}")
         storage.append(time_ns, value)
         self.total_appends += 1
         if self._wal is not None:
@@ -70,14 +234,6 @@ class Tsdb:
         for pair in labels.items():
             self._postings.setdefault(pair, set()).add(labels)
         self.total_appends += storage.sample_count
-
-    def append_sample(self, metric: str, time_ns: int, value: float, **labels: str) -> None:
-        """Convenience ingest by metric name and keyword labels.
-
-        The positional parameter is ``metric`` so ``name`` remains usable
-        as a keyword label.
-        """
-        self.append(Labels.of(metric, **labels), time_ns, value)
 
     # ------------------------------------------------------------------
     # Selection
@@ -111,6 +267,21 @@ class Tsdb:
         ]
         return candidates, residual
 
+    def _matching_series(self, matchers: Sequence[Matcher]) -> Iterator[Labels]:
+        """Series surviving postings intersection *and* residual filters.
+
+        The shared candidate/residual loop behind ``select``,
+        ``select_arrays``, ``latest`` and ``delete_series`` — unsorted;
+        callers that need the wire order sort their materialised results.
+        """
+        candidates, residual = self._candidates(matchers)
+        if not residual:
+            yield from candidates
+            return
+        for labels in candidates:
+            if all(m.matches(labels) for m in residual):
+                yield labels
+
     def select(
         self,
         matchers: Sequence[Matcher],
@@ -121,10 +292,7 @@ class Tsdb:
         if end_ns < start_ns:
             raise TsdbError(f"bad window: {start_ns}..{end_ns}")
         result: List[Series] = []
-        candidates, residual = self._candidates(matchers)
-        for labels in candidates:
-            if residual and not all(m.matches(labels) for m in residual):
-                continue
+        for labels in self._matching_series(matchers):
             samples = self._series[labels].window(start_ns, end_ns)
             if samples:
                 result.append(Series(labels=labels, samples=samples))
@@ -146,37 +314,72 @@ class Tsdb:
         if end_ns < start_ns:
             raise TsdbError(f"bad window: {start_ns}..{end_ns}")
         result: List[Tuple[Labels, List[int], List[float]]] = []
-        candidates, residual = self._candidates(matchers)
-        for labels in candidates:
-            if residual and not all(m.matches(labels) for m in residual):
-                continue
+        for labels in self._matching_series(matchers):
             times, values = self._series[labels].window_arrays(start_ns, end_ns)
             if times:
                 result.append((labels, times, values))
         result.sort(key=lambda entry: entry[0].items())
         return result
 
-    def select_metric(
-        self, metric: str, start_ns: int, end_ns: int, **label_filters: str
-    ) -> List[Series]:
-        """Select by metric name plus equality label filters."""
-        matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
-        matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
-        return self.select(matchers, start_ns, end_ns)
+    def select_rollups(
+        self,
+        matchers: Sequence[Matcher],
+        start_ns: int,
+        end_ns: int,
+    ) -> List[Tuple[Labels, SeriesRollup]]:
+        """Rollups of matching series that overlap ``[start_ns, end_ns]``.
+
+        Sorted by ``labels.items()`` like :meth:`select_arrays`, so the
+        query engine can merge rollup and raw streams positionally.  The
+        bucket starting exactly at ``end_ns`` still counts as overlap —
+        its first sample may sit on the inclusive window edge.
+        """
+        if end_ns < start_ns:
+            raise TsdbError(f"bad window: {start_ns}..{end_ns}")
+        if not self._rollups:
+            return []
+        result: List[Tuple[Labels, SeriesRollup]] = []
+        for labels in self._matching_series(matchers):
+            rollup = self._rollups.get(labels)
+            if rollup is None or not rollup.bucket_count:
+                continue
+            if rollup._starts[0] > end_ns or rollup.last_time_ns() < start_ns:  # noqa: SLF001
+                continue
+            result.append((labels, rollup))
+        result.sort(key=lambda entry: entry[0].items())
+        return result
 
     def latest(self, metric: str, **label_filters: str) -> Optional[Sample]:
-        """Newest sample of the first series matching name + filters."""
+        """Newest sample of the best series matching name + filters.
+
+        Timestamp ties break towards the smallest ``labels.items()`` —
+        a total order, so the answer is independent of index iteration
+        order and of how series are sharded.
+        """
+        return self.latest_keyed(metric, **label_filters)[1]
+
+    def latest_keyed(
+        self, metric: str, **label_filters: str
+    ) -> Tuple[Optional[tuple], Optional[Sample]]:
+        """:meth:`latest` plus the winning series' sort key (items tuple).
+
+        The key lets a sharded engine apply the same tie-break across
+        shards without re-deriving which series won.
+        """
         matchers = [Matcher.eq(METRIC_NAME_LABEL, metric)]
         matchers.extend(Matcher.eq(k, v) for k, v in label_filters.items())
         best: Optional[Sample] = None
-        candidates, residual = self._candidates(matchers)
-        for labels in candidates:
-            if residual and not all(m.matches(labels) for m in residual):
-                continue
+        best_key = None
+        for labels in self._matching_series(matchers):
             sample = self._series[labels].last_sample()
-            if sample is not None and (best is None or sample.time_ns > best.time_ns):
+            if sample is None:
+                continue
+            key = labels.items()
+            if (best is None or sample.time_ns > best.time_ns
+                    or (sample.time_ns == best.time_ns and key < best_key)):
                 best = sample
-        return best
+                best_key = key
+        return best_key, best
 
     # ------------------------------------------------------------------
     # Introspection and maintenance
@@ -186,7 +389,7 @@ class Tsdb:
         return len(self._series)
 
     def sample_count(self) -> int:
-        """Total stored samples."""
+        """Total raw stored samples (folded samples live in rollups)."""
         return sum(s.sample_count for s in self._series.values())
 
     def label_values(self, label_name: str) -> List[str]:
@@ -195,13 +398,62 @@ class Tsdb:
             value for (name, value) in self._postings if name == label_name
         })
 
-    def metric_names(self) -> List[str]:
-        """All metric names with at least one series."""
-        return self.label_values(METRIC_NAME_LABEL)
-
     def memory_bytes(self) -> int:
-        """Approximate storage footprint."""
-        return sum(s.memory_bytes() for s in self._series.values())
+        """Approximate storage footprint (raw chunks plus rollup buckets)."""
+        total = sum(s.memory_bytes() for s in self._series.values())
+        if self._rollups:
+            total += sum(r.memory_bytes() for r in self._rollups.values())
+        return total
+
+    def series_items(self) -> Iterable[Tuple[Labels, ChunkedSeries]]:
+        """Every (labels, raw storage) pair in insertion order.
+
+        Insertion order is the archive's byte-identity contract: v2
+        snapshots of the same ingest sequence must encode series in the
+        same order.
+        """
+        return self._series.items()
+
+    def has_rollups(self) -> bool:
+        """Whether any series carries downsampled buckets."""
+        return bool(self._rollups)
+
+    @property
+    def shard_count(self) -> int:
+        """The monolith is its own single shard."""
+        return 1
+
+    def storage_stats(self) -> dict:
+        """Single-shard stats in the engine-wide telemetry shape."""
+        return {
+            "shards": 1,
+            "per_shard": [self.shard_stats()],
+            "compactions_total": self.stats.compactions_total,
+            "samples_compacted_total": self.stats.samples_compacted_total,
+            "bytes_saved_total": self.stats.bytes_saved_total,
+            "downsampled_reads_total": self.stats.downsampled_reads_total,
+        }
+
+    def shard_stats(self) -> dict:
+        """This store's contribution to the per-shard telemetry."""
+        rollups = self._rollups.values()
+        return {
+            "series": len(self._series),
+            "samples": self.sample_count(),
+            "rollup_buckets": sum(r.bucket_count for r in rollups),
+            "rollup_samples": sum(r.sample_count for r in rollups),
+        }
+
+    def _unindex(self, labels: Labels) -> None:
+        """Remove a dead series: storage, rollup, and postings entries."""
+        self._series.pop(labels, None)
+        self._rollups.pop(labels, None)
+        for pair in labels.items():
+            postings = self._postings.get(pair)
+            if postings is not None:
+                postings.discard(labels)
+                if not postings:
+                    del self._postings[pair]
 
     def delete_series(self, matchers: Sequence[Matcher]) -> int:
         """Admin API: drop every series matching all matchers.
@@ -210,38 +462,70 @@ class Tsdb:
         ``delete_series`` admin endpoint — used to purge a misbehaving
         exporter's data or a mis-labelled ingest.
         """
-        candidates, residual = self._candidates(matchers)
-        victims = [
-            labels for labels in candidates
-            if all(m.matches(labels) for m in residual)
-        ]
+        victims = list(self._matching_series(matchers))
         for labels in victims:
-            del self._series[labels]
-            for pair in labels.items():
-                postings = self._postings.get(pair)
-                if postings is not None:
-                    postings.discard(labels)
-                    if not postings:
-                        del self._postings[pair]
+            self._unindex(labels)
         return len(victims)
 
     def enforce_retention(self, now_ns: int) -> int:
-        """Drop chunks older than the retention horizon; returns samples dropped."""
+        """Drop data older than the retention horizon; returns samples dropped.
+
+        Without a block policy this is the chunk-granular cut it always
+        was.  With one, the cutoff is aligned down to a block boundary so
+        retention acts at block granularity, and rollup buckets past the
+        cut are released along with raw chunks.
+        """
         if self.retention_ns is None:
             return 0
         cutoff = now_ns - self.retention_ns
+        if self.block_policy is not None:
+            cutoff -= cutoff % self.block_policy.block_range_ns
         dropped = 0
         empty: List[Labels] = []
         for labels, storage in self._series.items():
             dropped += storage.drop_before(cutoff)
-            if storage.sample_count == 0:
+            rollup = self._rollups.get(labels)
+            if rollup is not None:
+                dropped += rollup.drop_before(cutoff)
+                if storage.sample_count == 0 and rollup.bucket_count == 0:
+                    empty.append(labels)
+            elif storage.sample_count == 0:
                 empty.append(labels)
         for labels in empty:
-            del self._series[labels]
-            for pair in labels.items():
-                postings = self._postings.get(pair)
-                if postings is not None:
-                    postings.discard(labels)
-                    if not postings:
-                        del self._postings[pair]
+            self._unindex(labels)
         return dropped
+
+    def compact(self, now_ns: int) -> int:
+        """Fold raw samples past the downsample horizon into rollups.
+
+        The horizon is aligned down to a block boundary (hence to a
+        bucket boundary), so folded samples fill whole buckets and
+        rollup reads stay exact.  Returns the samples folded.
+        """
+        policy = self.block_policy
+        if policy is None:
+            return 0
+        horizon = now_ns - policy.downsample_after_ns
+        horizon -= horizon % policy.block_range_ns
+        if horizon <= 0:
+            return 0
+        folded = 0
+        saved = 0
+        for labels, storage in self._series.items():
+            times, values = storage.split_before(horizon)
+            if not times:
+                continue
+            rollup = self._rollups.get(labels)
+            if rollup is None:
+                rollup = SeriesRollup(policy.resolution_ns)
+                self._rollups[labels] = rollup
+            before = rollup.memory_bytes()
+            rollup.fold(times, values)
+            folded += len(times)
+            # A raw sample is ~16 bytes (8B timestamp + 8B value).
+            saved += 16 * len(times) - (rollup.memory_bytes() - before)
+        self.stats.compactions_total += 1
+        if folded:
+            self.stats.samples_compacted_total += folded
+            self.stats.bytes_saved_total += saved
+        return folded

@@ -44,7 +44,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError, TsdbError, WalError
 from repro.pmag import archive
@@ -115,6 +115,11 @@ def decode_payload(payload: bytes) -> Tuple[Labels, int, float]:
 def segment_name(directory: str, seq: int) -> str:
     """Canonical segment file name for a sequence number."""
     return f"{directory}/segment-{seq:08d}.wal"
+
+
+def shard_directory(directory: str, index: int) -> str:
+    """Per-shard WAL directory under one base directory."""
+    return f"{directory}/shard-{index:02d}"
 
 
 def checkpoint_name(directory: str, seq: int) -> str:
@@ -306,6 +311,7 @@ def recover(
     retention_ns: Optional[int] = None,
     crash_report: Optional[DiskCrashReport] = None,
     plan=None,
+    block_policy=None,
 ) -> Tuple[Tsdb, RecoveryReport]:
     """Rebuild a TSDB from the medium after a crash.
 
@@ -314,12 +320,14 @@ def recover(
     whatever fails verification — recovery never raises on corrupt data,
     it counts it.  ``crash_report`` (from :meth:`SimDisk.crash`) is the
     loss oracle; ``plan`` (a :class:`~repro.faults.plan.FaultPlan`)
-    journals every quarantine decision.
+    journals every quarantine decision.  ``block_policy`` re-arms
+    compaction on the recovered store (checkpoints carry raw chunks
+    only, so rollups rebuild from future compaction passes).
     """
     report = RecoveryReport()
 
     # -- choose a checkpoint -------------------------------------------
-    tsdb = Tsdb(retention_ns=retention_ns)
+    tsdb = Tsdb(retention_ns=retention_ns, block_policy=block_policy)
     checkpoint_seq = 0
     for name in reversed(disk.list_files(f"{directory}/checkpoint-")):
         seq = _parse_seq(name)
@@ -333,6 +341,7 @@ def recover(
                 plan.record("wal-checkpoint-quarantined", name)
             continue
         restored.retention_ns = retention_ns
+        restored.block_policy = block_policy
         tsdb = restored
         checkpoint_seq = seq
         report.checkpoint_used = name
@@ -419,3 +428,169 @@ def recover(
             kept = _count_records(tail.data[:tail.retained], tail.offset)
             report.samples_lost += written - kept
     return tsdb, report
+
+
+class ShardedWal:
+    """One :class:`WalWriter` per storage shard behind a single façade.
+
+    The deployment layer flushes and checkpoints "the WAL" without
+    caring how many shards sit underneath; counters are summed over the
+    writers so existing ``teemon_wal_*`` telemetry and ``wal_stats()``
+    keep their meaning (totals across the deployment).
+    """
+
+    def __init__(self, writers: Sequence[WalWriter]) -> None:
+        if not writers:
+            raise WalError("a sharded WAL needs at least one writer")
+        self.writers: List[WalWriter] = list(writers)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of per-shard writers."""
+        return len(self.writers)
+
+    def shard(self, index: int) -> WalWriter:
+        """The writer serving one shard."""
+        return self.writers[index]
+
+    @property
+    def current_segment(self) -> str:
+        """Shard 0's live segment (fault-injection hooks poke one shard)."""
+        return self.writers[0].current_segment
+
+    @property
+    def records_total(self) -> int:
+        return sum(w.records_total for w in self.writers)
+
+    @property
+    def flushes_total(self) -> int:
+        return sum(w.flushes_total for w in self.writers)
+
+    @property
+    def checkpoints_total(self) -> int:
+        return sum(w.checkpoints_total for w in self.writers)
+
+    @property
+    def segments_total(self) -> int:
+        return sum(w.segments_total for w in self.writers)
+
+    @property
+    def unflushed_records(self) -> int:
+        return sum(w.unflushed_records for w in self.writers)
+
+    @property
+    def unflushed_by_shard(self) -> List[int]:
+        """Per-shard unflushed windows — the per-crash loss bound."""
+        return [w.unflushed_records for w in self.writers]
+
+    def flush(self) -> None:
+        """Flush every shard's live segment."""
+        for writer in self.writers:
+            writer.flush()
+
+    def checkpoint(self, engine) -> List[str]:
+        """Checkpoint every shard of a sharded engine, in shard order."""
+        return [
+            writer.checkpoint(engine.shard(index))
+            for index, writer in enumerate(self.writers)
+        ]
+
+
+@dataclass
+class ShardedRecoveryReport:
+    """Per-shard recovery reports plus deployment-wide aggregates.
+
+    Exposes the same numeric attribute names as :class:`RecoveryReport`
+    (as summing properties), so the deployment's recovery-statistics
+    fold works on either shape.
+    """
+
+    shards: List[RecoveryReport] = field(default_factory=list)
+
+    @property
+    def checkpoint_used(self) -> Optional[str]:
+        """First shard checkpoint used, if any (summary display)."""
+        for report in self.shards:
+            if report.checkpoint_used is not None:
+                return report.checkpoint_used
+        return None
+
+    @property
+    def checkpoints_quarantined(self) -> int:
+        return sum(r.checkpoints_quarantined for r in self.shards)
+
+    @property
+    def segments_scanned(self) -> int:
+        return sum(r.segments_scanned for r in self.shards)
+
+    @property
+    def segments_quarantined(self) -> int:
+        return sum(r.segments_quarantined for r in self.shards)
+
+    @property
+    def records_replayed(self) -> int:
+        return sum(r.records_replayed for r in self.shards)
+
+    @property
+    def records_quarantined(self) -> int:
+        return sum(r.records_quarantined for r in self.shards)
+
+    @property
+    def records_duplicate(self) -> int:
+        return sum(r.records_duplicate for r in self.shards)
+
+    @property
+    def torn_tails(self) -> int:
+        return sum(r.torn_tails for r in self.shards)
+
+    @property
+    def samples_lost(self) -> int:
+        return sum(r.samples_lost for r in self.shards)
+
+    @property
+    def samples_lost_by_shard(self) -> List[int]:
+        """Exact loss per shard — what the sharded soak test proves."""
+        return [r.samples_lost for r in self.shards]
+
+
+def recover_sharded(
+    disk: SimDisk,
+    directory: str,
+    shards: int,
+    retention_ns: Optional[int] = None,
+    crash_report: Optional[DiskCrashReport] = None,
+    plan=None,
+    block_policy=None,
+):
+    """Rebuild a sharded engine: one independent :func:`recover` per shard.
+
+    Each shard replays only its own ``{directory}/shard-NN`` segments and
+    checkpoints, and the crash report's tails are attributed per shard by
+    the same directory-prefix filtering :func:`recover` already does —
+    which is what makes ``samples_lost_by_shard`` exact rather than a
+    deployment-wide estimate.
+    """
+    from repro.pmag.storage import ShardedTsdb
+
+    engine = ShardedTsdb(
+        shards, retention_ns=retention_ns, block_policy=block_policy
+    )
+    report = ShardedRecoveryReport()
+    for index in range(shards):
+        tsdb, shard_report = recover(
+            disk,
+            directory=shard_directory(directory, index),
+            retention_ns=retention_ns,
+            crash_report=crash_report,
+            plan=plan,
+            block_policy=block_policy,
+        )
+        if isinstance(tsdb, Tsdb):
+            engine.adopt_shard(index, tsdb)
+        else:
+            raise WalError(
+                f"shard {index} checkpoint restored a sharded engine; "
+                f"per-shard checkpoints must be single-store snapshots"
+            )
+        report.shards.append(shard_report)
+    return engine, report

@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.errors import DeploymentError
 from repro.exporters.ebpf_exporter import EbpfExporterConfig
 from repro.pman.thresholds import ThresholdRule
+from repro.simkernel.clock import NANOS_PER_SEC
+
+#: CI sets ``TEEMON_TEST_PROFILE=sharded`` to run the whole test suite
+#: against a 4-shard engine with the WAL on — every existing test then
+#: exercises sharded mode.  Explicit constructor arguments always win;
+#: the profile only moves the *defaults*.
+TEST_PROFILE_ENV = "TEEMON_TEST_PROFILE"
+
+
+def _profile() -> str:
+    return os.environ.get(TEST_PROFILE_ENV, "")
+
+
+def _default_storage_shards() -> int:
+    return 4 if _profile() == "sharded" else 1
+
+
+def _default_enable_wal() -> bool:
+    return _profile() == "sharded"
 
 
 @dataclass(frozen=True)
@@ -50,7 +70,7 @@ class TeemonConfig:
     #: Write every accepted sample through to a write-ahead log on the
     #: deployment's simulated disk (crash-safe storage).  Off by default:
     #: durability-off must stay free.
-    enable_wal: bool = False
+    enable_wal: bool = field(default_factory=_default_enable_wal)
     #: Directory prefix for WAL segments and checkpoints on the disk.
     wal_dir: str = "wal"
     #: Flush (fsync) the live segment every N records (0 = timed flushes
@@ -63,6 +83,35 @@ class TeemonConfig:
     wal_flush_every_s: Optional[float] = None
     #: Take a checkpoint (snapshot + segment truncation) this often.
     checkpoint_every_s: float = 300.0
+    #: Storage shards: 1 builds the plain :class:`~repro.pmag.tsdb.Tsdb`
+    #: (the exact pre-sharding path), >1 builds a
+    #: :class:`~repro.pmag.storage.ShardedTsdb` routing each series by
+    #: its stable label fingerprint.  With the WAL on, each shard gets
+    #: its own log directory and replays independently on recovery.
+    storage_shards: int = field(default_factory=_default_storage_shards)
+    #: Width of one storage block; compaction horizons and (with a block
+    #: policy active) retention cuts align to multiples of it.
+    block_range_s: float = 7200.0
+    #: Fold raw samples older than this into downsampled rollup buckets,
+    #: dropping the raw chunks.  ``None`` (the default) disables the
+    #: block/downsample lifecycle entirely.
+    downsample_after_s: Optional[float] = None
+    #: Rollup bucket width.  Range queries whose step is at least this
+    #: are served from the downsampled buckets.
+    downsample_resolution_s: float = 300.0
+
+    def block_policy(self):
+        """The :class:`~repro.pmag.blocks.BlockPolicy` this config asks
+        for, or None when downsampling is disabled."""
+        if self.downsample_after_s is None:
+            return None
+        from repro.pmag.blocks import BlockPolicy
+
+        return BlockPolicy(
+            block_range_ns=int(self.block_range_s * NANOS_PER_SEC),
+            downsample_after_ns=int(self.downsample_after_s * NANOS_PER_SEC),
+            resolution_ns=int(self.downsample_resolution_s * NANOS_PER_SEC),
+        )
 
     def __post_init__(self) -> None:
         if self.trace_max_traces < 1:
@@ -94,3 +143,19 @@ class TeemonConfig:
             raise DeploymentError("checkpoint_every_s must be positive")
         if not self.wal_dir:
             raise DeploymentError("wal_dir must be a non-empty prefix")
+        if self.storage_shards < 1:
+            raise DeploymentError("storage_shards must be >= 1")
+        if self.block_range_s <= 0:
+            raise DeploymentError("block_range_s must be positive")
+        if self.downsample_resolution_s <= 0:
+            raise DeploymentError("downsample_resolution_s must be positive")
+        if self.downsample_after_s is not None:
+            if self.downsample_after_s <= 0:
+                raise DeploymentError("downsample_after_s must be positive")
+            block_ns = int(self.block_range_s * NANOS_PER_SEC)
+            resolution_ns = int(self.downsample_resolution_s * NANOS_PER_SEC)
+            if block_ns % resolution_ns:
+                raise DeploymentError(
+                    "block_range_s must be a whole multiple of "
+                    "downsample_resolution_s"
+                )

@@ -46,8 +46,9 @@ from repro.orchestration.container import ContainerImage, DockerRuntime
 from repro.pmag.query.engine import QueryEngine
 from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
 from repro.pmag.scrape import SELF_IDENTITY, ScrapeManager, ScrapeTarget
-from repro.pmag.tsdb import Tsdb
-from repro.pmag.wal import RecoveryReport, WalWriter
+from repro.pmag.storage import build_storage_engine
+from repro.pmag.tsdb import StorageEngine, Tsdb
+from repro.pmag.wal import ShardedWal, WalWriter, shard_directory
 from repro.pman.analyzer import PmanAnalyzer, default_sgx_rules
 from repro.pmv.dashboards import (
     build_docker_dashboard,
@@ -118,6 +119,7 @@ class TeemonDeployment:
         self._accounting_timer = None
         self._wal_flush_timer = None
         self._wal_checkpoint_timer = None
+        self._compaction_timer = None
         #: Whether the monitor is currently dead (killed, not resurrected).
         self.crashed = False
         #: The durable medium backing the WAL (substrate: survives kills).
@@ -143,30 +145,48 @@ class TeemonDeployment:
         self._create_services()
         self.session = MonitoringSession(self)
 
-    def _build_monitor(self, tsdb: Optional[Tsdb] = None) -> None:
+    def _build_monitor(self, tsdb: Optional[StorageEngine] = None) -> None:
         """(Re)create the monitoring process's in-memory objects.
 
-        ``tsdb`` is the recovered database on resurrection, None on first
-        build.  Substrate objects (exporters, services, network, disk)
-        are untouched; everything the aggregation process holds in memory
-        is built fresh — which is exactly what a process restart does.
+        ``tsdb`` is the recovered storage engine on resurrection, None on
+        first build (the engine is then built from config:
+        ``storage_shards`` picks monolith vs sharded, the downsample
+        knobs its block policy).  Substrate objects (exporters, services,
+        network, disk) are untouched; everything the aggregation process
+        holds in memory is built fresh — which is exactly what a process
+        restart does.
         """
         kernel = self.kernel
         config = self.config
         if tsdb is None:
-            tsdb = Tsdb(
-                retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC)
+            tsdb = build_storage_engine(
+                config.storage_shards,
+                retention_ns=int(config.retention_hours * 3600 * NANOS_PER_SEC),
+                block_policy=config.block_policy(),
             )
         self.tsdb = tsdb
-        self.wal: Optional[WalWriter] = None
+        self.wal = None
         if config.enable_wal:
-            self.wal = WalWriter(
-                self.disk,
-                directory=config.wal_dir,
-                flush_every_records=config.wal_flush_records,
-                segment_max_records=config.wal_segment_records,
-            )
-            self.tsdb.attach_wal(self.wal)
+            if config.storage_shards > 1:
+                writers = [
+                    WalWriter(
+                        self.disk,
+                        directory=shard_directory(config.wal_dir, index),
+                        flush_every_records=config.wal_flush_records,
+                        segment_max_records=config.wal_segment_records,
+                    )
+                    for index in range(config.storage_shards)
+                ]
+                self.wal = ShardedWal(writers)
+                self.tsdb.attach_wals(writers)
+            else:
+                self.wal = WalWriter(
+                    self.disk,
+                    directory=config.wal_dir,
+                    flush_every_records=config.wal_flush_records,
+                    segment_max_records=config.wal_segment_records,
+                )
+                self.tsdb.attach_wal(self.wal)
         # Pipeline tracing: one tracer shared by the scraper, the query
         # engine and the rule evaluator, so a scrape cycle or a rule
         # evaluation is one connected trace.  Span ids come from a named
@@ -204,6 +224,7 @@ class TeemonDeployment:
                 recovery_stats=(
                     (lambda: self.recovery_stats) if config.enable_wal else None
                 ),
+                storage=lambda: self.tsdb.storage_stats(),
             )
             self.self_exporter.expose(self.network)
             self.scrape_manager.add_target(ScrapeTarget(
@@ -290,6 +311,7 @@ class TeemonDeployment:
         self._running = True
         self._schedule_service_accounting()
         self._schedule_wal_maintenance()
+        self._schedule_compaction()
 
     def stop(self) -> None:
         """Stop scraping and analysis gracefully (exporters stay
@@ -307,7 +329,7 @@ class TeemonDeployment:
 
     def _cancel_maintenance_timers(self) -> None:
         for attr in ("_accounting_timer", "_wal_flush_timer",
-                     "_wal_checkpoint_timer"):
+                     "_wal_checkpoint_timer", "_compaction_timer"):
             timer = getattr(self, attr)
             if timer is not None:
                 timer.cancel()
@@ -336,12 +358,14 @@ class TeemonDeployment:
         self._cancel_maintenance_timers()
         self.crashed = True
 
-    def resurrect(self, tsdb: Tsdb,
-                  report: Optional[RecoveryReport] = None) -> None:
-        """Restart the monitor after :meth:`kill` with a recovered TSDB.
+    def resurrect(self, tsdb: StorageEngine, report=None) -> None:
+        """Restart the monitor after :meth:`kill` with a recovered engine.
 
         Rebuilds every in-memory monitor object around ``tsdb`` (normally
-        the result of :func:`repro.pmag.wal.recover`), re-registers the
+        the result of :func:`repro.pmag.wal.recover`, or
+        :func:`repro.pmag.wal.recover_sharded` for a sharded deployment —
+        ``report`` may be either report shape; the sharded one exposes
+        the same summed attribute names), re-registers the
         self-telemetry endpoint, seeds scrape-manager state from the
         recovered series so ``up``/staleness/flap semantics are correct
         across the restart, folds ``report`` into the cumulative
@@ -437,6 +461,26 @@ class TeemonDeployment:
         self._wal_checkpoint_timer = clock.call_later(
             checkpoint_ns, checkpoint_tick
         )
+
+    def _schedule_compaction(self) -> None:
+        """Timed block compaction on the virtual clock.
+
+        Runs on the block-range cadence: the compaction horizon only
+        advances when it crosses a block boundary, so ticking faster
+        would just re-scan the head for nothing.
+        """
+        if self.config.downsample_after_s is None:
+            return
+        clock = self.kernel.clock
+        interval_ns = int(self.config.block_range_s * NANOS_PER_SEC)
+
+        def tick() -> None:
+            if not self._running:
+                return
+            self.tsdb.compact(clock.now_ns)
+            self._compaction_timer = clock.call_later(interval_ns, tick)
+
+        self._compaction_timer = clock.call_later(interval_ns, tick)
 
     def _schedule_service_accounting(self) -> None:
         """Charge the aggregation/visualisation services their CPU share.

@@ -105,6 +105,10 @@ class MonitoringSession:
         """Cumulative crash-recovery statistics of the deployment."""
         return dict(self._deployment.recovery_stats)
 
+    def storage_stats(self) -> Dict[str, object]:
+        """The storage engine's shard layout and compaction counters."""
+        return self._deployment.tsdb.storage_stats()
+
     # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------

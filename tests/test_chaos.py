@@ -46,6 +46,7 @@ def build_rig(
     retention_s=None,
     staleness_intervals=3,
     traced=False,
+    tsdb_factory=None,
 ):
     """A full scrape pipeline behind a seeded fault plan."""
     rng = DeterministicRng(seed)
@@ -74,7 +75,8 @@ def build_rig(
         # overwrite the corruption with the previous good body.
         plan.add(CorruptionInjector(rng.fork("corrupt"), probability=corrupt_p))
     network = FaultyHttpNetwork(inner, plan)
-    tsdb = Tsdb(retention_ns=None if retention_s is None else seconds(retention_s))
+    factory = tsdb_factory or Tsdb
+    tsdb = factory(retention_ns=None if retention_s is None else seconds(retention_s))
     trace_store = tracer = None
     if traced:
         from repro.trace import Tracer, TraceStore

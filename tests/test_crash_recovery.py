@@ -181,13 +181,20 @@ def test_same_seed_crashed_runs_are_identical():
 
 
 def test_graceful_stop_loses_nothing():
-    from repro.pmag.wal import recover
+    from repro.pmag.wal import recover, recover_sharded
 
     rig = build_rig(31)
     rig.deployment.start()
     rig.clock.advance(seconds(60))
     rig.deployment.stop()  # flushes the WAL on the way out
     live = sample_set(rig.deployment.tsdb, 0, rig.clock.now_ns + 1)
-    recovered, report = recover(rig.disk, crash_report=rig.disk.crash())
+    config = rig.deployment.config
+    if config.storage_shards > 1:
+        recovered, report = recover_sharded(
+            rig.disk, config.wal_dir, config.storage_shards,
+            crash_report=rig.disk.crash(),
+        )
+    else:
+        recovered, report = recover(rig.disk, crash_report=rig.disk.crash())
     assert report.samples_lost == 0
     assert sample_set(recovered, 0, rig.clock.now_ns + 1) == live

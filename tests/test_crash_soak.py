@@ -35,7 +35,7 @@ FLUSH_S = 12.0
 INTERVAL_S = 5.0
 
 
-def run_kill_loop(seed, torn=False):
+def run_kill_loop(seed, torn=False, shards=1):
     """Drive one seeded kill-loop to the horizon; returns the wreckage."""
     kernel = Kernel(seed=seed, hostname="soak-host")
     kernel.load_module(SgxDriver())
@@ -46,18 +46,25 @@ def run_kill_loop(seed, torn=False):
         TornWriteInjector(rng.fork("torn"), probability=0.7,
                           plan=plan).attach(disk)
     config = TeemonConfig(
-        enable_wal=True, wal_flush_every_s=FLUSH_S, checkpoint_every_s=60.0
+        enable_wal=True, wal_flush_every_s=FLUSH_S, checkpoint_every_s=60.0,
+        storage_shards=shards,
     )
     deployment = deploy(kernel, config, disk=disk, start=False)
     supervisor = MonitorSupervisor(deployment, plan=plan)
 
     # Capture the WAL's unflushed count at each kill: with clean
-    # truncation it is exactly what the crash is about to destroy.
+    # truncation it is exactly what the crash is about to destroy —
+    # per shard, when the WAL is sharded.
     unflushed_at_crash = []
+    unflushed_by_shard_at_crash = []
     real_crash = supervisor.crash
 
     def crash():
         unflushed_at_crash.append(deployment.wal.unflushed_records)
+        if shards > 1:
+            unflushed_by_shard_at_crash.append(
+                list(deployment.wal.unflushed_by_shard)
+            )
         return real_crash()
 
     supervisor.crash = crash
@@ -75,6 +82,7 @@ def run_kill_loop(seed, torn=False):
         kernel=kernel, clock=kernel.clock, plan=plan, disk=disk,
         deployment=deployment, supervisor=supervisor, crash_times=times,
         unflushed_at_crash=unflushed_at_crash,
+        unflushed_by_shard_at_crash=unflushed_by_shard_at_crash,
     )
 
 
@@ -142,6 +150,66 @@ def test_kill_loop_with_torn_writes_never_loses_more():
     assert sum(soak.supervisor.reports[k].torn_tails
                for k in range(len(losses))) > 0
     assert not soak.deployment.crashed
+
+
+def test_sharded_kill_loop_loss_is_exact_per_shard():
+    """The 4-shard durability contract: each crash's loss decomposes
+    exactly into the per-shard unflushed windows, and the resurrected
+    deployment carries the sharded layout forward."""
+    soak = run_kill_loop(97, shards=4)
+    supervisor = soak.supervisor
+
+    assert len(soak.crash_times) >= 5
+    assert supervisor.crashes == supervisor.recoveries == len(soak.crash_times)
+    assert not soak.deployment.crashed
+
+    # Every resurrection restored the 4-shard layout (engine and WAL).
+    assert soak.deployment.tsdb.shard_count == 4
+    assert soak.deployment.wal.shard_count == 4
+
+    # Per-crash, per-shard exactness: shard k lost precisely the records
+    # its own WAL had not flushed — crash for crash, shard for shard.
+    assert len(soak.unflushed_by_shard_at_crash) == supervisor.crashes
+    for report, unflushed in zip(
+        supervisor.reports, soak.unflushed_by_shard_at_crash
+    ):
+        assert report.samples_lost_by_shard == unflushed
+        assert report.samples_lost == sum(unflushed)
+    # ...which sums to the same whole-deployment accounting as ever.
+    losses = [report.samples_lost for report in supervisor.reports]
+    assert losses == soak.unflushed_at_crash
+    assert sum(losses) == supervisor.total_samples_lost() > 0
+    assert (soak.deployment.session.recovery_stats()["samples_lost"]
+            == sum(losses))
+
+    # More than one shard actually took losses across the loop — the
+    # decomposition is not vacuous.
+    lost_per_shard = [
+        sum(by_shard[k] for by_shard in soak.unflushed_by_shard_at_crash)
+        for k in range(4)
+    ]
+    assert sum(1 for lost in lost_per_shard if lost) > 1
+
+    # The monitor ends the horizon healthy and still collecting.
+    health = soak.deployment.session.target_health()
+    assert health and all(h.up for h in health.values())
+    assert sample_set(
+        soak.deployment.tsdb, seconds(HORIZON_S), soak.clock.now_ns + 1
+    )
+
+
+def test_sharded_kill_loops_are_seed_deterministic():
+    def run():
+        soak = run_kill_loop(53, shards=4)
+        return (
+            soak.crash_times,
+            soak.plan.journal_text(),
+            [r.samples_lost_by_shard for r in soak.supervisor.reports],
+            sample_set(soak.deployment.tsdb, 0, soak.clock.now_ns + 1),
+        )
+
+    first, second = run(), run()
+    assert first == second
 
 
 def test_same_seed_kill_loops_are_byte_identical():
