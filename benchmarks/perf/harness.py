@@ -68,10 +68,23 @@ class BenchReport:
         return "\n".join(lines)
 
 
-def best_of(runs: int, workload: Callable[[], None]) -> float:
-    """Wall-clock seconds of the fastest of ``runs`` executions."""
+def best_of(runs: int, workload: Callable[[], None], warmup: int = 1) -> float:
+    """Wall-clock seconds of the fastest of ``runs`` executions.
+
+    ``warmup`` untimed executions run first.  The first call after a
+    data-structure build pays one-off costs — allocator growth, lazily
+    built caches, cold branch predictors — that later calls never see;
+    timing it skews a best-of sample enough to flip gate decisions (the
+    historical ``shard2_wide_ms`` outlier in ``BENCH_storage.json`` was
+    exactly this: the first-timed shard count absorbing warmup that the
+    later counts did not pay).
+    """
     if runs < 1:
         raise ValueError(f"need at least one run, got {runs}")
+    if warmup < 0:
+        raise ValueError(f"warmup cannot be negative, got {warmup}")
+    for _ in range(warmup):
+        workload()
     best = float("inf")
     for _ in range(runs):
         started = time.perf_counter()

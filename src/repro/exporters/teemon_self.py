@@ -188,6 +188,16 @@ class TeemonSelfExporter:
                 "teemon_storage_downsampled_reads_total",
                 "Range-function evaluations served from downsampled buckets",
             )
+            self._storage_pushdown_reads = self.registry.counter(
+                "teemon_storage_pushdown_reads_total",
+                "Range queries answered from per-shard aggregate partials "
+                "instead of a full cross-shard series merge",
+            )
+            self._storage_batch_appends = self.registry.counter(
+                "teemon_storage_batch_appends_total",
+                "Batched ingest calls absorbed, per shard",
+                label_names=("shard",),
+            )
             self.registry.on_collect(self._sync_storage_counters)
 
     def _sync_storage_counters(self) -> None:
@@ -200,6 +210,9 @@ class TeemonSelfExporter:
             self._storage_rollup_samples.labels(label).set_to(
                 float(shard["rollup_samples"])
             )
+            self._storage_batch_appends.labels(label).set_to(
+                float(shard.get("batch_appends", 0))
+            )
         self._storage_compactions.labels().set_to(
             float(stats["compactions_total"])
         )
@@ -211,6 +224,9 @@ class TeemonSelfExporter:
         )
         self._storage_downsampled_reads.labels().set_to(
             float(stats["downsampled_reads_total"])
+        )
+        self._storage_pushdown_reads.labels().set_to(
+            float(stats.get("pushdown_reads_total", 0))
         )
 
     def _sync_wal_counters(self) -> None:

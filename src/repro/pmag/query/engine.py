@@ -25,11 +25,13 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
+from itertools import accumulate
+from operator import sub, truediv
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError
-from repro.pmag.blocks import aggregate_arrays
+from repro.pmag.blocks import EMPTY_AGGREGATE, aggregate_arrays
 from repro.pmag.model import Labels, Matcher, METRIC_NAME_LABEL, Sample, Series
 from repro.pmag.query.functions import (
     ARRAY_RANGE_FUNCTIONS,
@@ -316,6 +318,180 @@ def _collect_selector_windows(
         _collect_selector_windows(expr.right, lookback_ns, windows)
 
 
+_EMPTY_LABELS = Labels({})
+
+#: Aggregation operators whose result is a pure function of small
+#: per-group partials — the shapes the sharded engine can push down.
+_PUSHDOWN_OPS = frozenset(("sum", "avg", "min", "max", "count"))
+
+
+def _pushdown_shape(expr: Expr):
+    """The ``(function name, range selector, aggregation)`` of a
+    pushdown-eligible expression, or None.
+
+    Eligible: ``sum``/``avg``/``min``/``max``/``count`` — bare or with
+    ``by``/``without`` grouping — directly over one composable
+    ``*_over_time`` range function.  The ``rate`` family needs every raw
+    sample for counter-reset detection, ``topk``/``bottomk`` need the
+    full per-series vector, and anything else (raw selects, arithmetic,
+    nested expressions) has no partial form — all of those keep the
+    byte-exact full-merge path.
+    """
+    if not isinstance(expr, Aggregation) or expr.op not in _PUSHDOWN_OPS:
+        return None
+    if expr.parameter is not None:
+        return None
+    call = expr.expr
+    if (
+        not isinstance(call, FunctionCall)
+        or call.name not in _ROLLUP_COMPOSERS
+        or len(call.args) != 1
+        or not isinstance(call.args[0], RangeSelector)
+    ):
+        return None
+    return call.name, call.args[0], expr
+
+
+def _window_bounds(times, windows):
+    """Index bounds of every window in a sorted timestamp array.
+
+    Returns parallel lists ``(los, his, spans)``: samples of window ``i``
+    live at ``times[los[i]:his[i]]``.  Window bounds are nondecreasing
+    across steps, so each bisect is hinted by the previous result.  The
+    result depends only on ``times`` — series scraped on the same
+    schedule share their timestamp array, so callers folding many series
+    reuse one sweep per distinct timeline.
+    """
+    search_left, search_right = bisect_left, bisect_right
+    los: List[int] = []
+    his: List[int] = []
+    push_lo = los.append
+    push_hi = his.append
+    lo = hi = 0
+    for w_lo, w_hi in windows:
+        lo = search_left(times, w_lo, lo)
+        hi = search_right(times, w_hi, hi if hi >= lo else lo)
+        push_lo(lo)
+        push_hi(hi)
+    return los, his, list(map(sub, his, los))
+
+
+def _fold_pushdown_series(
+    name: str, times, values, rollup, windows, resolution: int, slot,
+    fresh: bool = False, bounds=None,
+) -> None:
+    """Fold one series' per-window composed values into a group slot.
+
+    ``slot`` is four parallel per-step arrays ``(counts, totals, mins,
+    maxs)`` over the composed values of the series folded so far
+    (``counts[i] == 0`` marks "no series had samples at step i");
+    ``fresh`` says the slot was created for this series, so every cell
+    is still empty.  ``bounds`` is a precomputed :func:`_window_bounds`
+    over ``times`` (computed here when absent); sum/avg/count windows
+    are then answered from a prefix sum in O(1) per step, and a fresh
+    slot over gap-free windows is filled entirely with C-level ``map``
+    passes.  Series carrying rollup buckets take the general per-window
+    path, mirroring the normal read path exactly: aligned windows serve
+    bucket ⊕ raw, misaligned windows fall back to the raw samples alone.
+    """
+    counts, totals, mins, maxs = slot
+    n = len(times)
+    if rollup is None:
+        if bounds is None:
+            bounds = _window_bounds(times, windows)
+        los, his, spans = bounds
+        is_avg = name == "avg_over_time"
+        if fresh and 0 not in spans:
+            # Every window has samples and every cell is empty: fill the
+            # slot with C-level maps instead of a per-window loop.
+            if name == "count_over_time":
+                column = list(map(float, spans))
+            elif name == "sum_over_time" or is_avg:
+                get = list(accumulate(values, initial=0.0)).__getitem__
+                column = list(map(sub, map(get, his), map(get, los)))
+                if is_avg:
+                    column = list(map(truediv, column, spans))
+            elif name == "min_over_time":
+                column = [min(values[l:h]) for l, h in zip(los, his)]
+            else:
+                column = [max(values[l:h]) for l, h in zip(los, his)]
+            counts[:] = [1] * len(spans)
+            totals[:] = column
+            mins[:] = column
+            maxs[:] = column
+            return
+        if name == "count_over_time":
+            for i, span in enumerate(spans):
+                if not span:
+                    continue
+                value = float(span)
+                if counts[i]:
+                    counts[i] += 1
+                    totals[i] += value
+                    if value < mins[i]:
+                        mins[i] = value
+                    if value > maxs[i]:
+                        maxs[i] = value
+                else:
+                    counts[i] = 1
+                    totals[i] = mins[i] = maxs[i] = value
+        elif name == "sum_over_time" or is_avg:
+            prefix = list(accumulate(values, initial=0.0))
+            for i, span in enumerate(spans):
+                if not span:
+                    continue
+                value = prefix[his[i]] - prefix[los[i]]
+                if is_avg:
+                    value /= span
+                if counts[i]:
+                    counts[i] += 1
+                    totals[i] += value
+                    if value < mins[i]:
+                        mins[i] = value
+                    if value > maxs[i]:
+                        maxs[i] = value
+                else:
+                    counts[i] = 1
+                    totals[i] = mins[i] = maxs[i] = value
+        else:  # min_over_time / max_over_time
+            pick = min if name == "min_over_time" else max
+            for i, span in enumerate(spans):
+                if not span:
+                    continue
+                value = pick(values[los[i]:his[i]])
+                if counts[i]:
+                    counts[i] += 1
+                    totals[i] += value
+                    if value < mins[i]:
+                        mins[i] = value
+                    if value > maxs[i]:
+                        maxs[i] = value
+                else:
+                    counts[i] = 1
+                    totals[i] = mins[i] = maxs[i] = value
+        return
+    compose = _ROLLUP_COMPOSERS[name]
+    for i, (w_lo, w_hi) in enumerate(windows):
+        raw = aggregate_arrays(times, values, w_lo, w_hi) if n else EMPTY_AGGREGATE
+        if w_lo % resolution == 0 and w_hi % resolution == 0:
+            aggregate = rollup.window_aggregate(w_lo, w_hi).merge(raw)
+        else:
+            aggregate = raw
+        if aggregate.count == 0:
+            continue
+        value = compose(aggregate)
+        if counts[i]:
+            counts[i] += 1
+            totals[i] += value
+            if value < mins[i]:
+                mins[i] = value
+            if value > maxs[i]:
+                maxs[i] = value
+        else:
+            counts[i] = 1
+            totals[i] = mins[i] = maxs[i] = value
+
+
 class QueryEngine:
     """Evaluates query expressions against a :class:`Tsdb`."""
 
@@ -405,6 +581,9 @@ class QueryEngine:
         """
         if not self._tracer.enabled:
             expr = self._check_range(query, start_ns, end_ns, step_ns)
+            plan = self._pushdown_plan(expr)
+            if plan is not None:
+                return self._pushdown_eval(plan, start_ns, end_ns, step_ns)
             windows: Dict[VectorSelector, int] = {}
             _collect_selector_windows(expr, self._lookback_ns, windows)
             self._bulk = self._bulk_select(windows, start_ns, end_ns)
@@ -425,6 +604,19 @@ class QueryEngine:
             if end_ns < start_ns:
                 raise QueryError(f"bad range: {start_ns}..{end_ns}")
             expr = self._parse_traced(query)
+            plan = self._pushdown_plan(expr)
+            if plan is not None:
+                with self._tracer.span("query.eval") as eval_span:
+                    result = self._pushdown_eval(
+                        plan, start_ns, end_ns, step_ns
+                    )
+                    eval_span.set_attribute("series", len(result))
+                    eval_span.set_attribute("pushdown", True)
+                    steps = (end_ns - start_ns) // step_ns + 1
+                    eval_span.add_virtual_time(
+                        EVAL_NS_PER_SERIES * max(1, len(result)) * steps
+                    )
+                return result
             windows = {}
             _collect_selector_windows(expr, self._lookback_ns, windows)
             with self._tracer.span("query.select", {
@@ -451,6 +643,193 @@ class QueryEngine:
             finally:
                 self._bulk = None
                 self._rollup_sel = None
+
+    # ------------------------------------------------------------------
+    # Aggregate pushdown: per-shard partials instead of a full merge
+    # ------------------------------------------------------------------
+    def _pushdown_plan(self, expr: Expr):
+        """A pushdown plan for ``expr``, or None to take the normal path.
+
+        Requires a sharded store (``map_shards``) and an eligible shape
+        (see :func:`_pushdown_shape`); the single-shard engine and every
+        ineligible query stay byte-identical to the pre-pushdown output.
+        """
+        map_shards = getattr(self._tsdb, "map_shards", None)
+        if map_shards is None:
+            return None
+        shape = _pushdown_shape(expr)
+        if shape is None:
+            return None
+        name, range_selector, aggregation = shape
+        return map_shards, name, range_selector, aggregation
+
+    def _pushdown_eval(
+        self, plan, start_ns: int, end_ns: int, step_ns: int
+    ) -> List[Series]:
+        """Evaluate an eligible aggregation from per-shard partials.
+
+        Each shard reduces its own series to one ``[n, total, min, max]``
+        cell per (group, step) — series never span shards, so cells from
+        different shards describe disjoint series sets and combine with
+        ``n+n / total+total / min(min) / max(max)``.  Only those small
+        partial tables cross the shard boundary; no cross-shard series
+        merge happens at all.  Windows mirror the normal read path
+        (inclusive bounds, offset clamped at zero, rollups engaged per
+        aligned window only), so results match full-merge evaluation
+        exactly for order-insensitive data; cross-series sums may
+        re-associate floating-point addition.
+        """
+        map_shards, name, range_selector, node = plan
+        tsdb = self._tsdb
+        selector = range_selector.selector
+        offset = selector.offset_ns
+        range_ns = range_selector.range_ns
+        matchers = [Matcher.eq(METRIC_NAME_LABEL, selector.metric_name)]
+        matchers.extend(selector.matchers)
+        step_times = list(range(start_ns, end_ns + 1, step_ns))
+        windows = [
+            (max(0, t - range_ns - offset), max(0, t - offset))
+            for t in step_times
+        ]
+        low = max(0, start_ns - range_ns - offset)
+        high = max(0, end_ns - offset)
+        resolution = tsdb.downsample_resolution_ns
+        use_rollups = bool(
+            resolution and step_ns >= resolution and tsdb.has_rollups()
+        )
+        grouping = node.grouping
+        without = node.without
+        n_steps = len(step_times)
+
+        def group_slot(partials, labels):
+            sans = labels.without(METRIC_NAME_LABEL)
+            if without:
+                key = sans.without(METRIC_NAME_LABEL, *grouping)
+            elif grouping:
+                key = sans.keep_only(grouping)
+            else:
+                key = _EMPTY_LABELS
+            slot = partials.get(key)
+            if slot is None:
+                partials[key] = slot = (
+                    [0] * n_steps,
+                    [0.0] * n_steps,
+                    [0.0] * n_steps,
+                    [0.0] * n_steps,
+                )
+                return slot, True
+            return slot, False
+
+        def shard_partials(shard):
+            arrays = shard.select_arrays(matchers, low, high)
+            rollup_map = (
+                dict(shard.select_rollups(matchers, low, high))
+                if use_rollups
+                else {}
+            )
+            partials: Dict[Labels, list] = {}
+            # Series scraped on the same schedule share a timestamp
+            # array; one boundary sweep serves every such series (the
+            # C-level list compare is trivial next to the sweep).
+            memo_times = memo_bounds = None
+            for labels, times, values in arrays:
+                rollup = rollup_map.pop(labels, None) if rollup_map else None
+                slot, fresh = group_slot(partials, labels)
+                if rollup is None:
+                    if memo_bounds is None or times != memo_times:
+                        memo_times = times
+                        memo_bounds = _window_bounds(times, windows)
+                    bounds = memo_bounds
+                else:
+                    bounds = None
+                _fold_pushdown_series(
+                    name, times, values, rollup, windows, resolution,
+                    slot, fresh, bounds,
+                )
+            for labels, rollup in rollup_map.items():
+                # Fully-compacted series: rollup buckets, no raw samples.
+                slot, fresh = group_slot(partials, labels)
+                _fold_pushdown_series(
+                    name, (), (), rollup, windows, resolution,
+                    slot, fresh,
+                )
+            return partials
+
+        combined: Dict[Labels, tuple] = {}
+        for partials in map_shards(shard_partials):
+            for key, slot in partials.items():
+                target = combined.get(key)
+                if target is None:
+                    combined[key] = slot
+                    continue
+                t_counts, t_totals, t_mins, t_maxs = target
+                s_counts, s_totals, s_mins, s_maxs = slot
+                for i, count in enumerate(s_counts):
+                    if not count:
+                        continue
+                    if t_counts[i]:
+                        t_counts[i] += count
+                        t_totals[i] += s_totals[i]
+                        if s_mins[i] < t_mins[i]:
+                            t_mins[i] = s_mins[i]
+                        if s_maxs[i] > t_maxs[i]:
+                            t_maxs[i] = s_maxs[i]
+                    else:
+                        t_counts[i] = count
+                        t_totals[i] = s_totals[i]
+                        t_mins[i] = s_mins[i]
+                        t_maxs[i] = s_maxs[i]
+        op = node.op
+        result: List[Series] = []
+        for key in sorted(combined, key=lambda k: k.items()):
+            counts, totals, mins, maxs = combined[key]
+            if all(counts):
+                # Dense group (every step populated — the common case):
+                # build samples with map() and skip the per-step guard.
+                if op == "sum":
+                    column = totals
+                elif op == "avg":
+                    column = list(map(truediv, totals, counts))
+                elif op == "min":
+                    column = mins
+                elif op == "max":
+                    column = maxs
+                else:  # count
+                    column = list(map(float, counts))
+                result.append(Series(
+                    labels=key,
+                    samples=list(map(Sample, step_times, column)),
+                ))
+                continue
+            if op == "sum":
+                samples = [
+                    Sample(t, totals[i])
+                    for i, t in enumerate(step_times) if counts[i]
+                ]
+            elif op == "avg":
+                samples = [
+                    Sample(t, totals[i] / counts[i])
+                    for i, t in enumerate(step_times) if counts[i]
+                ]
+            elif op == "min":
+                samples = [
+                    Sample(t, mins[i])
+                    for i, t in enumerate(step_times) if counts[i]
+                ]
+            elif op == "max":
+                samples = [
+                    Sample(t, maxs[i])
+                    for i, t in enumerate(step_times) if counts[i]
+                ]
+            else:  # count
+                samples = [
+                    Sample(t, float(counts[i]))
+                    for i, t in enumerate(step_times) if counts[i]
+                ]
+            if samples:
+                result.append(Series(labels=key, samples=samples))
+        tsdb.stats.pushdown_reads_total += 1
+        return result
 
     def _bulk_select(
         self, windows: Dict[VectorSelector, int], start_ns: int, end_ns: int

@@ -394,17 +394,27 @@ class ScrapeManager:
                 len(response.body) / PARSE_BYTES_PER_S * NANOS_PER_SEC
             ))
         self._mark_up(target, health, identity, now_ns)
-        ingested = 0
         with tracer.span("tsdb.append", {"samples": len(samples)}) as append_span:
+            # One engine call per scrape cycle: the batch routes series
+            # by shard in a single pass and amortises WAL write-through.
+            # Entry order matches the exposition, so accept/reject and
+            # exemplar outcomes are identical to per-sample appends.
+            entries = []
             for sample in samples:
                 labels = dict(sample.labels)
                 labels.update(identity)  # target identity wins on collision
-                if self._append(sample.name, now_ns, sample.value, labels):
-                    ingested += 1
-                    if sample.exemplar is not None:
-                        self._exemplars[sample.name] = (
-                            sample.labels, sample.exemplar,
-                        )
+                labels[METRIC_NAME_LABEL] = sample.name
+                entries.append((Labels(labels), now_ns, sample.value))
+            rejected = self._tsdb.append_batch(entries) if entries else []
+            if rejected:
+                self._dropped_counter.inc(len(rejected))
+            ingested = len(entries) - len(rejected)
+            rejected_set = set(rejected)
+            for index, sample in enumerate(samples):
+                if sample.exemplar is not None and index not in rejected_set:
+                    self._exemplars[sample.name] = (
+                        sample.labels, sample.exemplar,
+                    )
             append_span.set_attribute("ingested", ingested)
             append_span.add_virtual_time(len(samples) * APPEND_NS_PER_SAMPLE)
         self._ingested_counter.inc(ingested)

@@ -18,8 +18,9 @@ independently on recovery (see :func:`repro.pmag.wal.recover_sharded`).
 from __future__ import annotations
 
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from heapq import merge as heap_merge
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import TsdbError
 from repro.pmag.blocks import BlockPolicy, SeriesRollup, StorageStats
@@ -51,21 +52,45 @@ def shard_for(labels: Labels, shards: int) -> int:
     return series_fingerprint(labels) % shards
 
 
+_T = TypeVar("_T")
+
+#: Process-wide shard executors, one per worker count.  Shared across
+#: engines so tests and deployments that build many engines do not leak
+#: a thread pool each; pools live for the process.
+_EXECUTORS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _shared_executor(workers: int) -> ThreadPoolExecutor:
+    pool = _EXECUTORS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="teemon-shard"
+        )
+        _EXECUTORS[workers] = pool
+    return pool
+
+
 def build_storage_engine(
     shards: int,
     retention_ns: Optional[int] = None,
     block_policy: Optional[BlockPolicy] = None,
+    executor_workers: int = 0,
 ) -> StorageEngine:
     """Build the engine a config asks for.
 
     One shard returns a plain :class:`Tsdb` — not a one-shard
     :class:`ShardedTsdb` — so default deployments take the exact code
     path (and produce the exact bytes) they did before sharding existed.
+    ``executor_workers`` > 0 opts a sharded engine into concurrent
+    fan-out evaluation; it is ignored on the single-shard path.
     """
     if shards == 1:
         return Tsdb(retention_ns=retention_ns, block_policy=block_policy)
     return ShardedTsdb(
-        shards, retention_ns=retention_ns, block_policy=block_policy
+        shards,
+        retention_ns=retention_ns,
+        block_policy=block_policy,
+        executor_workers=executor_workers,
     )
 
 
@@ -91,6 +116,7 @@ class ShardedTsdb(StorageEngine):
         shards: int,
         retention_ns: Optional[int] = None,
         block_policy: Optional[BlockPolicy] = None,
+        executor_workers: int = 0,
     ) -> None:
         if shards < 1:
             raise TsdbError(f"shard count must be >= 1: {shards}")
@@ -100,6 +126,14 @@ class ShardedTsdb(StorageEngine):
         ]
         self.block_policy = block_policy
         self.stats = StorageStats()
+        #: Route cache: label set -> shard *index* (not shard object, so
+        #: :meth:`adopt_shard` replacing a shard keeps it valid).  The
+        #: mapping is a pure function of the labels and the shard count,
+        #: so entries never go stale — the cache only grows, bounded by
+        #: the distinct label sets seen, like the postings index.
+        self._fingerprints: Dict[Labels, int] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.configure_executor(executor_workers)
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -113,8 +147,36 @@ class ShardedTsdb(StorageEngine):
         """Direct access to one shard (checkpoints, tests, telemetry)."""
         return self._shards[index]
 
+    def configure_executor(self, workers: int) -> None:
+        """Opt fan-out reads into a shared thread pool (0 = sequential).
+
+        Results are always reassembled in fixed shard order, so output
+        is byte-identical either way; the knob only changes *where* the
+        per-shard work runs.
+        """
+        if workers < 0:
+            raise TsdbError(f"executor workers cannot be negative: {workers}")
+        self._executor = _shared_executor(workers) if workers else None
+
+    def map_shards(self, fn: Callable[[Tsdb], _T]) -> List[_T]:
+        """Apply ``fn`` to every shard, results in fixed shard order.
+
+        The fan-out primitive behind selects and aggregate pushdown:
+        sequential by default, concurrent when an executor is configured
+        (``executor.map`` preserves input order, so callers cannot tell
+        the difference).
+        """
+        executor = self._executor
+        if executor is None:
+            return [fn(shard) for shard in self._shards]
+        return list(executor.map(fn, self._shards))
+
     def _route(self, labels: Labels) -> Tsdb:
-        return self._shards[series_fingerprint(labels) % len(self._shards)]
+        index = self._fingerprints.get(labels)
+        if index is None:
+            index = series_fingerprint(labels) % len(self._shards)
+            self._fingerprints[labels] = index
+        return self._shards[index]
 
     def adopt_shard(self, index: int, tsdb: Tsdb) -> None:
         """Replace one shard with a recovered store (WAL recovery path).
@@ -172,6 +234,53 @@ class ShardedTsdb(StorageEngine):
         """Append one sample to the owning shard."""
         self._route(labels).append(labels, time_ns, value)
 
+    def append_batch(
+        self, entries: Sequence[Tuple[Labels, int, float]]
+    ) -> List[int]:
+        """Group a scrape cycle's samples by shard in one routing pass.
+
+        Each shard then ingests its sub-batch with one
+        :meth:`Tsdb.append_batch` call (amortised WAL write-through).
+        Within a shard entry order is preserved, and series never span
+        shards, so accept/reject outcomes match per-sample appends
+        exactly; rejected positions are mapped back to indices into
+        ``entries``.
+        """
+        shards = self._shards
+        count = len(shards)
+        cache = self._fingerprints
+        buckets: List[Optional[list]] = [None] * count
+        for entry in entries:
+            labels = entry[0]
+            index = cache.get(labels)
+            if index is None:
+                index = series_fingerprint(labels) % count
+                cache[labels] = index
+            bucket = buckets[index]
+            if bucket is None:
+                buckets[index] = bucket = []
+            bucket.append(entry)
+        sub_rejected: Dict[int, set] = {}
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                bad = shards[index].append_batch(bucket)
+                if bad:
+                    sub_rejected[index] = set(bad)
+        if not sub_rejected:
+            return []
+        # Rare path: map each shard's sub-batch positions back to the
+        # caller's indices by replaying the routing order.
+        rejected: List[int] = []
+        positions = [0] * count
+        for i, entry in enumerate(entries):
+            index = cache[entry[0]]
+            position = positions[index]
+            positions[index] = position + 1
+            bad = sub_rejected.get(index)
+            if bad and position in bad:
+                rejected.append(i)
+        return rejected
+
     def install_series(self, labels: Labels, storage: ChunkedSeries) -> None:
         """Install a fully-built series on its owning shard."""
         self._route(labels).install_series(labels, storage)
@@ -183,25 +292,25 @@ class ShardedTsdb(StorageEngine):
         self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
     ) -> List[Series]:
         """Fan-out select merged back into one sorted result."""
-        parts = [s.select(matchers, start_ns, end_ns) for s in self._shards]
+        parts = self.map_shards(lambda s: s.select(matchers, start_ns, end_ns))
         return list(heap_merge(*parts, key=_series_key))
 
     def select_arrays(
         self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
     ) -> List[Tuple[Labels, List[int], List[float]]]:
         """Fan-out array select merged back into one sorted result."""
-        parts = [
-            s.select_arrays(matchers, start_ns, end_ns) for s in self._shards
-        ]
+        parts = self.map_shards(
+            lambda s: s.select_arrays(matchers, start_ns, end_ns)
+        )
         return list(heap_merge(*parts, key=_labels_key))
 
     def select_rollups(
         self, matchers: Sequence[Matcher], start_ns: int, end_ns: int
     ) -> List[Tuple[Labels, SeriesRollup]]:
         """Fan-out rollup select merged back into one sorted result."""
-        parts = [
-            s.select_rollups(matchers, start_ns, end_ns) for s in self._shards
-        ]
+        parts = self.map_shards(
+            lambda s: s.select_rollups(matchers, start_ns, end_ns)
+        )
         return list(heap_merge(*parts, key=_labels_key))
 
     def latest(self, metric: str, **label_filters: str) -> Optional[Sample]:
@@ -271,6 +380,7 @@ class ShardedTsdb(StorageEngine):
             "samples_compacted_total": merged.samples_compacted_total,
             "bytes_saved_total": merged.bytes_saved_total,
             "downsampled_reads_total": merged.downsampled_reads_total,
+            "pushdown_reads_total": merged.pushdown_reads_total,
         }
 
     # ------------------------------------------------------------------

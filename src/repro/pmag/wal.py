@@ -241,6 +241,36 @@ class WalWriter:
             self.flush()
             self._open_segment()
 
+    def append_many(self, entries) -> None:
+        """Write a batch of accepted ``(labels, time_ns, value)`` samples.
+
+        Byte-for-byte and counter-for-counter equivalent to calling
+        :meth:`append` per sample — flush and rotation decisions fire at
+        exactly the same record boundaries — but consecutive records
+        between those boundaries land in one ``disk.append`` each, so a
+        scrape cycle's write-through costs a handful of disk writes
+        instead of one per sample.
+        """
+        pending: list = []
+        for labels, time_ns, value in entries:
+            pending.append(encode_record(labels, time_ns, value))
+            self.records_total += 1
+            self.unflushed_records += 1
+            self._segment_records += 1
+            flush_due = bool(
+                self.flush_every_records
+                and self.unflushed_records >= self.flush_every_records
+            )
+            rotate_due = self._segment_records >= self.segment_max_records
+            if flush_due or rotate_due:
+                self.disk.append(self._segment, b"".join(pending))
+                pending.clear()
+                self.flush()
+                if rotate_due:
+                    self._open_segment()
+        if pending:
+            self.disk.append(self._segment, b"".join(pending))
+
     def flush(self) -> None:
         """Make everything appended so far durable (``fsync``)."""
         if self.disk.synced_size(self._segment) == self.disk.size(self._segment):

@@ -22,12 +22,22 @@ def _profile() -> str:
     return os.environ.get(TEST_PROFILE_ENV, "")
 
 
+#: Profiles that run the suite against a 4-shard engine with the WAL on;
+#: ``sharded-executor`` additionally turns the shard executor on, so the
+#: concurrent fan-out path gets full-suite coverage too.
+_SHARDED_PROFILES = ("sharded", "sharded-executor")
+
+
 def _default_storage_shards() -> int:
-    return 4 if _profile() == "sharded" else 1
+    return 4 if _profile() in _SHARDED_PROFILES else 1
 
 
 def _default_enable_wal() -> bool:
-    return _profile() == "sharded"
+    return _profile() in _SHARDED_PROFILES
+
+
+def _default_storage_executor_workers() -> int:
+    return 4 if _profile() == "sharded-executor" else 0
 
 
 @dataclass(frozen=True)
@@ -89,6 +99,14 @@ class TeemonConfig:
     #: its stable label fingerprint.  With the WAL on, each shard gets
     #: its own log directory and replays independently on recovery.
     storage_shards: int = field(default_factory=_default_storage_shards)
+    #: Threads evaluating sharded fan-out reads concurrently (0 = run
+    #: them sequentially, the default — and the only option the 1-shard
+    #: engine has).  Results are reassembled in fixed shard order either
+    #: way, so this knob never changes query output, only where the
+    #: per-shard work runs.
+    storage_executor_workers: int = field(
+        default_factory=_default_storage_executor_workers
+    )
     #: Width of one storage block; compaction horizons and (with a block
     #: policy active) retention cuts align to multiples of it.
     block_range_s: float = 7200.0
@@ -145,6 +163,8 @@ class TeemonConfig:
             raise DeploymentError("wal_dir must be a non-empty prefix")
         if self.storage_shards < 1:
             raise DeploymentError("storage_shards must be >= 1")
+        if self.storage_executor_workers < 0:
+            raise DeploymentError("storage_executor_workers cannot be negative")
         if self.block_range_s <= 0:
             raise DeploymentError("block_range_s must be positive")
         if self.downsample_resolution_s <= 0:

@@ -441,3 +441,256 @@ def test_one_shard_sharded_engine_still_archives():
     assert restored.select([], 0, seconds(100)) == original.select(
         [], 0, seconds(100)
     )
+
+
+# ---------------------------------------------------------------------------
+# Aggregate pushdown: per-shard partials equal full-merge evaluation
+# ---------------------------------------------------------------------------
+
+#: Integer sample values keep float addition exact, and every panel
+#: entry is order-insensitive on such data (min/max/count anywhere;
+#: sums of integer-valued rollups; singleton groups for avg_over_time),
+#: so pushdown must match the full-merge path *byte for byte*.
+_PUSHDOWN_PANEL = (
+    "sum by (name, idx) (avg_over_time(ebpf_syscalls_total[2m]))",
+    "sum(sum_over_time(ebpf_syscalls_total[2m]))",
+    "avg(sum_over_time(ebpf_syscalls_total[1m]))",
+    "min(min_over_time(ebpf_syscalls_total[2m]))",
+    "max by (name) (max_over_time(ebpf_syscalls_total[1m]))",
+    "count by (name) (count_over_time(ebpf_syscalls_total[2m]))",
+    "sum without (idx, job) (count_over_time(ebpf_syscalls_total[3m] offset 1m))",
+)
+
+_integer_series_strategy = st.dictionaries(
+    st.tuples(st.sampled_from(("read", "write", "futex", "mmap")),
+              st.integers(0, 3)),
+    st.lists(st.integers(0, 10**6).map(float), min_size=1, max_size=30),
+    min_size=1, max_size=8,
+)
+
+
+@given(_integer_series_strategy, st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_pushdown_equals_full_merge(values_by_series, shards):
+    mono, sharded = Tsdb(), ShardedTsdb(shards)
+    _ingest(mono, values_by_series)
+    _ingest(sharded, values_by_series)
+    mono_engine, sharded_engine = QueryEngine(mono), QueryEngine(sharded)
+    reads = 0
+    for query in _PUSHDOWN_PANEL:
+        assert (sharded_engine.range_query(query, seconds(30), seconds(150),
+                                           seconds(15))
+                == mono_engine.range_query(query, seconds(30), seconds(150),
+                                           seconds(15))), query
+        reads += 1
+        # The counter proves the partial path served every panel query.
+        assert sharded.storage_stats()["pushdown_reads_total"] == reads, query
+    assert mono.storage_stats()["pushdown_reads_total"] == 0
+
+
+#: Shapes the planner must refuse: rate-family rollups (counter resets
+#: need every raw sample), parameterised aggregations, aggregations of
+#: anything but a bare rollup call, and raw reads.
+_PUSHDOWN_INELIGIBLE = (
+    "sum by (name) (rate(ebpf_syscalls_total[1m]))",
+    "topk(2, avg_over_time(ebpf_syscalls_total[2m]))",
+    "sum(avg_over_time(ebpf_syscalls_total[2m]) * 2)",
+    "sum(ebpf_syscalls_total)",
+    "avg_over_time(ebpf_syscalls_total[2m])",
+)
+
+
+def test_ineligible_queries_fall_back_and_match():
+    values = {("read", 0): [3.0, 7.0], ("write", 1): [2.0, 5.0, 9.0]}
+    mono, sharded = Tsdb(), ShardedTsdb(4)
+    _ingest(mono, values)
+    _ingest(sharded, values)
+    mono_engine, sharded_engine = QueryEngine(mono), QueryEngine(sharded)
+    for query in _PUSHDOWN_INELIGIBLE:
+        assert (sharded_engine.range_query(query, seconds(30), seconds(150),
+                                           seconds(15))
+                == mono_engine.range_query(query, seconds(30), seconds(150),
+                                           seconds(15))), query
+    assert sharded.storage_stats()["pushdown_reads_total"] == 0
+
+
+def test_one_shard_default_engine_never_pushes_down():
+    # build_storage_engine(1) is the plain monolith: no map_shards, so
+    # the planner leaves even eligible shapes on the seed read path.
+    engine = build_storage_engine(1)
+    _ingest(engine, {("read", 0): [1.0, 2.0, 3.0]})
+    QueryEngine(engine).range_query(
+        "sum(sum_over_time(ebpf_syscalls_total[2m]))",
+        seconds(30), seconds(150), seconds(15),
+    )
+    assert engine.storage_stats()["pushdown_reads_total"] == 0
+
+
+@pytest.mark.parametrize("function", _COMPOSABLE)
+def test_pushdown_over_rollups_equals_raw(function):
+    # Compacted shards answer aligned windows from rollup buckets inside
+    # the partial fold; misaligned windows fall back to raw samples per
+    # window.  Both must equal uncompacted full-merge evaluation.
+    raw = Tsdb()
+    compacted = build_storage_engine(4, block_policy=_POLICY)
+    compacted_mono = Tsdb(block_policy=_POLICY)
+    for db in (raw, compacted, compacted_mono):
+        _ingest_hour(db)
+    now_ns = seconds(3600)
+    assert compacted.compact(now_ns) > 0
+    assert compacted_mono.compact(now_ns) > 0
+    raw_engine, engine = QueryEngine(raw), QueryEngine(compacted)
+    mono_engine = QueryEngine(compacted_mono)
+    query = f"sum by (idx) ({function}(signal[10m]))"
+    before = compacted.storage_stats()["pushdown_reads_total"]
+    # Aligned: start/end/step multiples of the 60s resolution — rollup
+    # buckets serve the windows and equal uncompacted evaluation exactly.
+    assert (engine.range_query(query, seconds(600), now_ns, seconds(300))
+            == raw_engine.range_query(query, seconds(600), now_ns,
+                                      seconds(300)))
+    # Misaligned bounds: folded history only has buckets, so the fold's
+    # per-window raw fallback must mirror the monolith fallback over the
+    # same compacted state.
+    assert (engine.range_query(query, seconds(610), now_ns - seconds(10),
+                               seconds(300))
+            == mono_engine.range_query(query, seconds(610),
+                                       now_ns - seconds(10), seconds(300)))
+    assert compacted.storage_stats()["pushdown_reads_total"] == before + 2
+
+
+# ---------------------------------------------------------------------------
+# Concurrent shard evaluation: byte-identical with the executor on
+# ---------------------------------------------------------------------------
+
+@given(_integer_series_strategy, st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_executor_output_identical_to_serial(values_by_series, shards):
+    serial = build_storage_engine(shards)
+    threaded = build_storage_engine(shards, executor_workers=3)
+    _ingest(serial, values_by_series)
+    _ingest(threaded, values_by_series)
+    for matchers in _MATCHER_SETS:
+        assert (threaded.select(matchers, 0, seconds(1000))
+                == serial.select(matchers, 0, seconds(1000)))
+    serial_engine, threaded_engine = QueryEngine(serial), QueryEngine(threaded)
+    for query in _PUSHDOWN_PANEL + _QUERY_PANEL:
+        assert (threaded_engine.range_query(query, seconds(30), seconds(150),
+                                            seconds(15))
+                == serial_engine.range_query(query, seconds(30), seconds(150),
+                                             seconds(15))), query
+
+
+def test_executor_knob_validation_and_one_shard_bypass():
+    with pytest.raises(TsdbError, match="negative"):
+        ShardedTsdb(2, executor_workers=-1)
+    # One shard never builds a fan-out engine, executor or not.
+    assert isinstance(build_storage_engine(1, executor_workers=4), Tsdb)
+    threaded = build_storage_engine(4, executor_workers=2)
+    assert threaded._executor is not None  # noqa: SLF001
+    threaded.configure_executor(0)
+    assert threaded._executor is None  # noqa: SLF001
+
+
+def test_chaos_digest_identical_with_shard_executor():
+    # The concurrency knob must be invisible to the pipeline: same seed,
+    # same digest, executor on or off.
+    def digest(executor_workers):
+        factory = lambda retention_ns=None: build_storage_engine(
+            4, retention_ns=retention_ns, executor_workers=executor_workers
+        )
+        rig = build_rig(31, tsdb_factory=factory, **MIXED)
+        drive(rig, 120)
+        return (rig.plan.journal_text(), tsdb_digest(rig),
+                rig.manager.self_stats())
+
+    assert digest(3) == digest(0)
+
+
+# ---------------------------------------------------------------------------
+# Batched ingest: one routing pass per scrape cycle
+# ---------------------------------------------------------------------------
+
+def _batch(entries):
+    return [
+        (Labels.of("batched_metric", idx=str(idx), job="batch"),
+         time_ns, value)
+        for idx, time_ns, value in entries
+    ]
+
+
+@pytest.mark.parametrize("factory", [Tsdb, lambda: ShardedTsdb(4)])
+def test_append_batch_equals_per_sample_appends(factory):
+    batched, serial = factory(), factory()
+    for cycle in range(1, 30):
+        entries = _batch(
+            (idx, cycle * seconds(5), float(cycle * idx)) for idx in range(6)
+        )
+        assert batched.append_batch(entries) == []
+        for labels, time_ns, value in entries:
+            serial.append(labels, time_ns, value)
+    assert batched.select([], 0, seconds(200)) == serial.select(
+        [], 0, seconds(200)
+    )
+    assert batched.sample_count() == serial.sample_count()
+    assert batched.total_appends == serial.total_appends
+
+
+def test_append_batch_reports_rejected_positions():
+    engine = ShardedTsdb(4)
+    good = _batch([(0, seconds(10), 1.0), (1, seconds(10), 2.0)])
+    assert engine.append_batch(good) == []
+    mixed = _batch([
+        (0, seconds(5), 9.0),    # out of order for idx=0
+        (2, seconds(15), 3.0),   # fine: new series
+        (1, seconds(10), 8.0),   # duplicate timestamp, different value
+        (0, seconds(20), 4.0),   # fine: advances idx=0
+    ])
+    assert engine.append_batch(mixed) == [0, 2]
+    # Rejected entries left no trace; accepted ones all landed.
+    assert engine.sample_count() == 4
+    bad_name = [(Labels({"job": "batch"}), seconds(30), 1.0)]
+    assert engine.append_batch(bad_name) == [0]
+
+
+def test_scraped_batches_count_per_shard():
+    engine = ShardedTsdb(4)
+    for cycle in range(1, 5):
+        engine.append_batch(_batch(
+            (idx, cycle * seconds(5), 1.0) for idx in range(8)
+        ))
+    stats = engine.storage_stats()
+    per_shard = [s["batch_appends"] for s in stats["per_shard"]]
+    # Every cycle's batch splits into one sub-batch per occupied shard.
+    assert max(per_shard) == 4
+    assert sum(per_shard) > 0
+
+
+def test_pushdown_and_batch_metrics_reach_the_self_exposition():
+    from repro.simkernel.kernel import Kernel
+    from repro.sgx.driver import SgxDriver
+    from repro.teemon import TeemonConfig, deploy
+
+    kernel = Kernel(seed=11, hostname="pushdown-host")
+    kernel.load_module(SgxDriver())
+    deployment = deploy(kernel, TeemonConfig(storage_shards=4))
+    kernel.clock.advance(seconds(300))
+    session = deployment.session
+
+    # Batched scrape cycles have been flowing since boot; the per-shard
+    # counter family is already live.
+    per_shard = session.query("teemon_storage_batch_appends_total")
+    assert {labels.get("shard") for labels, _v in per_shard} == {
+        "0", "1", "2", "3"
+    }
+    assert sum(value for _labels, value in per_shard) > 0
+
+    # An eligible aggregation bumps the pushdown counter; the next
+    # self-scrape exposes the new value as a queryable series.
+    assert session.query("teemon_storage_pushdown_reads_total")[0][1] == 0.0
+    session.query_range(
+        "sum by (instance) (avg_over_time(up[5m]))", window_s=240, step_s=60
+    )
+    kernel.clock.advance(seconds(60))
+    vector = session.query("teemon_storage_pushdown_reads_total")
+    assert vector and vector[0][1] >= 1.0
+    deployment.stop()

@@ -500,3 +500,46 @@ def test_injector_validation():
         CrashInjector(rng, mean_interval_s=0)
     with pytest.raises(NetworkError):
         CrashInjector(rng, restart_delay_s=-1)
+
+
+# ---------------------------------------------------------------------------
+# Batched appends: one disk write per flush boundary, same bytes
+# ---------------------------------------------------------------------------
+
+def _wal_files(disk):
+    return {name: disk.read(name) for name in disk.list_files("wal/")}
+
+
+@pytest.mark.parametrize("flush_every", [0, 3, 7])
+def test_append_many_bytes_and_counters_equal_append(flush_every):
+    # append_many is the scrape cycle's write-through: the record
+    # stream, every flush boundary, and every rotation must land exactly
+    # as if each record had been appended individually.
+    disk_a, disk_b = SimDisk(), SimDisk()
+    one = WalWriter(disk_a, flush_every_records=flush_every,
+                    segment_max_records=10)
+    many = WalWriter(disk_b, flush_every_records=flush_every,
+                     segment_max_records=10)
+    entries = [
+        (_labels(series), (k + 1) * 1_000_000, float(k))
+        for k in range(9) for series in range(3)
+    ]
+    # Three batches of varying size, crossing flush and rotation
+    # boundaries mid-batch.
+    for chunk in (entries[:5], entries[5:21], entries[21:]):
+        for labels, time_ns, value in chunk:
+            one.append(labels, time_ns, value)
+        many.append_many(chunk)
+    assert _wal_files(disk_b) == _wal_files(disk_a)
+    for attr in ("records_total", "flushes_total", "segments_total",
+                 "unflushed_records"):
+        assert getattr(many, attr) == getattr(one, attr), attr
+
+
+def test_append_many_empty_batch_is_a_no_op():
+    disk = SimDisk()
+    writer = WalWriter(disk, flush_every_records=2)
+    before = _wal_files(disk)
+    writer.append_many([])
+    assert _wal_files(disk) == before
+    assert writer.records_total == 0
