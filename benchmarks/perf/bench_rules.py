@@ -1,0 +1,236 @@
+"""Rule-engine benchmark: incremental materialization and alerting cost.
+
+Two legs:
+
+* ``rules_materialization`` — a 4-rule recording panel with a 2h
+  lookback over 8 raw series at 15s resolution, evaluated steady-state
+  (one new grid step per cycle) two ways: the reference full-panel
+  re-evaluation and the incremental cursor path.  The *always-on* gate:
+  incremental must be at least ``--min-speedup`` (default 3x) faster
+  per cycle — that ratio is the whole point of carrying cursors, so the
+  benchmark fails loudly the day it stops paying, baseline or not.
+  Both paths must also produce byte-identical recorded output (asserted
+  here, proven in general by test_properties_alerting.py).
+
+* ``alerting_overhead`` — the full pipeline cycle with the alerting
+  engine off vs on.  With ``--baseline BENCH_pipeline.json`` the
+  alerting-off cycle is gated against the baseline report's
+  ``scrape_cycle.cycle_ms`` (default 5%): deployments that did not ask
+  for alerting must not pay for it.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_rules [--quick]
+        [--output BENCH_rules.json] [--min-speedup 3.0]
+        [--baseline BENCH_pipeline.json] [--max-regression 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+
+from benchmarks.perf.harness import BenchReport, best_of
+
+from repro.experiments.common import make_sgx_host
+from repro.pmag.model import Labels
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.rules import RecordingRule, RuleGroup
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+from repro.teemon import TeemonConfig, deploy
+
+SCHEMA = "teemon.bench.rules/1"
+
+RULE_INTERVAL_S = 15
+LOOKBACK_S = 2 * 3600  # the 2h panel the gate is specified over
+RAW_SERIES = 8
+
+#: The rule panel: one cheap selector, one grouped aggregate, one rate
+#: (full raw-sample scan per window), one rollup composition.
+PANEL = (
+    RecordingRule(record="job:signal:sum", expr="sum by (idx) (signal)"),
+    RecordingRule(record="job:signal:max", expr="max(signal)"),
+    RecordingRule(record="job:signal:rate", expr="sum(rate(signal[1m]))"),
+    RecordingRule(record="job:signal:avg",
+                  expr="avg(avg_over_time(signal[2m]))"),
+)
+
+
+def build_panel_rig(horizon_s: int):
+    """A bare TSDB with the raw series plus a materializing rule group."""
+    tsdb = Tsdb()
+    for series in range(RAW_SERIES):
+        labels = Labels.of("signal", idx=str(series))
+        for step in range(horizon_s // RULE_INTERVAL_S):
+            tsdb.append(
+                labels, (step + 1) * seconds(RULE_INTERVAL_S),
+                float((step * 7 + series * 13) % 1000),
+            )
+    group = RuleGroup(
+        "bench", list(PANEL),
+        interval_ns=seconds(RULE_INTERVAL_S),
+        materialize_lookback_ns=seconds(LOOKBACK_S),
+    )
+    return tsdb, QueryEngine(tsdb), group
+
+
+def sample_set(tsdb, metric):
+    return {
+        (series.labels.items(), sample.time_ns, sample.value)
+        for series in tsdb.select_metric(metric, 0, 2 ** 62)
+        for sample in series.samples
+    }
+
+
+def time_materialization(incremental: bool, cycles: int, repeats: int):
+    """Best seconds per steady-state cycle; returns (s, tsdb, final_now)."""
+    # Raw data must outlast warmup + every timed repeat.
+    total_cycles = cycles * (repeats + 1) + 2
+    horizon_s = LOOKBACK_S + (total_cycles + 2) * RULE_INTERVAL_S
+    tsdb, engine, group = build_panel_rig(horizon_s)
+    state = {"now": seconds(LOOKBACK_S)}
+
+    def advance_one() -> None:
+        state["now"] += seconds(RULE_INTERVAL_S)
+        if incremental:
+            group.evaluate(engine, tsdb, state["now"], incremental=True)
+        else:
+            group.evaluate_full(engine, tsdb, state["now"])
+
+    # Prime: the first evaluation fills the whole panel on both paths.
+    if incremental:
+        group.evaluate(engine, tsdb, state["now"], incremental=True)
+    else:
+        group.evaluate_full(engine, tsdb, state["now"])
+
+    elapsed = best_of(repeats, lambda: [advance_one() for _ in range(cycles)])
+    return elapsed / cycles, tsdb, state["now"]
+
+
+def time_pipeline_cycles(enable_alerting: bool, cycles: int, repeats: int):
+    """Best seconds per full scrape->rules->render cycle."""
+    kernel, _driver = make_sgx_host(seed=7)
+    deployment = deploy(
+        kernel, TeemonConfig(enable_alerting=enable_alerting), start=False
+    )
+    session = deployment.session
+
+    def cycle() -> None:
+        kernel.clock.advance(seconds(5))
+        deployment.scrape_manager.scrape_once()
+        deployment.rule_evaluator.evaluate_all_once()
+        session.render("sgx")
+
+    cycle()  # warm-up: first scrape creates every series
+    elapsed = best_of(repeats, lambda: [cycle() for _ in range(cycles)])
+    deployment.shutdown()
+    return elapsed / cycles
+
+
+def run_suite(quick: bool) -> BenchReport:
+    report = BenchReport(quick=quick)
+    # The full-panel reference is ~500x the incremental cost, so the
+    # materialization leg stays small; the pipeline leg needs bench_wal
+    # sizes to measure a ~2ms cycle without noise drowning the gate.
+    mat_cycles, mat_repeats = (3, 1) if quick else (8, 3)
+    pipe_cycles, pipe_repeats = (10, 4) if quick else (25, 4)
+
+    full_s, full_tsdb, full_now = time_materialization(
+        False, mat_cycles, mat_repeats
+    )
+    inc_s, inc_tsdb, inc_now = time_materialization(
+        True, mat_cycles, mat_repeats
+    )
+    # Both paths walked the same schedule and must agree bit for bit.
+    assert inc_now == full_now
+    for rule in PANEL:
+        assert (sample_set(inc_tsdb, rule.record)
+                == sample_set(full_tsdb, rule.record)), rule.record
+    report.add(
+        "rules_materialization",
+        full_ms=full_s * 1e3,
+        incremental_ms=inc_s * 1e3,
+        speedup=full_s / inc_s,
+        panel_steps=LOOKBACK_S // RULE_INTERVAL_S,
+        rules=len(PANEL),
+        cycles=mat_cycles,
+    )
+
+    del full_tsdb, inc_tsdb
+    gc.collect()  # shed the 2h panels before timing ~2ms cycles
+    off_s = time_pipeline_cycles(False, pipe_cycles, pipe_repeats)
+    on_s = time_pipeline_cycles(True, pipe_cycles, pipe_repeats)
+    report.add(
+        "alerting_overhead",
+        off_ms=off_s * 1e3,
+        on_ms=on_s * 1e3,
+        overhead_ratio=on_s / off_s,
+        cycles=pipe_cycles,
+    )
+    return report
+
+
+def check_speedup(report: BenchReport, min_speedup: float) -> int:
+    """Always-on gate: incremental must beat full re-evaluation."""
+    metrics = report.results[0].metrics
+    speedup = metrics["speedup"]
+    verdict = "OK" if speedup >= min_speedup else "TOO SLOW"
+    print(
+        f"materialization: full {metrics['full_ms']:.3f}ms vs incremental "
+        f"{metrics['incremental_ms']:.3f}ms -> x{speedup:.1f} "
+        f"(floor x{min_speedup:.1f}) {verdict}"
+    )
+    return 0 if speedup >= min_speedup else 1
+
+
+def check_baseline(report: BenchReport, baseline_path: str,
+                   max_regression: float) -> int:
+    """Gate: alerting-off must stay within ``max_regression`` of baseline."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_ms = baseline["results"]["scrape_cycle"]["cycle_ms"]
+    off_ms = report.results[1].metrics["off_ms"]
+    ratio = off_ms / baseline_ms
+    limit = 1.0 + max_regression
+    verdict = "OK" if ratio <= limit else "REGRESSION"
+    print(
+        f"alerting-off cycle: {off_ms:.3f}ms vs baseline "
+        f"{baseline_ms:.3f}ms -> x{ratio:.3f} (limit x{limit:.3f}) {verdict}"
+    )
+    return 0 if ratio <= limit else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_rules.json",
+                        help="report path (default: ./BENCH_rules.json)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required incremental-vs-full speedup")
+    parser.add_argument("--baseline", default=None,
+                        help="BENCH_pipeline.json to gate alerting-off against")
+    parser.add_argument("--max-regression", type=float, default=0.05,
+                        help="allowed alerting-off regression vs baseline")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick)
+    payload = report.to_payload()
+    payload["schema"] = SCHEMA
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(report.render())
+    print(f"\nwrote {args.output}")
+    status = check_speedup(report, args.min_speedup)
+    if args.baseline:
+        status = max(status, check_baseline(
+            report, args.baseline, args.max_regression
+        ))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,13 +61,16 @@ class TeemonSelfExporter:
     """Serves the pipeline's self-telemetry as an OpenMetrics endpoint."""
 
     def __init__(self, hostname: str, scrape_manager=None, tracer=None,
-                 wal=None, recovery_stats=None, storage=None) -> None:
+                 wal=None, recovery_stats=None, storage=None,
+                 rules=None, alerting=None) -> None:
         self.hostname = hostname
         self.registry = CollectorRegistry()
         self._tracer = tracer
         self._wal = wal
         self._recovery_stats = recovery_stats
         self._storage = storage
+        self._rules = rules
+        self._alerting = alerting
         self._endpoint: Optional[HttpEndpoint] = None
         self.scrapes_served = 0
         if scrape_manager is not None:
@@ -199,6 +202,66 @@ class TeemonSelfExporter:
                 label_names=("shard",),
             )
             self.registry.on_collect(self._sync_storage_counters)
+        if rules is not None:
+            # Rule-evaluation telemetry: the modelled evaluation time of
+            # the recording/alerting rule engine, materialization
+            # backfill activity, and static-label conflicts surfaced by
+            # the collision detector.
+            self._rule_eval_seconds = self.registry.gauge(
+                "teemon_rule_eval_seconds",
+                "Cumulative modelled rule-evaluation time (virtual)",
+            )
+            self._rule_conflicts = self.registry.counter(
+                "teemon_rule_conflicts_total",
+                "Recording-rule label collisions (static labels stomping "
+                "series labels, or output label sets collapsing)",
+            )
+            self._rule_backfilled = self.registry.counter(
+                "teemon_rule_backfilled_steps_total",
+                "Missed rule intervals recovered by incremental backfill",
+            )
+            self._rule_gap_fallbacks = self.registry.counter(
+                "teemon_rule_gap_fallbacks_total",
+                "Evaluation gaps too wide to backfill (full re-evaluation)",
+            )
+            self.registry.on_collect(self._sync_rule_counters)
+        if alerting is not None:
+            # Alerting telemetry: live alert-state gauges plus the
+            # notification router's per-receiver delivery outcomes.
+            self._alerts_firing = self.registry.gauge(
+                "teemon_alerts_firing",
+                "Alert instances currently in the firing state",
+            )
+            self._alerts_pending = self.registry.gauge(
+                "teemon_alerts_pending",
+                "Alert instances currently in the pending state",
+            )
+            self._notifications = self.registry.counter(
+                "teemon_notifications_total",
+                "Notification deliveries by receiver and outcome",
+                label_names=("receiver", "outcome"),
+            )
+            self.registry.on_collect(self._sync_alerting_counters)
+
+    def _sync_rule_counters(self) -> None:
+        stats = self._rules()
+        self._rule_eval_seconds.labels().set_to(float(stats["eval_seconds"]))
+        self._rule_conflicts.labels().set_to(float(stats["conflicts_total"]))
+        self._rule_backfilled.labels().set_to(
+            float(stats["backfilled_steps_total"])
+        )
+        self._rule_gap_fallbacks.labels().set_to(
+            float(stats["gap_fallbacks_total"])
+        )
+
+    def _sync_alerting_counters(self) -> None:
+        stats = self._alerting()
+        self._alerts_firing.labels().set_to(float(stats["firing"]))
+        self._alerts_pending.labels().set_to(float(stats["pending"]))
+        for (receiver, outcome), count in sorted(
+            stats["notifications"].items()
+        ):
+            self._notifications.labels(receiver, outcome).set_to(float(count))
 
     def _sync_storage_counters(self) -> None:
         stats = self._storage()

@@ -1,0 +1,52 @@
+"""Alertmanager-shaped alerting on the virtual clock.
+
+Alerting rules with ``for_`` durations (pending->firing state machine),
+grouping/dedup/silences/inhibition, and a journalled notification router
+delivering through the simulated HTTP network — all deterministic and
+byte-comparable across same-seed runs, and crash-restorable from the
+synthetic ``ALERTS``/``ALERTS_FOR_STATE`` series written through the WAL.
+"""
+
+from repro.pmag.alerting.rules import (
+    ALERTS_FOR_STATE_METRIC,
+    ALERTS_METRIC,
+    AlertingRule,
+    burn_rate_rules,
+)
+from repro.pmag.alerting.router import (
+    NotificationRouter,
+    Receiver,
+    Route,
+)
+from repro.pmag.alerting.silences import (
+    InhibitRule,
+    Inhibitor,
+    Silence,
+    SilenceStore,
+)
+from repro.pmag.alerting.state import (
+    STATE_FIRING,
+    STATE_PENDING,
+    AlertInstance,
+    AlertJournal,
+    canonical_labels,
+)
+
+__all__ = [
+    "ALERTS_FOR_STATE_METRIC",
+    "ALERTS_METRIC",
+    "AlertInstance",
+    "AlertJournal",
+    "AlertingRule",
+    "InhibitRule",
+    "Inhibitor",
+    "NotificationRouter",
+    "Receiver",
+    "Route",
+    "STATE_FIRING",
+    "STATE_PENDING",
+    "Silence",
+    "SilenceStore",
+    "burn_rate_rules",
+    "canonical_labels",
+]

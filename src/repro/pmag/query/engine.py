@@ -524,6 +524,18 @@ class QueryEngine:
             self._plan_cache.put(query, plan)
         return plan
 
+    def plan(self, query: str) -> Expr:
+        """Parse through the cache, tracing the outcome when enabled.
+
+        Identical to :meth:`parse` with tracing off; with tracing on it
+        records the ``query.parse`` span (and its ``plan_cache_hit``
+        attribute) exactly as :meth:`instant` would.  The rule
+        evaluators pair this with :meth:`instant_plan`.
+        """
+        if not self._tracer.enabled:
+            return self.parse(query)
+        return self._parse_traced(query)
+
     def cache_stats(self) -> CacheStats:
         """Plan-cache statistics (exported as ``pmag_query_cache_*``)."""
         return self._plan_cache.stats()
@@ -554,6 +566,30 @@ class QueryEngine:
             expr = self._parse_traced(query)
             with self._tracer.span("query.eval") as eval_span:
                 value = self._eval(expr, time_ns)
+                if isinstance(value, float):
+                    value = [(Labels({}), value)]
+                eval_span.set_attribute("series", len(value))
+                eval_span.add_virtual_time(
+                    EVAL_NS_PER_SERIES * max(1, len(value))
+                )
+            return value
+
+    def instant_plan(self, plan: Expr, time_ns: int) -> InstantVector:
+        """Evaluate a pre-parsed plan at one instant.
+
+        The rule evaluators hold their expression's AST across cycles and
+        call this instead of :meth:`instant`, skipping even the
+        plan-cache lookup on the per-cycle hot path; the result is
+        identical to ``instant(query, time_ns)`` for the plan's query.
+        """
+        if not self._tracer.enabled:
+            value = self._eval(plan, time_ns)
+            if isinstance(value, float):
+                return [(Labels({}), value)]
+            return value
+        with self._tracer.span("query.instant", {"plan": True}):
+            with self._tracer.span("query.eval") as eval_span:
+                value = self._eval(plan, time_ns)
                 if isinstance(value, float):
                     value = [(Labels({}), value)]
                 eval_span.set_attribute("series", len(value))

@@ -62,6 +62,12 @@ HEADER_SIZE = len(SEGMENT_MAGIC) + 6
 MAX_RECORD_BYTES = 1 << 20
 
 RECORD_SAMPLE = 1
+#: Rule-materialization cursor: ``u8 kind | u16 len + utf8 key | i64 ns``.
+#: Cursor frames ride the same segments as samples but are *metadata* —
+#: they are excluded from every sample counter (``records_total``,
+#: ``unflushed_records``, ``samples_lost``), because losing one costs a
+#: full rule re-evaluation, never a sample.
+RECORD_CURSOR = 2
 
 
 def _pack_text(text: str) -> bytes:
@@ -112,6 +118,30 @@ def decode_payload(payload: bytes) -> Tuple[Labels, int, float]:
     return Labels(mapping), time_ns, value
 
 
+def encode_cursor_record(key: str, cursor_ns: int) -> bytes:
+    """One framed materialization-cursor record."""
+    payload = struct.pack("<B", RECORD_CURSOR) + _pack_text(key) + struct.pack(
+        "<q", cursor_ns
+    )
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_cursor_payload(payload: bytes) -> Tuple[str, int]:
+    """Parse a cursor payload back into (key, cursor_ns)."""
+    try:
+        (kind,) = struct.unpack_from("<B", payload, 0)
+        if kind != RECORD_CURSOR:
+            raise WalError(f"not a cursor record: kind {kind}")
+        (length,) = struct.unpack_from("<H", payload, 1)
+        if 3 + length + 8 != len(payload):
+            raise WalError("malformed cursor payload")
+        key = payload[3:3 + length].decode("utf-8")
+        (cursor_ns,) = struct.unpack_from("<q", payload, 3 + length)
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise WalError(f"malformed cursor payload: {exc}") from exc
+    return key, cursor_ns
+
+
 def segment_name(directory: str, seq: int) -> str:
     """Canonical segment file name for a sequence number."""
     return f"{directory}/segment-{seq:08d}.wal"
@@ -145,7 +175,10 @@ def _count_records(data: bytes, file_offset: int = 0) -> int:
     CRCs (a bit-flipped record that never became durable is still a lost
     sample).  ``file_offset`` is where ``data`` began in the segment file
     — a fresh segment's unsynced tail includes the header, which must be
-    skipped before the walk.
+    skipped before the walk.  Only *sample* frames count: cursor frames
+    are metadata whose loss destroys no data, so they are invisible to
+    loss accounting (the recovery side classifies by the same kind byte,
+    which keeps ``samples_lost`` exact).
     """
     pos = HEADER_SIZE - file_offset if file_offset < HEADER_SIZE else 0
     count = 0
@@ -155,7 +188,8 @@ def _count_records(data: bytes, file_offset: int = 0) -> int:
             break
         if pos + 8 + length > len(data):
             break
-        count += 1
+        if data[pos + 8] == RECORD_SAMPLE:
+            count += 1
         pos += 8 + length
     return count
 
@@ -185,11 +219,15 @@ class WalWriter:
         self.flush_every_records = flush_every_records
         self.segment_max_records = segment_max_records
         self.records_total = 0
+        self.cursor_records_total = 0
         self.flushes_total = 0
         self.checkpoints_total = 0
         self.segments_total = 0
         self.unflushed_records = 0
         self._segment_records = 0
+        #: Latest cursor per key; re-emitted into the fresh segment on
+        #: every checkpoint so truncation never drops cursor durability.
+        self._cursors: dict = {}
         # Continue the sequence past anything already on the medium so a
         # writer built after recovery never reuses a live number.
         last = max(
@@ -271,6 +309,24 @@ class WalWriter:
         if pending:
             self.disk.append(self._segment, b"".join(pending))
 
+    def append_cursor(self, key: str, cursor_ns: int) -> None:
+        """Write one materialization-cursor frame to the live segment.
+
+        Cursor frames are excluded from the sample counters and never
+        trigger a flush on their own: a cursor becomes durable with the
+        next flush, and a cursor lost to a crash only means the rule
+        falls back to a full evaluation — no data is at stake.
+        """
+        self.disk.append(self._segment, encode_cursor_record(key, cursor_ns))
+        self._cursors[key] = cursor_ns
+        self.cursor_records_total += 1
+        self._segment_records += 1
+
+    def record_cursors(self, cursors: dict) -> None:
+        """Seed and persist a cursor map (post-recovery re-arming)."""
+        for key in sorted(cursors):
+            self.append_cursor(key, cursors[key])
+
     def flush(self) -> None:
         """Make everything appended so far durable (``fsync``)."""
         if self.disk.synced_size(self._segment) == self.disk.size(self._segment):
@@ -299,6 +355,18 @@ class WalWriter:
             if other_seq is not None and other_seq < seq:
                 self.disk.delete(other)
         self._open_segment()
+        if self._cursors:
+            # The deleted segments carried the cursor frames; re-emit the
+            # current map into the fresh segment and make it durable so
+            # checkpoint truncation never rolls a cursor back.
+            frames = b"".join(
+                encode_cursor_record(key, self._cursors[key])
+                for key in sorted(self._cursors)
+            )
+            self.disk.append(self._segment, frames)
+            self.disk.sync(self._segment)
+            self.cursor_records_total += len(self._cursors)
+            self._segment_records += len(self._cursors)
         for other in self.disk.list_files(f"{self.directory}/segment-"):
             other_seq = _parse_seq(other)
             if other_seq is not None and other_seq < seq:
@@ -333,6 +401,13 @@ class RecoveryReport:
     samples_lost: int = 0
     #: Residual quarantined-record loss when no crash evidence was given.
     quarantine_only: bool = field(default=False, repr=False)
+    #: Cursor frames replayed (metadata; never in :attr:`samples_lost`).
+    cursor_records: int = 0
+    #: Cursor frames that failed CRC or parse — the rule falls back to a
+    #: full evaluation, so these are not data loss either.
+    cursor_records_quarantined: int = 0
+    #: Latest recovered materialization cursor per key.
+    cursors: dict = field(default_factory=dict)
 
 
 def recover(
@@ -423,10 +498,30 @@ def recover(
                 break
             payload = data[pos + 8:pos + 8 + length]
             pos += 8 + length
+            is_cursor = bool(payload) and payload[0] == RECORD_CURSOR
             if zlib.crc32(payload) != crc:
-                report.records_quarantined += 1
+                # Classify by the same kind byte the structural loss
+                # oracle reads, so quarantined cursors never leak into
+                # samples_lost.
+                if is_cursor:
+                    report.cursor_records_quarantined += 1
+                else:
+                    report.records_quarantined += 1
                 if plan is not None:
                     plan.record("wal-record-quarantined", f"{name}@{pos - 8 - length}")
+                continue
+            if is_cursor:
+                try:
+                    key, cursor_ns = decode_cursor_payload(payload)
+                except WalError:
+                    report.cursor_records_quarantined += 1
+                    if plan is not None:
+                        plan.record(
+                            "wal-record-quarantined", f"{name}@{pos - 8 - length}"
+                        )
+                    continue
+                report.cursor_records += 1
+                report.cursors[key] = cursor_ns
                 continue
             try:
                 labels, time_ns, value = decode_payload(payload)
@@ -493,6 +588,10 @@ class ShardedWal:
         return sum(w.records_total for w in self.writers)
 
     @property
+    def cursor_records_total(self) -> int:
+        return sum(w.cursor_records_total for w in self.writers)
+
+    @property
     def flushes_total(self) -> int:
         return sum(w.flushes_total for w in self.writers)
 
@@ -512,6 +611,14 @@ class ShardedWal:
     def unflushed_by_shard(self) -> List[int]:
         """Per-shard unflushed windows — the per-crash loss bound."""
         return [w.unflushed_records for w in self.writers]
+
+    def append_cursor(self, key: str, cursor_ns: int) -> None:
+        """Cursor frames live on shard 0 (they are not sample-routed)."""
+        self.writers[0].append_cursor(key, cursor_ns)
+
+    def record_cursors(self, cursors: dict) -> None:
+        """Seed and persist a cursor map on shard 0."""
+        self.writers[0].record_cursors(cursors)
 
     def flush(self) -> None:
         """Flush every shard's live segment."""
@@ -581,6 +688,29 @@ class ShardedRecoveryReport:
     def samples_lost_by_shard(self) -> List[int]:
         """Exact loss per shard — what the sharded soak test proves."""
         return [r.samples_lost for r in self.shards]
+
+    @property
+    def cursor_records(self) -> int:
+        return sum(r.cursor_records for r in self.shards)
+
+    @property
+    def cursor_records_quarantined(self) -> int:
+        return sum(r.cursor_records_quarantined for r in self.shards)
+
+    @property
+    def cursors(self) -> dict:
+        """Recovered cursors, newest per key across shards.
+
+        Cursor frames are written to shard 0 only, but merging
+        defensively (max per key) keeps the property correct even for
+        media written by a different shard layout.
+        """
+        merged: dict = {}
+        for report in self.shards:
+            for key, cursor_ns in report.cursors.items():
+                if key not in merged or cursor_ns > merged[key]:
+                    merged[key] = cursor_ns
+        return merged
 
 
 def recover_sharded(

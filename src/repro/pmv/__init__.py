@@ -8,6 +8,7 @@ dashboards — SGX, Docker, and infrastructure — which ship in
 (a ``$process`` template variable substituted into panel queries).
 """
 
+from repro.pmv.alert_view import render_alert_timeline
 from repro.pmv.dashboard import Dashboard, DashboardRow
 from repro.pmv.panels import (
     GaugePanel,
@@ -20,6 +21,7 @@ from repro.pmv.render import render_dashboard
 from repro.pmv.trace_view import render_flamegraph, render_waterfall
 
 __all__ = [
+    "render_alert_timeline",
     "render_waterfall",
     "render_flamegraph",
     "Panel",

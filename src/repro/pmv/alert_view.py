@@ -1,0 +1,93 @@
+"""Alert timeline rendering: journal lines to per-alert interval bars.
+
+The alerting engine's journal is a flat list of canonical
+``"{time_ns} alert-{kind} {labels} [detail]"`` lines; this view folds
+them into one bar per alert instance over a window::
+
+    TargetDown{instance=sgx-host,job=ebpf}
+      |····░░░░████████████████····························|  fired 1x
+
+Characters: ``·`` inactive, ``░`` pending, ``█`` firing.  Purely
+deterministic text over deterministic input — the same journal renders
+the same timeline, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+CHAR_INACTIVE = "·"   # ·
+CHAR_PENDING = "░"    # ░
+CHAR_FIRING = "█"     # █
+
+#: Journal kinds that affect an alert instance's state on the timeline.
+_STATE_KINDS = {
+    "alert-pending", "alert-firing", "alert-resolved",
+    "alert-expired", "alert-restored",
+}
+
+
+def _parse_state_lines(
+    lines: List[str],
+) -> Dict[str, List[Tuple[int, str]]]:
+    """``{labels: [(time_ns, kind), ...]}`` from raw journal lines."""
+    transitions: Dict[str, List[Tuple[int, str]]] = {}
+    for line in lines:
+        pieces = line.split(" ", 3)
+        if len(pieces) < 3:
+            continue
+        time_text, kind, subject = pieces[0], pieces[1], pieces[2]
+        if kind not in _STATE_KINDS:
+            continue
+        try:
+            time_ns = int(time_text)
+        except ValueError:
+            continue
+        if kind == "alert-restored":
+            # "alert-restored ... state=firing|pending" continues the
+            # pre-crash state rather than starting a new episode.
+            detail = pieces[3] if len(pieces) > 3 else ""
+            kind = (
+                "alert-firing" if "state=firing" in detail
+                else "alert-pending"
+            )
+        transitions.setdefault(subject, []).append((time_ns, kind))
+    return transitions
+
+
+def render_alert_timeline(
+    lines: List[str], start_ns: int, end_ns: int, width: int = 72
+) -> str:
+    """Render one timeline bar per alert instance over ``[start, end]``."""
+    if end_ns <= start_ns:
+        return "(empty window)"
+    bar_width = max(10, width - 4)
+    transitions = _parse_state_lines(lines)
+    if not transitions:
+        return "(no alert activity)"
+    span_ns = end_ns - start_ns
+    out: List[str] = []
+    for subject in sorted(transitions):
+        events = sorted(transitions[subject])
+        cells = []
+        fired = sum(1 for _, kind in events if kind == "alert-firing")
+        for cell in range(bar_width):
+            cell_ns = start_ns + (cell * span_ns) // bar_width
+            state = CHAR_INACTIVE
+            for time_ns, kind in events:
+                if time_ns > cell_ns:
+                    break
+                if kind == "alert-pending":
+                    state = CHAR_PENDING
+                elif kind == "alert-firing":
+                    state = CHAR_FIRING
+                else:  # resolved / expired
+                    state = CHAR_INACTIVE
+            cells.append(state)
+        out.append(subject)
+        out.append(f"  |{''.join(cells)}|  fired {fired}x")
+    legend = (
+        f"legend: {CHAR_INACTIVE} inactive  {CHAR_PENDING} pending  "
+        f"{CHAR_FIRING} firing"
+    )
+    return "\n".join(out + [legend])

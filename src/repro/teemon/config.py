@@ -107,6 +107,36 @@ class TeemonConfig:
     storage_executor_workers: int = field(
         default_factory=_default_storage_executor_workers
     )
+    #: Evaluate recording rules incrementally: each cycle evaluates only
+    #: what is new since the rule's cursor (persisted via WAL cursor
+    #: frames when the WAL is on), backfilling short outages and falling
+    #: back to full evaluation on wide gaps.  When no interval was
+    #: missed, the output stream is identical to the classic path.
+    incremental_rules: bool = True
+    #: Bound on missed rule intervals one cycle will backfill.
+    rule_backfill_max_steps: int = 8
+    #: Evaluate alerting rules and route notifications.  Off by default:
+    #: alerting-off must cost nothing.
+    enable_alerting: bool = False
+    #: Alerting rule-group cadence.
+    alert_eval_interval_s: float = 15.0
+    #: :class:`~repro.pmag.alerting.AlertingRule` specs to evaluate.
+    #: Empty with alerting on means the built-in TEEMon rule set
+    #: (target-down, EPC-eviction, syscall-storm).
+    alert_rules: Sequence[object] = ()
+    #: Routing tree root (:class:`~repro.pmag.alerting.Route`); ``None``
+    #: routes everything to a journal-only ``default`` receiver.
+    alert_route: Optional[object] = None
+    #: :class:`~repro.pmag.alerting.Receiver` destinations.
+    alert_receivers: Sequence[object] = ()
+    #: Pre-configured silences and inhibition rules.
+    alert_silences: Sequence[object] = ()
+    alert_inhibit_rules: Sequence[object] = ()
+    #: Webhook deliveries slower than this count as timeouts and retry.
+    alert_notify_timeout_s: float = 1.0
+    alert_notify_max_retries: int = 2
+    #: How far back restore looks for pre-crash alert state series.
+    alert_restore_tolerance_s: float = 3600.0
     #: Width of one storage block; compaction horizons and (with a block
     #: policy active) retention cuts align to multiples of it.
     block_range_s: float = 7200.0
@@ -161,6 +191,16 @@ class TeemonConfig:
             raise DeploymentError("checkpoint_every_s must be positive")
         if not self.wal_dir:
             raise DeploymentError("wal_dir must be a non-empty prefix")
+        if self.rule_backfill_max_steps < 1:
+            raise DeploymentError("rule_backfill_max_steps must be >= 1")
+        if self.alert_eval_interval_s <= 0:
+            raise DeploymentError("alert_eval_interval_s must be positive")
+        if self.alert_notify_timeout_s <= 0:
+            raise DeploymentError("alert_notify_timeout_s must be positive")
+        if self.alert_notify_max_retries < 0:
+            raise DeploymentError("alert retries cannot be negative")
+        if self.alert_restore_tolerance_s <= 0:
+            raise DeploymentError("alert_restore_tolerance_s must be positive")
         if self.storage_shards < 1:
             raise DeploymentError("storage_shards must be >= 1")
         if self.storage_executor_workers < 0:

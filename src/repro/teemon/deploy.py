@@ -43,6 +43,15 @@ from repro.exporters.teemon_self import (
 )
 from repro.net.http import HttpNetwork
 from repro.orchestration.container import ContainerImage, DockerRuntime
+from repro.pmag.alerting import (
+    AlertJournal,
+    AlertingRule,
+    Inhibitor,
+    NotificationRouter,
+    Receiver,
+    Route,
+    SilenceStore,
+)
 from repro.pmag.query.engine import QueryEngine
 from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
 from repro.pmag.scrape import SELF_IDENTITY, ScrapeManager, ScrapeTarget
@@ -82,6 +91,28 @@ def default_recording_rules() -> RuleGroup:
         RecordingRule("job:page_faults:rate1m",
                       "rate(ebpf_page_faults_total[1m])"),
     ])
+
+
+def default_alerting_rules() -> List[AlertingRule]:
+    """The built-in TEEMon alert set: target health plus the two enclave
+    anomaly signatures the fault catalog injects (EPC thrash, syscall
+    storms)."""
+    return [
+        AlertingRule(
+            "TargetDown", "up == 0", for_s=15.0,
+            labels={"severity": "critical"},
+        ),
+        AlertingRule(
+            "HighEpcEvictionRate",
+            "rate(sgx_epc_pages_evicted_total[1m]) > 50",
+            for_s=30.0, labels={"severity": "page"},
+        ),
+        AlertingRule(
+            "SyscallStorm",
+            "sum(rate(ebpf_syscalls_total[1m])) > 5000",
+            for_s=30.0, labels={"severity": "warning"},
+        ),
+    ]
 
 
 @dataclass
@@ -139,6 +170,12 @@ class TeemonDeployment:
             "samples_lost": 0,
         }
         self.last_recovery = None
+        #: Alerting substrate: the journal and silence store are operator
+        #: state, not monitor memory — both survive kill/resurrect, which
+        #: is what lets the chaos suite compare one journal across a
+        #: whole crash-recover run.
+        self.alert_journal = AlertJournal()
+        self.silence_store = SilenceStore(config.alert_silences)
 
         self._create_exporters()
         self._build_monitor()
@@ -223,6 +260,7 @@ class TeemonDeployment:
             )
         self.self_exporter: Optional[TeemonSelfExporter] = None
         if config.enable_self_telemetry:
+            rules_on = config.enable_recording_rules or config.enable_alerting
             self.self_exporter = TeemonSelfExporter(
                 kernel.hostname,
                 scrape_manager=self.scrape_manager,
@@ -232,6 +270,13 @@ class TeemonDeployment:
                     (lambda: self.recovery_stats) if config.enable_wal else None
                 ),
                 storage=lambda: self.tsdb.storage_stats(),
+                rules=(
+                    (lambda: self.rule_evaluator.stats()) if rules_on else None
+                ),
+                alerting=(
+                    (lambda: self.alerting_stats())
+                    if config.enable_alerting else None
+                ),
             )
             self.self_exporter.expose(self.network)
             self.scrape_manager.add_target(ScrapeTarget(
@@ -239,11 +284,43 @@ class TeemonDeployment:
                 url=self.self_exporter.url,
             ))
         self.engine = QueryEngine(self.tsdb, tracer=self.tracer)
+        # Alerting: cloned per build so a resurrected monitor starts from
+        # explicitly restored state, never leftover in-memory state.
+        self.notification_router: Optional[NotificationRouter] = None
+        self.alert_rules: List[AlertingRule] = []
+        alert_sink = None
+        if config.enable_alerting:
+            receivers = list(config.alert_receivers)
+            route = config.alert_route
+            if route is None:
+                if not receivers:
+                    receivers = [Receiver("default")]
+                route = Route(receiver=receivers[0].name)
+            self.notification_router = NotificationRouter(
+                kernel.clock, self.network, route, receivers,
+                rng=kernel.rng, journal=self.alert_journal,
+                silences=self.silence_store,
+                inhibitor=Inhibitor(list(config.alert_inhibit_rules)),
+                timeout_s=config.alert_notify_timeout_s,
+                max_retries=config.alert_notify_max_retries,
+            )
+            alert_sink = self.notification_router.handle
+            specs = list(config.alert_rules) or default_alerting_rules()
+            self.alert_rules = [rule.clone() for rule in specs]
         self.rule_evaluator = RuleEvaluator(
-            kernel.clock, self.engine, self.tsdb, tracer=self.tracer
+            kernel.clock, self.engine, self.tsdb, tracer=self.tracer,
+            incremental=config.incremental_rules,
+            wal=self.wal,
+            alert_sink=alert_sink,
+            max_backfill_steps=config.rule_backfill_max_steps,
         )
         if config.enable_recording_rules:
             self.rule_evaluator.add_group(default_recording_rules())
+        if config.enable_alerting:
+            self.rule_evaluator.add_group(RuleGroup(
+                "teemon-alerts", self.alert_rules,
+                interval_ns=int(config.alert_eval_interval_s * NANOS_PER_SEC),
+            ))
         rules = default_sgx_rules() + list(config.extra_rules)
         self.analyzer = PmanAnalyzer(
             kernel.clock, self.engine, rules=rules,
@@ -313,7 +390,7 @@ class TeemonDeployment:
             raise DeploymentError("deployment crashed; resurrect() it first")
         self.scrape_manager.start()
         self.analyzer.start()
-        if self.config.enable_recording_rules:
+        if self._rules_active():
             self.rule_evaluator.start()
         self._running = True
         self._schedule_service_accounting()
@@ -327,12 +404,37 @@ class TeemonDeployment:
             raise DeploymentError("deployment not running")
         self.scrape_manager.stop()
         self.analyzer.stop()
-        if self.config.enable_recording_rules:
+        if self._rules_active():
             self.rule_evaluator.stop()
+        if self.notification_router is not None:
+            self.notification_router.stop()
         self._running = False
         self._cancel_maintenance_timers()
         if self.wal is not None:
             self.wal.flush()
+
+    def _rules_active(self) -> bool:
+        """Whether the rule evaluator runs (recording rules or alerting)."""
+        return (self.config.enable_recording_rules
+                or self.config.enable_alerting)
+
+    def alerting_stats(self) -> Dict[str, object]:
+        """Alert-state and notification counters for the self-exporter."""
+        firing = pending = 0
+        for rule in self.alert_rules:
+            for instance in rule.active():
+                if instance.state == "firing":
+                    firing += 1
+                else:
+                    pending += 1
+        notifications = {}
+        if self.notification_router is not None:
+            notifications = dict(self.notification_router.counters)
+        return {
+            "firing": firing,
+            "pending": pending,
+            "notifications": notifications,
+        }
 
     def _cancel_maintenance_timers(self) -> None:
         for attr in ("_accounting_timer", "_wal_flush_timer",
@@ -359,8 +461,10 @@ class TeemonDeployment:
             raise DeploymentError("cannot kill a deployment that is not running")
         self.scrape_manager.stop()
         self.analyzer.stop()
-        if self.config.enable_recording_rules:
+        if self._rules_active():
             self.rule_evaluator.stop()
+        if self.notification_router is not None:
+            self.notification_router.stop()
         self._running = False
         self._cancel_maintenance_timers()
         self.crashed = True
@@ -399,6 +503,25 @@ class TeemonDeployment:
         self.crashed = False
         self._build_monitor(tsdb=tsdb)
         self._seed_scrape_state()
+        cursors = dict(getattr(report, "cursors", None) or {})
+        if cursors:
+            # Resume incremental materialization where the dead monitor
+            # stopped: no re-recording of already-recorded panel steps,
+            # and the cursors go back onto the fresh WAL so the *next*
+            # crash resumes too.
+            self.rule_evaluator.seed_cursors(cursors)
+            if self.wal is not None:
+                self.wal.record_cursors(cursors)
+        if self.config.enable_alerting:
+            now_ns = self.kernel.clock.now_ns
+            tolerance_ns = int(
+                self.config.alert_restore_tolerance_s * NANOS_PER_SEC
+            )
+            restored = []
+            for rule in self.alert_rules:
+                restored.extend(rule.restore(self.tsdb, now_ns, tolerance_ns))
+            if restored and self.notification_router is not None:
+                self.notification_router.restore_active(restored, now_ns)
         if self.wal is not None:
             # The recovery checkpoint: replayed segments are truncated and
             # the recovered state itself becomes the new durable baseline.

@@ -144,6 +144,62 @@ class MonitoringSession:
         return render_flamegraph(self.trace(trace_id))
 
     # ------------------------------------------------------------------
+    # Alerting engine (pending->firing state machine + notifications)
+    # ------------------------------------------------------------------
+    def _require_alerting(self) -> "TeemonDeployment":
+        if not self._deployment.config.enable_alerting:
+            raise DeploymentError(
+                "alerting is disabled; deploy with "
+                "TeemonConfig(enable_alerting=True)"
+            )
+        return self._deployment
+
+    def alerts(self):
+        """Every active alert instance (pending and firing)."""
+        deployment = self._require_alerting()
+        instances = []
+        for rule in deployment.alert_rules:
+            instances.extend(rule.active())
+        return instances
+
+    def firing_alerts(self):
+        """Alert instances currently in the firing state."""
+        deployment = self._require_alerting()
+        instances = []
+        for rule in deployment.alert_rules:
+            instances.extend(rule.firing())
+        return instances
+
+    def alert_journal(self) -> List[str]:
+        """The deployment's canonical alerting journal lines."""
+        self._require_alerting()
+        return self._deployment.alert_journal.lines()
+
+    def notification_stats(self) -> Dict[str, object]:
+        """The notification router's per-receiver outcome counters."""
+        deployment = self._require_alerting()
+        return deployment.notification_router.stats()
+
+    def rule_stats(self) -> Dict[str, object]:
+        """Rule-engine statistics (eval time, conflicts, backfill)."""
+        return self._deployment.rule_evaluator.stats()
+
+    def render_alert_timeline(self, window_s: Optional[float] = None,
+                              width: int = 72) -> str:
+        """Per-alert timeline bars over the journal (the pmv alert view)."""
+        deployment = self._require_alerting()
+        from repro.pmv.alert_view import render_alert_timeline
+
+        end_ns = self.now_ns
+        start_ns = (
+            0 if window_s is None
+            else max(0, end_ns - int(window_s * NANOS_PER_SEC))
+        )
+        return render_alert_timeline(
+            deployment.alert_journal.lines(), start_ns, end_ns, width=width
+        )
+
+    # ------------------------------------------------------------------
     # Alerts and dashboards
     # ------------------------------------------------------------------
     def active_alerts(self) -> List[Alert]:

@@ -20,6 +20,8 @@ CASES = [
     ("kubernetes_cluster_monitoring.py",
      ["scrape targets discovered", "after worker-4 joined"]),
     ("sev_vm_monitoring.py", ["active guests", "SevAsidPoolLow"]),
+    ("slo_burn_rate_alerts.py",
+     ["firing during burn", "all resolved", "legend"]),
 ]
 
 

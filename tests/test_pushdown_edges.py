@@ -1,0 +1,176 @@
+"""Pushdown edge regressions: misaligned windows and empty shards.
+
+Two corners the original pushdown suite never exercised:
+
+* misaligned query bounds over compacted shards — the per-window raw
+  fallback inside the partial fold — must still *count* as pushdown
+  reads (the counter is the proof the partial path served the query,
+  fallback included) and still equal full-merge evaluation;
+* a shard contributing zero series for an aggregation group (or zero
+  series at all) must leave the merged partials identical to the
+  monolith — absent series are "no samples", never zeros.
+"""
+
+from repro.pmag.blocks import BlockPolicy
+from repro.pmag.model import Labels
+from repro.pmag.query.engine import QueryEngine
+from repro.pmag.storage import ShardedTsdb, build_storage_engine, shard_for
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import seconds
+from repro.simkernel.kernel import Kernel
+from repro.sgx.driver import SgxDriver
+from repro.teemon import TeemonConfig, deploy
+
+_POLICY = BlockPolicy(
+    block_range_ns=seconds(600),
+    downsample_after_ns=seconds(600),
+    resolution_ns=seconds(60),
+)
+
+_QUERY = "sum by (idx) (sum_over_time(signal[10m]))"
+
+
+def _ingest_hour(engine, series_count=3):
+    for series in range(series_count):
+        for step in range(360):
+            engine.append_sample(
+                "signal", (step + 1) * seconds(10),
+                float((step * 7 + series * 13) % 1000), idx=str(series),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Misaligned windows: fallback inside the fold still counts as pushdown
+# ---------------------------------------------------------------------------
+def test_misaligned_fallback_bumps_pushdown_counter_once_per_query():
+    sharded = build_storage_engine(4, block_policy=_POLICY)
+    mono = Tsdb(block_policy=_POLICY)
+    _ingest_hour(sharded)
+    _ingest_hour(mono)
+    now_ns = seconds(3600)
+    assert sharded.compact(now_ns) > 0
+    assert mono.compact(now_ns) > 0
+    engine, mono_engine = QueryEngine(sharded), QueryEngine(mono)
+
+    # Bounds off the 60s rollup grid: every window inside the fold takes
+    # the raw fallback, yet the query as a whole is still served by the
+    # partial path — one pushdown read, not zero.
+    misaligned = (seconds(610) + 1, now_ns - seconds(10) - 1)
+    before = sharded.storage_stats()["pushdown_reads_total"]
+    result = engine.range_query(_QUERY, *misaligned, seconds(300))
+    assert result == mono_engine.range_query(_QUERY, *misaligned,
+                                             seconds(300))
+    assert sharded.storage_stats()["pushdown_reads_total"] == before + 1
+    # The monolith reference never pushes down: its counter stays zero.
+    assert mono.storage_stats()["pushdown_reads_total"] == 0
+
+
+def test_mixed_aligned_and_misaligned_queries_count_independently():
+    sharded = build_storage_engine(4, block_policy=_POLICY)
+    _ingest_hour(sharded)
+    now_ns = seconds(3600)
+    sharded.compact(now_ns)
+    engine = QueryEngine(sharded)
+    engine.range_query(_QUERY, seconds(600), now_ns, seconds(300))
+    engine.range_query(_QUERY, seconds(601), now_ns - 1, seconds(300))
+    # Ineligible shape between them must not count.
+    engine.range_query("sum by (idx) (rate(signal[10m]))",
+                       seconds(600), now_ns, seconds(300))
+    assert sharded.storage_stats()["pushdown_reads_total"] == 2
+
+
+def test_misaligned_fallback_count_reaches_the_self_exposition():
+    kernel = Kernel(seed=23, hostname="edge-host")
+    kernel.load_module(SgxDriver())
+    deployment = deploy(kernel, TeemonConfig(
+        scrape_interval_s=5.0, storage_shards=4,
+        enable_recording_rules=False,
+    ))
+    kernel.clock.advance(seconds(60))
+    session = deployment.session
+    base = session.query("teemon_storage_pushdown_reads_total")[0][1]
+    # One aligned, one misaligned — both served by the partial path.
+    session.query_range("sum(sum_over_time(up[1m]))", 30.0, 15.0)
+    end_ns = kernel.clock.now_ns
+    deployment.engine.range_query(
+        "sum(sum_over_time(up[1m]))", seconds(7) + 1, end_ns - 1, seconds(15)
+    )
+    kernel.clock.advance(seconds(10))  # next self-scrape publishes them
+    after = session.query("teemon_storage_pushdown_reads_total")[0][1]
+    assert after == base + 2.0
+    deployment.stop()
+
+
+# ---------------------------------------------------------------------------
+# Empty shards: zero series for a group is "absent", not zero
+# ---------------------------------------------------------------------------
+def test_single_series_leaves_other_shards_empty_and_matches():
+    shards = 4
+    mono, sharded = Tsdb(), ShardedTsdb(shards)
+    labels = Labels.of("signal", idx="0")
+    home = shard_for(labels, shards)
+    for step in range(20):
+        for db in (mono, sharded):
+            db.append_sample("signal", (step + 1) * seconds(10),
+                             float(step), idx="0")
+    # The premise holds: every other shard has zero series.
+    assert sharded.shard(home).series_count() == 1
+    assert all(
+        sharded.shard(k).series_count() == 0
+        for k in range(shards) if k != home
+    )
+    engine, mono_engine = QueryEngine(sharded), QueryEngine(mono)
+    for query in (
+        "sum(sum_over_time(signal[1m]))",
+        "count by (idx) (count_over_time(signal[1m]))",
+        "min(min_over_time(signal[2m]))",
+    ):
+        assert (engine.range_query(query, seconds(60), seconds(200),
+                                   seconds(15))
+                == mono_engine.range_query(query, seconds(60), seconds(200),
+                                           seconds(15))), query
+    assert sharded.storage_stats()["pushdown_reads_total"] == 3
+
+
+def test_group_confined_to_one_shard_merges_exactly():
+    # Several groups, each with every member series on one shard — the
+    # cross-shard merge sees (partial, nothing, nothing, ...) per group
+    # and must not invent cells for the silent shards.
+    shards = 4
+    mono, sharded = Tsdb(), ShardedTsdb(shards)
+    for idx in range(8):
+        for step in range(30):
+            for db in (mono, sharded):
+                db.append_sample(
+                    "signal", (step + 1) * seconds(10),
+                    float((step * 3 + idx) % 50), idx=str(idx),
+                )
+    by_shard = {
+        shard_for(Labels.of("signal", idx=str(idx)), shards)
+        for idx in range(8)
+    }
+    assert len(by_shard) > 1  # the series really spread out
+    engine, mono_engine = QueryEngine(sharded), QueryEngine(mono)
+    query = "max by (idx) (max_over_time(signal[1m]))"
+    assert (engine.range_query(query, seconds(60), seconds(290), seconds(15))
+            == mono_engine.range_query(query, seconds(60), seconds(290),
+                                       seconds(15)))
+
+
+def test_empty_window_prefix_matches_full_merge():
+    # Query range extending before the first sample: early windows have
+    # zero samples on *every* shard.  Steps with no samples anywhere
+    # must be absent from the output, exactly as in full-merge.
+    mono, sharded = Tsdb(), ShardedTsdb(3)
+    for step in range(10):
+        for db in (mono, sharded):
+            db.append_sample("signal", seconds(300) + step * seconds(10),
+                             float(step), idx="0")
+    engine, mono_engine = QueryEngine(sharded), QueryEngine(mono)
+    query = "sum(sum_over_time(signal[30s]))"
+    result = engine.range_query(query, seconds(15), seconds(420), seconds(15))
+    assert result == mono_engine.range_query(
+        query, seconds(15), seconds(420), seconds(15)
+    )
+    first_time = result[0].samples[0].time_ns if result else None
+    assert first_time is None or first_time >= seconds(300)
