@@ -1,25 +1,33 @@
-"""Tracing-overhead benchmark: the pipeline with tracing off vs on.
+"""Tracing-overhead benchmark: the pipeline with tracing off, on, sampled.
 
 Measures the same full scrape → rule-evaluation → render cycle as
 ``bench_pipeline``'s ``scrape_cycle``, three ways:
 
-* ``off``  — tracing disabled (the default): every instrumented call site
-  goes through the no-op tracer.  This is the number that must not
+* ``off``     — tracing disabled (the default): every instrumented call
+  site goes through the no-op tracer.  This is the number that must not
   regress: the instrumentation's whole budget when disabled is a few
   ``enabled`` checks and no-op context managers;
-* ``on``   — tracing enabled with the default bounded store;
-* ``overhead_ratio`` — ``on / off``.
+* ``on``      — tracing enabled with the default bounded store, every
+  trace recorded (the debugging configuration);
+* ``sampled`` — the always-on production configuration: head sampling at
+  10% plus tail keep rules.  Sampled-out traces take the shared
+  unsampled-span fast path, so most cycles pay almost nothing.
 
-With ``--baseline BENCH_pipeline.json`` the script compares the
-tracing-off cycle time against the baseline report's
-``scrape_cycle.cycle_ms`` and exits non-zero if it regressed more than
-``--max-regression`` (default 5%) — the CI gate that keeps tracing free
-when nobody asked for it.
+Two gates:
+
+* ``sampled_overhead_ratio <= --max-sampled-overhead`` (default 1.2) is
+  **always on** — the PR's acceptance bar that sampled tracing is cheap
+  enough to leave enabled in production;
+* with ``--baseline BENCH_pipeline.json`` the tracing-off cycle time is
+  additionally compared against the baseline report's
+  ``scrape_cycle.cycle_ms`` and the script exits non-zero if it
+  regressed more than ``--max-regression`` (default 5%) — the CI gate
+  that keeps tracing free when nobody asked for it.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf.bench_trace [--quick]
-        [--output BENCH_trace.json]
+        [--output BENCH_trace.json] [--max-sampled-overhead 1.2]
         [--baseline BENCH_pipeline.json] [--max-regression 0.05]
 """
 
@@ -38,11 +46,11 @@ from repro.teemon import TeemonConfig, deploy
 SCHEMA = "teemon.bench.trace/1"
 
 
-def time_cycles(enable_tracing: bool, cycles: int, repeats: int) -> float:
+def time_cycles(cycles: int, repeats: int, **config_kwargs) -> float:
     """Best wall-clock seconds for ``cycles`` full pipeline cycles."""
     kernel, _driver = make_sgx_host(seed=7)
     deployment = deploy(
-        kernel, TeemonConfig(enable_tracing=enable_tracing), start=False
+        kernel, TeemonConfig(**config_kwargs), start=False
     )
     session = deployment.session
 
@@ -59,20 +67,39 @@ def time_cycles(enable_tracing: bool, cycles: int, repeats: int) -> float:
 
 
 def run_suite(quick: bool) -> BenchReport:
-    """Measure the cycle with tracing off and on."""
+    """Measure the cycle with tracing off, fully on, and sampled."""
     report = BenchReport(quick=quick)
     cycles = 5 if quick else 25
     repeats = 1 if quick else 3
-    off_s = time_cycles(False, cycles, repeats)
-    on_s = time_cycles(True, cycles, repeats)
+    off_s = time_cycles(cycles, repeats, enable_tracing=False)
+    on_s = time_cycles(cycles, repeats, enable_tracing=True)
+    sampled_s = time_cycles(
+        cycles, repeats,
+        enable_tracing=True,
+        trace_sampling_probability=0.1,
+        trace_tail_sampling=True,
+    )
     report.add(
         "trace_overhead",
         off_ms=off_s * 1e3,
         on_ms=on_s * 1e3,
+        sampled_ms=sampled_s * 1e3,
         overhead_ratio=on_s / off_s,
+        sampled_overhead_ratio=sampled_s / off_s,
         cycles=cycles,
     )
     return report
+
+
+def check_sampled_gate(report: BenchReport, limit: float) -> int:
+    """Always-on gate: sampled tracing must stay within ``limit`` of off."""
+    ratio = report.results[0].metrics["sampled_overhead_ratio"]
+    verdict = "OK" if ratio <= limit else "TOO SLOW"
+    print(
+        f"sampled tracing overhead: x{ratio:.3f} vs tracing off "
+        f"(limit x{limit:.3f}) {verdict}"
+    )
+    return 0 if ratio <= limit else 1
 
 
 def check_baseline(report: BenchReport, baseline_path: str,
@@ -102,6 +129,8 @@ def main(argv=None) -> int:
                         help="BENCH_pipeline.json to gate the off-path against")
     parser.add_argument("--max-regression", type=float, default=0.05,
                         help="allowed tracing-off regression vs baseline")
+    parser.add_argument("--max-sampled-overhead", type=float, default=1.2,
+                        help="allowed sampled-tracing overhead vs tracing off")
     args = parser.parse_args(argv)
     report = run_suite(quick=args.quick)
     payload = report.to_payload()
@@ -111,9 +140,13 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(report.render())
     print(f"\nwrote {args.output}")
+    status = check_sampled_gate(report, args.max_sampled_overhead)
     if args.baseline:
-        return check_baseline(report, args.baseline, args.max_regression)
-    return 0
+        status = max(
+            status,
+            check_baseline(report, args.baseline, args.max_regression),
+        )
+    return status
 
 
 if __name__ == "__main__":

@@ -62,7 +62,7 @@ class TeemonSelfExporter:
 
     def __init__(self, hostname: str, scrape_manager=None, tracer=None,
                  wal=None, recovery_stats=None, storage=None,
-                 rules=None, alerting=None) -> None:
+                 rules=None, alerting=None, span_metrics: bool = True) -> None:
         self.hostname = hostname
         self.registry = CollectorRegistry()
         self._tracer = tracer
@@ -91,14 +91,53 @@ class TeemonSelfExporter:
                 "teemon_trace_traces_total",
                 "Traces started by the pipeline tracer",
             )
-            self._span_duration = self.registry.histogram(
-                "teemon_span_duration_seconds",
-                "Span durations in virtual time, by span name",
-                label_names=("span",),
-                buckets=SPAN_DURATION_BUCKETS,
+            self._traces_sampled_out = self.registry.counter(
+                "teemon_trace_traces_sampled_out_total",
+                "Traces dropped at the root by the head sampler",
             )
+            self._spans_unsampled = self.registry.counter(
+                "teemon_trace_spans_unsampled_total",
+                "Span requests served by the unsampled fast path",
+            )
+            self._trace_spans_stored = self.registry.counter(
+                "teemon_trace_spans_stored_total",
+                "Spans accepted into the trace store",
+            )
+            self._traces_evicted = self.registry.counter(
+                "teemon_trace_traces_evicted_total",
+                "Whole traces FIFO-evicted past the store's capacity",
+            )
+            self._traces_kept = self.registry.counter(
+                "teemon_trace_traces_kept_total",
+                "Completed traces the tail keep rules promoted",
+            )
+            self._traces_dropped = self.registry.counter(
+                "teemon_trace_traces_dropped_total",
+                "Completed traces the tail keep rules discarded",
+            )
+            self._trace_spans_dropped = self.registry.counter(
+                "teemon_trace_spans_dropped_total",
+                "Spans discarded with tail-dropped traces",
+            )
+            self._trace_pending = self.registry.gauge(
+                "teemon_trace_pending_traces",
+                "Traces buffered awaiting a tail-sampling verdict",
+            )
+            self._span_duration = None
+            if span_metrics:
+                # The per-span-name duration histogram is the expensive
+                # part of trace self-telemetry: ~10 bucket series per
+                # span name, encoded, scraped, parsed, and ingested every
+                # cycle.  Deployments that head-sample leave it off by
+                # default — a 10% sample skews duration quantiles anyway.
+                self._span_duration = self.registry.histogram(
+                    "teemon_span_duration_seconds",
+                    "Span durations in virtual time, by span name",
+                    label_names=("span",),
+                    buckets=SPAN_DURATION_BUCKETS,
+                )
+                tracer.on_span_end(self._observe_span)
             self.registry.on_collect(self._sync_tracer_counters)
-            tracer.on_span_end(self._observe_span)
         if wal is not None:
             # Durability telemetry: live views over the WAL writer.  The
             # counters reset on a restart (a fresh writer per process
@@ -312,9 +351,25 @@ class TeemonSelfExporter:
         self._recovery_samples_lost.labels().set_to(float(stats["samples_lost"]))
 
     def _sync_tracer_counters(self) -> None:
-        self._spans_started.labels().set_to(float(self._tracer.spans_started))
-        self._spans_ended.labels().set_to(float(self._tracer.spans_ended))
-        self._traces_started.labels().set_to(float(self._tracer.traces_started))
+        tracer = self._tracer
+        self._spans_started.labels().set_to(float(tracer.spans_started))
+        self._spans_ended.labels().set_to(float(tracer.spans_ended))
+        self._traces_started.labels().set_to(float(tracer.traces_started))
+        self._traces_sampled_out.labels().set_to(
+            float(getattr(tracer, "traces_sampled_out", 0))
+        )
+        self._spans_unsampled.labels().set_to(
+            float(getattr(tracer, "spans_unsampled", 0))
+        )
+        store = getattr(tracer, "store", None)
+        if store is None:
+            return
+        self._trace_spans_stored.labels().set_to(float(store.spans_stored))
+        self._traces_evicted.labels().set_to(float(store.traces_evicted))
+        self._traces_kept.labels().set_to(float(store.traces_kept))
+        self._traces_dropped.labels().set_to(float(store.traces_dropped))
+        self._trace_spans_dropped.labels().set_to(float(store.spans_dropped))
+        self._trace_pending.labels().set_to(float(store.pending_count()))
 
     def _observe_span(self, span) -> None:
         duration_s = span.duration_ns / NANOS_PER_SEC

@@ -33,6 +33,7 @@ _METRIC_MAP = (
     ("sgx_epc_pages_evicted_total", "sgx_nr_evicted", "EPC pages evicted to main memory (EWB)", True),
     ("sgx_epc_pages_added_total", "sgx_nr_added_pages", "Pages added to enclaves (EADD/EAUG)", True),
     ("sgx_epc_pages_reclaimed_total", "sgx_nr_reclaimed", "Pages reclaimed from main memory (ELD)", True),
+    ("sgx_aexs_total", "sgx_nr_aexs", "Asynchronous enclave exits since driver load", True),
 )
 
 

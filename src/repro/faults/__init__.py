@@ -29,8 +29,20 @@ from repro.faults.injectors import (
 )
 from repro.faults.network import FaultyHttpNetwork
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.scenarios import (
+    AexStormScenario,
+    Burst,
+    EpcThrashScenario,
+    SyscallLatencyScenario,
+    WorkloadScenario,
+)
 
 __all__ = [
+    "AexStormScenario",
+    "Burst",
+    "EpcThrashScenario",
+    "SyscallLatencyScenario",
+    "WorkloadScenario",
     "CORRUPTION_MARKER",
     "ClockSkewInjector",
     "CorruptionInjector",

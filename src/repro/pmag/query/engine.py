@@ -546,6 +546,10 @@ class QueryEngine:
 
     def _parse_traced(self, query: str):
         """Parse under a ``query.parse`` span recording the cache outcome."""
+        if not self._tracer.recording():
+            # Inside an unsampled subtree: the span would discard
+            # everything, so skip the bookkeeping entirely.
+            return self.parse(query)
         hits_before = self._plan_cache.hits
         with self._tracer.span("query.parse", {"query": query}) as span:
             plan = self.parse(query)
@@ -557,7 +561,7 @@ class QueryEngine:
 
     def instant(self, query: str, time_ns: int) -> InstantVector:
         """Evaluate at one instant; scalars become a single unlabelled entry."""
-        if not self._tracer.enabled:
+        if not self._tracer.enabled or not self._tracer.recording():
             value = self._eval(self.parse(query), time_ns)
             if isinstance(value, float):
                 return [(Labels({}), value)]
@@ -568,10 +572,11 @@ class QueryEngine:
                 value = self._eval(expr, time_ns)
                 if isinstance(value, float):
                     value = [(Labels({}), value)]
-                eval_span.set_attribute("series", len(value))
-                eval_span.add_virtual_time(
-                    EVAL_NS_PER_SERIES * max(1, len(value))
-                )
+                if eval_span.recording:
+                    eval_span.set_attribute("series", len(value))
+                    eval_span.add_virtual_time(
+                        EVAL_NS_PER_SERIES * max(1, len(value))
+                    )
             return value
 
     def instant_plan(self, plan: Expr, time_ns: int) -> InstantVector:
@@ -582,7 +587,7 @@ class QueryEngine:
         plan-cache lookup on the per-cycle hot path; the result is
         identical to ``instant(query, time_ns)`` for the plan's query.
         """
-        if not self._tracer.enabled:
+        if not self._tracer.enabled or not self._tracer.recording():
             value = self._eval(plan, time_ns)
             if isinstance(value, float):
                 return [(Labels({}), value)]
@@ -592,10 +597,11 @@ class QueryEngine:
                 value = self._eval(plan, time_ns)
                 if isinstance(value, float):
                     value = [(Labels({}), value)]
-                eval_span.set_attribute("series", len(value))
-                eval_span.add_virtual_time(
-                    EVAL_NS_PER_SERIES * max(1, len(value))
-                )
+                if eval_span.recording:
+                    eval_span.set_attribute("series", len(value))
+                    eval_span.add_virtual_time(
+                        EVAL_NS_PER_SERIES * max(1, len(value))
+                    )
             return value
 
     def scalar(self, query: str, time_ns: int) -> float:
@@ -615,7 +621,7 @@ class QueryEngine:
         Every selector in the expression is bulk-selected once over the
         whole range (plus its trailing window), then sliced per step.
         """
-        if not self._tracer.enabled:
+        if not self._tracer.enabled or not self._tracer.recording():
             expr = self._check_range(query, start_ns, end_ns, step_ns)
             plan = self._pushdown_plan(expr)
             if plan is not None:
@@ -646,12 +652,13 @@ class QueryEngine:
                     result = self._pushdown_eval(
                         plan, start_ns, end_ns, step_ns
                     )
-                    eval_span.set_attribute("series", len(result))
-                    eval_span.set_attribute("pushdown", True)
-                    steps = (end_ns - start_ns) // step_ns + 1
-                    eval_span.add_virtual_time(
-                        EVAL_NS_PER_SERIES * max(1, len(result)) * steps
-                    )
+                    if eval_span.recording:
+                        eval_span.set_attribute("series", len(result))
+                        eval_span.set_attribute("pushdown", True)
+                        steps = (end_ns - start_ns) // step_ns + 1
+                        eval_span.add_virtual_time(
+                            EVAL_NS_PER_SERIES * max(1, len(result)) * steps
+                        )
                 return result
             windows = {}
             _collect_selector_windows(expr, self._lookback_ns, windows)
@@ -662,19 +669,23 @@ class QueryEngine:
                 self._rollup_sel = self._rollup_select(
                     windows, start_ns, end_ns, step_ns
                 )
-                series = sum(
-                    len(b._series) for b in self._bulk.values()
-                )
-                select_span.set_attribute("series", series)
-                select_span.add_virtual_time(EVAL_NS_PER_SERIES * max(1, series))
+                if select_span.recording:
+                    series = sum(
+                        len(b._series) for b in self._bulk.values()
+                    )
+                    select_span.set_attribute("series", series)
+                    select_span.add_virtual_time(
+                        EVAL_NS_PER_SERIES * max(1, series)
+                    )
             try:
                 with self._tracer.span("query.eval") as eval_span:
                     result = self._evaluate_steps(expr, start_ns, end_ns, step_ns)
-                    eval_span.set_attribute("series", len(result))
-                    steps = (end_ns - start_ns) // step_ns + 1
-                    eval_span.add_virtual_time(
-                        EVAL_NS_PER_SERIES * max(1, len(result)) * steps
-                    )
+                    if eval_span.recording:
+                        eval_span.set_attribute("series", len(result))
+                        steps = (end_ns - start_ns) // step_ns + 1
+                        eval_span.add_virtual_time(
+                            EVAL_NS_PER_SERIES * max(1, len(result)) * steps
+                        )
                 return result
             finally:
                 self._bulk = None

@@ -1,0 +1,61 @@
+"""Anomaly timeline rendering: detector journal to per-kind bars.
+
+The anomaly detector's journal is a flat list of
+:class:`~repro.trace.detect.AnomalyEvent` records; this view folds them
+into one bar per anomaly kind over a window::
+
+    epc-thrash
+      |····················█···············█··················|  2 hits  peak 4096.00
+
+Characters: ``·`` quiet, ``█`` a flagged detection window.  Purely
+deterministic text over deterministic input — the same journal renders
+the same timeline, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trace.detect import AnomalyEvent
+
+CHAR_QUIET = "·"   # ·
+CHAR_HIT = "█"     # █
+
+
+def render_anomaly_timeline(
+    events: Sequence[AnomalyEvent], start_ns: int, end_ns: int,
+    width: int = 72,
+) -> str:
+    """Render one timeline bar per anomaly kind over ``[start, end]``."""
+    if end_ns <= start_ns:
+        return "(empty window)"
+    bar_width = max(10, width - 4)
+    by_kind: Dict[str, List[Tuple[int, float]]] = {}
+    for event in events:
+        by_kind.setdefault(event.kind, []).append(
+            (event.time_ns, event.value)
+        )
+    if not by_kind:
+        return "(no anomalies detected)"
+    span_ns = end_ns - start_ns
+    out: List[str] = []
+    for kind in sorted(by_kind):
+        hits = by_kind[kind]
+        cells = [CHAR_QUIET] * bar_width
+        in_window = 0
+        peak = 0.0
+        for time_ns, value in hits:
+            if time_ns < start_ns or time_ns > end_ns:
+                continue
+            in_window += 1
+            peak = max(peak, value)
+            cell = min(
+                bar_width - 1, ((time_ns - start_ns) * bar_width) // span_ns
+            )
+            cells[cell] = CHAR_HIT
+        out.append(kind)
+        out.append(
+            f"  |{''.join(cells)}|  {in_window} hits  peak {peak:.2f}"
+        )
+    legend = f"legend: {CHAR_QUIET} quiet  {CHAR_HIT} anomaly flagged"
+    return "\n".join(out + [legend])

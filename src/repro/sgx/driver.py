@@ -130,6 +130,11 @@ class SgxDriver(KernelModule):
             "sgx_nr_enclaves": lambda: str(self.active_enclaves),
             "sgx_init_enclaves": lambda: str(self.enclaves_initialized),
             "sgx_nr_removed_enclaves": lambda: str(self.enclaves_removed),
+            # Removed enclaves stay in the table, so this is cumulative
+            # since driver load — counter semantics for the exporter.
+            "sgx_nr_aexs": lambda: str(
+                sum(e.stats.aexs for e in self._enclaves.values())
+            ),
         }
         for param, render in params.items():
             kernel.vfs.publish(f"{PARAMS_DIR}/{param}", render)

@@ -40,6 +40,18 @@ def _default_storage_executor_workers() -> int:
     return 4 if _profile() == "sharded-executor" else 0
 
 
+def _default_enable_tracing() -> bool:
+    return _profile() == "traced"
+
+
+def _default_trace_sampling() -> Optional[float]:
+    # The ``traced`` profile runs the whole suite with sampled tracing
+    # always on: head sampling engaged at a real (sub-1.0) probability,
+    # so both keep and drop paths get full-suite coverage.  Trace tests
+    # that need every trace pin the probability explicitly.
+    return 0.25 if _profile() == "traced" else None
+
+
 @dataclass(frozen=True)
 class TeemonConfig:
     """Tunable knobs of a TEEMon deployment.
@@ -69,10 +81,47 @@ class TeemonConfig:
     enable_recording_rules: bool = True
     #: Trace the pipeline itself (scrapes, queries, rule evaluation) on
     #: the virtual clock.  Off by default: the no-op tracer keeps the
-    #: query hot path untouched.
-    enable_tracing: bool = False
+    #: query hot path untouched.  The ``traced`` test profile turns it
+    #: on (with head sampling) for the whole suite.
+    enable_tracing: bool = field(default_factory=_default_enable_tracing)
     #: Bound of the in-memory trace store (whole traces, FIFO-evicted).
     trace_max_traces: int = 256
+    #: Head-sampling probability: the seeded keep/drop decision made at
+    #: root-span creation and propagated via the traceparent flags.
+    #: ``None`` disables head sampling (every trace is recorded — the
+    #: pre-sampling behaviour); ``1.0`` runs the sampling machinery with
+    #: every trace kept.
+    trace_sampling_probability: Optional[float] = field(
+        default_factory=_default_trace_sampling
+    )
+    #: Tail sampling: judge each completed trace against keep rules
+    #: (fault events, retries, errors, slow spans) and drop the boring
+    #: ones.  Off by default — the store keeps everything.
+    trace_tail_sampling: bool = False
+    #: Tail rule: spans at least this slow (modelled time) keep their
+    #: trace regardless of anything else.
+    trace_slow_span_ms: float = 250.0
+    #: Bound of the tail sampler's pending buffer (whole traces).
+    trace_pending_max_traces: int = 64
+    #: Per-span-name duration histograms (with exemplars) in the
+    #: ``teemon_self`` exposition.  They are the expensive half of trace
+    #: self-telemetry — ~10 bucket series per span name re-ingested every
+    #: scrape — so the resolved default (``None``) enables them only when
+    #: every trace is recorded: a head-sampled duration distribution is
+    #: biased and not worth the exposition weight.  Set ``True``/``False``
+    #: to force either way.
+    trace_span_metrics: Optional[bool] = None
+    #: Run the trace-driven anomaly detector (EPC thrash, AEX storms,
+    #: syscall-latency outliers) on a virtual-clock cadence.  Requires
+    #: nothing else, but joins kept traces as evidence when tracing is
+    #: on.  Off by default.
+    enable_anomaly_detection: bool = False
+    #: Detector cadence (window width of each baseline delta).
+    anomaly_interval_s: float = 30.0
+    #: Rolling-baseline depth, in windows.
+    anomaly_baseline_windows: int = 6
+    #: Windows of history required before the detector may flag.
+    anomaly_warmup_windows: int = 1
     #: Register the ``teemon_self`` scrape target serving the scraper's
     #: and tracer's own metrics.  Requires nothing else; with tracing on
     #: its histogram samples carry trace exemplars.
@@ -148,6 +197,16 @@ class TeemonConfig:
     #: are served from the downsampled buckets.
     downsample_resolution_s: float = 300.0
 
+    def span_metrics_enabled(self) -> bool:
+        """Resolved ``trace_span_metrics``: explicit value if set, else
+        on only when every trace is recorded (no head sampling)."""
+        if self.trace_span_metrics is not None:
+            return self.trace_span_metrics
+        return (
+            self.trace_sampling_probability is None
+            or self.trace_sampling_probability >= 1.0
+        )
+
     def block_policy(self):
         """The :class:`~repro.pmag.blocks.BlockPolicy` this config asks
         for, or None when downsampling is disabled."""
@@ -164,6 +223,22 @@ class TeemonConfig:
     def __post_init__(self) -> None:
         if self.trace_max_traces < 1:
             raise DeploymentError("trace store capacity must be >= 1")
+        if self.trace_sampling_probability is not None and not (
+            0.0 <= self.trace_sampling_probability <= 1.0
+        ):
+            raise DeploymentError(
+                "trace_sampling_probability must be in [0, 1]"
+            )
+        if self.trace_slow_span_ms < 0:
+            raise DeploymentError("trace_slow_span_ms cannot be negative")
+        if self.trace_pending_max_traces < 1:
+            raise DeploymentError("trace_pending_max_traces must be >= 1")
+        if self.anomaly_interval_s <= 0:
+            raise DeploymentError("anomaly_interval_s must be positive")
+        if self.anomaly_baseline_windows < 1:
+            raise DeploymentError("anomaly_baseline_windows must be >= 1")
+        if self.anomaly_warmup_windows < 0:
+            raise DeploymentError("anomaly_warmup_windows cannot be negative")
         if self.scrape_interval_s <= 0:
             raise DeploymentError("scrape interval must be positive")
         if self.scrape_timeout_s <= 0:

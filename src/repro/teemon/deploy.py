@@ -69,7 +69,14 @@ from repro.simkernel.disk import SimDisk
 from repro.simkernel.kernel import Kernel
 from repro.teemon.config import TeemonConfig
 from repro.teemon.session import MonitoringSession
-from repro.trace import NOOP_TRACER, Tracer, TraceStore
+from repro.trace import (
+    NOOP_TRACER,
+    AnomalyDetector,
+    HeadSampler,
+    TailRules,
+    Tracer,
+    TraceStore,
+)
 
 #: Footprints of the non-exporter components (Figure 4 calibration).
 SERVICE_FOOTPRINTS: Dict[str, ExporterFootprint] = {
@@ -151,6 +158,7 @@ class TeemonDeployment:
         self._wal_flush_timer = None
         self._wal_checkpoint_timer = None
         self._compaction_timer = None
+        self._anomaly_timer = None
         #: Whether the monitor is currently dead (killed, not resurrected).
         self.crashed = False
         #: The durable medium backing the WAL (substrate: survives kills).
@@ -236,15 +244,43 @@ class TeemonDeployment:
         # evaluation is one connected trace.  Span ids come from a named
         # fork of the kernel's seeded rng — same seed, same trace ids.
         if config.enable_tracing:
+            tail_rules = None
+            if config.trace_tail_sampling:
+                tail_rules = TailRules(
+                    slow_span_ns=int(config.trace_slow_span_ms * 1_000_000)
+                )
             self.trace_store: Optional[TraceStore] = TraceStore(
-                max_traces=config.trace_max_traces
+                max_traces=config.trace_max_traces,
+                tail_rules=tail_rules,
+                pending_max_traces=config.trace_pending_max_traces,
             )
+            sampler = None
+            if config.trace_sampling_probability is not None:
+                sampler = HeadSampler(
+                    config.trace_sampling_probability, rng=kernel.rng
+                )
             self.tracer = Tracer(
-                kernel.clock, rng=kernel.rng, store=self.trace_store
+                kernel.clock, rng=kernel.rng, store=self.trace_store,
+                sampler=sampler,
             )
         else:
             self.trace_store = None
             self.tracer = NOOP_TRACER
+        # Trace-driven anomaly detection: joins kept traces with the
+        # TSDB's enclave health series over rolling baselines.  Rebuilt
+        # per monitor incarnation (its journal is monitor memory, like
+        # the trace store — the determinism witness covers one run).
+        self.anomaly_detector: Optional[AnomalyDetector] = None
+        if config.enable_anomaly_detection:
+            self.anomaly_detector = AnomalyDetector(
+                self.tsdb,
+                trace_store=self.trace_store,
+                baseline_windows=config.anomaly_baseline_windows,
+                warmup_windows=config.anomaly_warmup_windows,
+                self_labels={
+                    "job": "teemon_detector", "instance": kernel.hostname,
+                },
+            )
         self.scrape_manager = ScrapeManager(
             kernel.clock, self.network, self.tsdb,
             interval_ns=int(config.scrape_interval_s * NANOS_PER_SEC),
@@ -277,6 +313,7 @@ class TeemonDeployment:
                     (lambda: self.alerting_stats())
                     if config.enable_alerting else None
                 ),
+                span_metrics=config.span_metrics_enabled(),
             )
             self.self_exporter.expose(self.network)
             self.scrape_manager.add_target(ScrapeTarget(
@@ -306,6 +343,13 @@ class TeemonDeployment:
             )
             alert_sink = self.notification_router.handle
             specs = list(config.alert_rules) or default_alerting_rules()
+            if config.enable_anomaly_detection and not config.alert_rules:
+                # Page on the detector's verdicts: the self-series it
+                # writes make anomalies alertable like any other signal.
+                specs.append(AlertingRule(
+                    "AnomalyDetected", "teemon_anomaly_active == 1",
+                    for_s=0.0, labels={"severity": "critical"},
+                ))
             self.alert_rules = [rule.clone() for rule in specs]
         self.rule_evaluator = RuleEvaluator(
             kernel.clock, self.engine, self.tsdb, tracer=self.tracer,
@@ -396,6 +440,7 @@ class TeemonDeployment:
         self._schedule_service_accounting()
         self._schedule_wal_maintenance()
         self._schedule_compaction()
+        self._schedule_anomaly_detection()
 
     def stop(self) -> None:
         """Stop scraping and analysis gracefully (exporters stay
@@ -438,7 +483,8 @@ class TeemonDeployment:
 
     def _cancel_maintenance_timers(self) -> None:
         for attr in ("_accounting_timer", "_wal_flush_timer",
-                     "_wal_checkpoint_timer", "_compaction_timer"):
+                     "_wal_checkpoint_timer", "_compaction_timer",
+                     "_anomaly_timer"):
             timer = getattr(self, attr)
             if timer is not None:
                 timer.cancel()
@@ -611,6 +657,27 @@ class TeemonDeployment:
             self._compaction_timer = clock.call_later(interval_ns, tick)
 
         self._compaction_timer = clock.call_later(interval_ns, tick)
+
+    def _schedule_anomaly_detection(self) -> None:
+        """Timed anomaly-detection runs on the virtual clock.
+
+        Each tick is one baseline window: the detector takes the window
+        delta of every watched signal, compares it against the rolling
+        baseline and floors, journals detections and writes the
+        ``teemon_anomaly_*`` self-series the alerting rules watch.
+        """
+        if self.anomaly_detector is None:
+            return
+        clock = self.kernel.clock
+        interval_ns = int(self.config.anomaly_interval_s * NANOS_PER_SEC)
+
+        def tick() -> None:
+            if not self._running:
+                return
+            self.anomaly_detector.run(clock.now_ns)
+            self._anomaly_timer = clock.call_later(interval_ns, tick)
+
+        self._anomaly_timer = clock.call_later(interval_ns, tick)
 
     def _schedule_service_accounting(self) -> None:
         """Charge the aggregation/visualisation services their CPU share.

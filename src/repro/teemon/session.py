@@ -143,6 +143,68 @@ class MonitoringSession:
         """Folded-stack (flame graph) rendering of one stored trace."""
         return render_flamegraph(self.trace(trace_id))
 
+    def trace_stats(self) -> Dict[str, object]:
+        """Tracer and store counters: spans, sampling decisions, tail
+        keep/drop verdicts, evictions."""
+        deployment = self._deployment
+        store = self._trace_store()
+        tracer = deployment.tracer
+        stats: Dict[str, object] = {
+            "spans_started": tracer.spans_started,
+            "spans_ended": tracer.spans_ended,
+            "traces_started": tracer.traces_started,
+            "traces_sampled_out": tracer.traces_sampled_out,
+            "spans_unsampled": tracer.spans_unsampled,
+            "spans_stored": store.spans_stored,
+            "traces_evicted": store.traces_evicted,
+            "traces_kept": store.traces_kept,
+            "traces_dropped": store.traces_dropped,
+            "spans_dropped": store.spans_dropped,
+            "traces_resurrected": store.traces_resurrected,
+            "pending_traces": store.pending_count(),
+            "keep_reasons": dict(store.keep_reasons),
+        }
+        return stats
+
+    # ------------------------------------------------------------------
+    # Anomaly detection
+    # ------------------------------------------------------------------
+    def _detector(self):
+        detector = self._deployment.anomaly_detector
+        if detector is None:
+            raise DeploymentError(
+                "anomaly detection is disabled; deploy with "
+                "TeemonConfig(enable_anomaly_detection=True)"
+            )
+        return detector
+
+    def anomalies(self):
+        """Every journalled anomaly event, oldest first."""
+        return list(self._detector().journal)
+
+    def anomaly_journal(self) -> List[str]:
+        """The detector's canonical journal lines (byte-comparable)."""
+        return [event.line() for event in self._detector().journal]
+
+    def anomaly_stats(self) -> Dict[str, object]:
+        """Detector run/detection counters."""
+        return self._detector().stats()
+
+    def render_anomaly_timeline(self, window_s: Optional[float] = None,
+                                width: int = 72) -> str:
+        """Per-kind anomaly timeline bars (the pmv anomaly view)."""
+        detector = self._detector()
+        from repro.pmv.anomaly_view import render_anomaly_timeline
+
+        end_ns = self.now_ns
+        start_ns = (
+            0 if window_s is None
+            else max(0, end_ns - int(window_s * NANOS_PER_SEC))
+        )
+        return render_anomaly_timeline(
+            detector.journal, start_ns, end_ns, width=width
+        )
+
     # ------------------------------------------------------------------
     # Alerting engine (pending->firing state machine + notifications)
     # ------------------------------------------------------------------

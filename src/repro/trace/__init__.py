@@ -15,7 +15,15 @@ tracing subsystem built entirely on the simulation substrate:
   propagation, carried through the simulated HTTP layer's headers;
 * :data:`NOOP_TRACER` — the off-by-default fast path: a singleton no-op
   tracer whose spans allocate nothing, so instrumented code pays one
-  attribute check when tracing is disabled.
+  attribute check when tracing is disabled;
+* :class:`~repro.trace.sampling.HeadSampler` /
+  :class:`~repro.trace.sampling.TailRules` — adaptive sampling: a
+  seeded head decision at root creation (propagated via the traceparent
+  flags) plus tail keep rules that promote only interesting traces
+  (faults, retries, errors, slow spans) out of a pending buffer;
+* :class:`~repro.trace.detect.AnomalyDetector` — joins kept traces with
+  TSDB series (AEX counters, EPC evictions, syscall latency) over
+  rolling baselines and journals ``teemon_anomaly_*`` detections.
 
 The scrape manager, query engine and rule evaluator accept a tracer, and
 :mod:`repro.pmv.trace_view` renders stored traces as text waterfalls and
@@ -28,6 +36,12 @@ from repro.trace.context import (
     format_traceparent,
     parse_traceparent,
 )
+from repro.trace.detect import (
+    AnomalyDetector,
+    AnomalyEvent,
+    AnomalyRule,
+)
+from repro.trace.sampling import HeadSampler, TailRules
 from repro.trace.store import TraceStore
 from repro.trace.tracer import (
     NOOP_SPAN,
@@ -47,6 +61,11 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "TraceStore",
+    "HeadSampler",
+    "TailRules",
+    "AnomalyDetector",
+    "AnomalyEvent",
+    "AnomalyRule",
     "NoopTracer",
     "NOOP_TRACER",
     "NOOP_SPAN",

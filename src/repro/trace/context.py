@@ -1,12 +1,15 @@
 """W3C-style trace context propagation.
 
 A :class:`TraceContext` is the wire-format identity of a span — the pair
-``(trace_id, span_id)`` — serialised as a ``traceparent`` header in the
-W3C Trace Context shape::
+``(trace_id, span_id)`` plus the sampled flag — serialised as a
+``traceparent`` header in the W3C Trace Context shape::
 
     00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
 
-(version ``00``, 16-byte trace id, 8-byte parent span id, sampled flag).
+(version ``00``, 16-byte trace id, 8-byte parent span id, trace flags).
+The trailing flags byte carries the head-sampling decision: ``01`` means
+the root sampled this trace, ``00`` means it did not — and every
+downstream participant honors that decision instead of re-rolling it.
 The simulated HTTP layer carries the header on requests and echoes it on
 responses, so a scrape's server-side work can be tied back to the trace
 the scraper started.
@@ -20,6 +23,10 @@ from typing import Optional
 #: Header name, lowercase per the W3C Trace Context spec.
 TRACEPARENT_HEADER = "traceparent"
 
+#: Trace-flags byte values (only bit 0, "sampled", is defined).
+FLAGS_SAMPLED = "01"
+FLAGS_NOT_SAMPLED = "00"
+
 _TRACE_ID_LEN = 32  # 16 bytes, hex
 _SPAN_ID_LEN = 16   # 8 bytes, hex
 _HEX_DIGITS = frozenset("0123456789abcdef")
@@ -31,39 +38,55 @@ def _is_hex(text: str) -> bool:
 
 @dataclass(frozen=True)
 class TraceContext:
-    """The propagated identity of one span: ``(trace_id, span_id)``."""
+    """The propagated identity of one span: ``(trace_id, span_id)``.
+
+    ``sampled`` carries the head decision made at the trace root; child
+    participants on other nodes must honor it (a non-sampled parent never
+    produces sampled children).
+    """
 
     trace_id: str
     span_id: str
+    sampled: bool = True
 
     def to_traceparent(self) -> str:
-        """Serialise as a ``traceparent`` header value (always sampled)."""
-        return format_traceparent(self.trace_id, self.span_id)
+        """Serialise as a ``traceparent`` header value."""
+        return format_traceparent(
+            self.trace_id, self.span_id, sampled=self.sampled
+        )
 
 
-def format_traceparent(trace_id: str, span_id: str) -> str:
-    """``00-<trace_id>-<span_id>-01`` (version 00, sampled)."""
-    return f"00-{trace_id}-{span_id}-01"
+def format_traceparent(
+    trace_id: str, span_id: str, sampled: bool = True
+) -> str:
+    """``00-<trace_id>-<span_id>-<flags>`` (version 00)."""
+    flags = FLAGS_SAMPLED if sampled else FLAGS_NOT_SAMPLED
+    return f"00-{trace_id}-{span_id}-{flags}"
 
 
 def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
     """Parse a ``traceparent`` header; None for anything malformed.
 
     Propagation is best-effort by design: a bad header must never fail a
-    request, it just breaks the trace — exactly the W3C behaviour.
+    request, it just breaks the trace — exactly the W3C behaviour.  The
+    flags byte is parsed leniently: any valid hex byte with bit 0 set
+    counts as sampled.
     """
     if not value:
         return None
     parts = value.strip().split("-")
     if len(parts) != 4:
         return None
-    version, trace_id, span_id, _flags = parts
+    version, trace_id, span_id, flags = parts
     if version != "00":
         return None
     if len(trace_id) != _TRACE_ID_LEN or not _is_hex(trace_id):
         return None
     if len(span_id) != _SPAN_ID_LEN or not _is_hex(span_id):
         return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
     if trace_id == "0" * _TRACE_ID_LEN or span_id == "0" * _SPAN_ID_LEN:
         return None
-    return TraceContext(trace_id=trace_id, span_id=span_id)
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)

@@ -1,0 +1,177 @@
+"""Head- and tail-based trace sampling.
+
+Full tracing costs ~3.4x per scrape cycle (``BENCH_trace.json``), which
+is why it shipped off by default.  This module makes always-on tracing
+affordable with the two standard levers:
+
+* **Head sampling** (:class:`HeadSampler`) — a probabilistic keep/drop
+  decision made once, at root-span creation, as a pure function of the
+  trace id and a seeded salt.  The decision rides the W3C traceparent
+  flags byte so every downstream participant (retries continuing a
+  cycle's trace, simulated remote nodes joining via the header) honors
+  the root's choice instead of re-rolling it.  Because the decision is
+  hash-based rather than drawn from the rng stream, sampling consumes
+  no per-decision randomness: two same-seed runs at the same
+  probability make identical decisions and emit byte-identical sampled
+  journals.
+
+* **Tail keep rules** (:class:`TailRules`) — evaluated per *completed*
+  trace against a bounded pending buffer in the
+  :class:`~repro.trace.store.TraceStore`.  A trace is promoted to the
+  store when it is interesting (fault events, retries, error spans,
+  slow spans) and dropped otherwise, so the store holds exactly the
+  traces an anomaly investigation needs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
+
+from repro.simkernel.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.tracer import Span
+
+#: Span-event names that mark a trace as fault-bearing.  These are the
+#: events the instrumentation layer emits when the fault injectors bite
+#: (plus ``exception``, which any failing span body produces).
+FAULT_EVENT_NAMES: FrozenSet[str] = frozenset({
+    "scrape.timeout",
+    "scrape.http_failure",
+    "scrape.parse_failure",
+    "scrape.retry_scheduled",
+    "transport.delay",
+    "exception",
+})
+
+#: Span names that mark a trace as retry-bearing.
+RETRY_SPAN_NAMES: FrozenSet[str] = frozenset({"scrape.retry"})
+
+#: Default slow-span threshold: anything modelled slower than this is
+#: kept regardless of probability (250ms of virtual time).
+DEFAULT_SLOW_SPAN_NS = 250_000_000
+
+# Keep-decision reasons, in evaluation order (the journal vocabulary).
+KEEP_ERROR = "error"
+KEEP_FAULT_EVENT = "fault-event"
+KEEP_RETRY = "retry"
+KEEP_SLOW = "slow-span"
+DROP = "drop"
+
+
+class HeadSampler:
+    """Deterministic probabilistic head sampler.
+
+    The keep/drop decision for a trace id is ``hash(salt, trace_id)``
+    mapped onto ``[0, 1)`` and compared against ``probability``.  The
+    salt is drawn once from a seeded rng substream at construction, so:
+
+    * the same seed yields the same decisions (byte-identical sampled
+      journals across reruns, the chaos-suite contract);
+    * no per-decision rng draw happens, so the decision stream never
+      perturbs any other seeded substream;
+    * two samplers forked from the same seed agree on every trace id,
+      which is what lets simulated remote nodes verify a received
+      flags byte against their own local decision.
+    """
+
+    __slots__ = (
+        "probability", "_salt", "_threshold", "decisions", "sampled_in",
+    )
+
+    def __init__(
+        self,
+        probability: float,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"sampling probability must be in [0, 1], got {probability}"
+            )
+        self.probability = probability
+        seed_rng = (rng or DeterministicRng(0)).fork("head-sampler")
+        self._salt = seed_rng.randint(0, (1 << 32) - 1)
+        self._threshold = probability * 4294967296.0
+        self.decisions = 0
+        self.sampled_in = 0
+
+    def sample(self, trace_id: str) -> bool:
+        """The head decision for ``trace_id`` (stable per sampler seed)."""
+        self.decisions += 1
+        if self.probability >= 1.0:
+            self.sampled_in += 1
+            return True
+        if self.probability <= 0.0:
+            return False
+        # crc32 is stable across platforms/processes (unlike hash()) and
+        # cheap enough for the hot path.
+        bucket = zlib.crc32(
+            trace_id.encode("ascii"), self._salt
+        ) & 0xFFFFFFFF
+        keep = bucket < self._threshold
+        if keep:
+            self.sampled_in += 1
+        return keep
+
+
+class TailRules:
+    """Keep rules evaluated against a completed trace's span list.
+
+    Rules, in order (first match wins, the reason is journalled):
+
+    1. ``error`` — any span with status ``error``;
+    2. ``fault-event`` — any span event named in ``fault_events``;
+    3. ``retry`` — any span named in ``retry_spans``;
+    4. ``slow-span`` — any span whose modelled duration is
+       >= ``slow_span_ns``.
+
+    Everything else is dropped.  The rule set is intentionally small and
+    deterministic: a trace's fate is a pure function of its spans.
+    """
+
+    __slots__ = ("slow_span_ns", "fault_events", "retry_spans")
+
+    def __init__(
+        self,
+        slow_span_ns: int = DEFAULT_SLOW_SPAN_NS,
+        fault_events: Iterable[str] = FAULT_EVENT_NAMES,
+        retry_spans: Iterable[str] = RETRY_SPAN_NAMES,
+    ) -> None:
+        if slow_span_ns < 0:
+            raise ValueError(
+                f"slow-span threshold must be >= 0, got {slow_span_ns}"
+            )
+        self.slow_span_ns = slow_span_ns
+        self.fault_events = frozenset(fault_events)
+        self.retry_spans = frozenset(retry_spans)
+
+    def evaluate(self, spans: Iterable["Span"]) -> Tuple[bool, str]:
+        """``(keep, reason)`` for one completed trace."""
+        saw_fault_event = False
+        saw_retry = False
+        saw_slow = False
+        for span in spans:
+            if span.status == "error":
+                return True, KEEP_ERROR
+            if not saw_fault_event and span.events:
+                for event in span.events:
+                    if event.name in self.fault_events:
+                        saw_fault_event = True
+                        break
+            if not saw_retry and span.name in self.retry_spans:
+                saw_retry = True
+            if not saw_slow and span.end_ns is not None:
+                if span.end_ns - span.start_ns >= self.slow_span_ns:
+                    saw_slow = True
+        if saw_fault_event:
+            return True, KEEP_FAULT_EVENT
+        if saw_retry:
+            return True, KEEP_RETRY
+        if saw_slow:
+            return True, KEEP_SLOW
+        return False, DROP
+
+    def matches_span(self, span: "Span") -> Tuple[bool, str]:
+        """Keep decision for one span in isolation (late-arrival path)."""
+        return self.evaluate((span,))

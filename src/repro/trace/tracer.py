@@ -19,6 +19,16 @@ Tracing is off by default with a near-zero no-op path: :data:`NOOP_TRACER`
 hands out one shared :data:`NOOP_SPAN` whose every method is a pass, so
 instrumented code can be written unconditionally (``with tracer.span(...)``)
 and hot paths can skip even that with an ``if tracer.enabled`` guard.
+
+With a :class:`~repro.trace.sampling.HeadSampler` attached, the tracer
+makes the keep/drop decision once per trace, at root creation.  A
+sampled-out trace gets one shared-shape :class:`_UnsampledSpan` object
+for its *entire* subtree — nested ``span()`` calls return the same
+object with a depth counter — so the unsampled path does no attribute
+dicts, no events, no store writes and no end callbacks.  The decision
+rides :attr:`TraceContext.sampled` (the W3C flags byte), and an explicit
+``parent`` context with ``sampled=False`` keeps the whole continuation
+(retries, remote joins) on the cheap path too.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.simkernel.clock import VirtualClock
 from repro.simkernel.rng import DeterministicRng
 from repro.trace.context import TraceContext
+from repro.trace.sampling import HeadSampler
 from repro.trace.store import TraceStore
 
 #: Span status values (OpenTelemetry's three-valued status).
@@ -63,6 +74,10 @@ class Span:
         "start_ns", "end_ns", "cursor_ns", "status",
         "attributes", "events", "_tracer",
     )
+
+    #: Real spans record; the unsampled/no-op shapes override to False so
+    #: call sites can gate expensive attribute computation.
+    recording = True
 
     def __init__(
         self,
@@ -147,6 +162,60 @@ class Span:
         return f"{base} {events}" if events else base
 
 
+class _UnsampledSpan:
+    """One shared object for a sampled-out trace's entire subtree.
+
+    Shaped like :class:`_NoopSpan` (every recording method is a pass) but
+    it *does* carry a context, so traceparent injection propagates the
+    not-sampled decision downstream.  Nested ``span()`` calls on the
+    tracer return this same object with a depth counter; the object pops
+    off the tracer when the outermost ``with`` exits.
+    """
+
+    __slots__ = ("trace_id", "span_id", "_depth", "_tracer")
+
+    recording = False
+    events: tuple = ()
+    attributes: dict = {}
+
+    def __init__(self, tracer: "Tracer", trace_id: str) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        # Derived, not drawn: the unsampled path must not consume the id
+        # stream.  Either half of a nonzero trace id is a valid span id
+        # (at least one half is nonzero).
+        half = trace_id[16:]
+        self.span_id = half if half != "0" * 16 else trace_id[:16]
+        self._depth = 1
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(
+            trace_id=self.trace_id, span_id=self.span_id, sampled=False
+        )
+
+    def __enter__(self) -> "_UnsampledSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._depth -= 1
+        if self._depth <= 0:
+            self._tracer._unsampled_exit(self)
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        pass
+
+    def add_virtual_time(self, delta_ns: int) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+
 class Tracer:
     """Creates spans, maintains the active-span stack, feeds the store.
 
@@ -163,25 +232,32 @@ class Tracer:
         clock: VirtualClock,
         rng: Optional[DeterministicRng] = None,
         store: Optional[TraceStore] = None,
+        sampler: Optional[HeadSampler] = None,
     ) -> None:
         self._clock = clock
         self._ids = (rng or DeterministicRng(0)).fork("trace-ids")
         self.store = store if store is not None else TraceStore()
+        self.sampler = sampler
         self._stack: List[Span] = []
+        self._unsampled: List[_UnsampledSpan] = []
         self._seq = 0
         self.spans_started = 0
         self.spans_ended = 0
         self.traces_started = 0
+        self.traces_sampled_out = 0
+        self.spans_unsampled = 0
         self._end_callbacks: List[Callable[[Span], None]] = []
 
     # ------------------------------------------------------------------
     # Id generation (deterministic under the seed)
     # ------------------------------------------------------------------
     def _new_trace_id(self) -> str:
-        return f"{self._ids.randint(1, (1 << 128) - 1):032x}"
+        # getrandbits over randint: no rejection loop for the 128-bit
+        # range.  ``or 1`` keeps the all-zeros id (invalid per W3C) out.
+        return f"{self._ids.getrandbits(128) or 1:032x}"
 
     def _new_span_id(self) -> str:
-        return f"{self._ids.randint(1, (1 << 64) - 1):016x}"
+        return f"{self._ids.getrandbits(64) or 1:016x}"
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -191,23 +267,39 @@ class Tracer:
         name: str,
         attributes: Optional[Dict[str, object]] = None,
         parent: Optional[TraceContext] = None,
-    ) -> Span:
+    ):
         """Open a span (use as a context manager).
 
         Parenting, most specific first: the explicit ``parent`` context,
-        else the innermost open span, else a fresh trace root.
+        else the innermost open span, else a fresh trace root.  A parent
+        whose head decision was *not sampled* — explicit via its context
+        flags, or implicit via the open unsampled subtree — keeps the
+        child on the unsampled fast path.
         """
         top = self._stack[-1] if self._stack else None
         if parent is not None:
+            if not parent.sampled:
+                return self._unsampled_span(parent.trace_id)
             trace_id, parent_id = parent.trace_id, parent.span_id
             start_ns = top.cursor_ns if top is not None else self._clock.now_ns
         elif top is not None:
             trace_id, parent_id = top.trace_id, top.span_id
             start_ns = top.cursor_ns
+        elif self._unsampled:
+            # Inside an open unsampled root: the subtree stays cheap.
+            # Inlined reuse (the hot always-on path): same trace by
+            # construction, so just bump the depth counter.
+            self.spans_unsampled += 1
+            unsampled_top = self._unsampled[-1]
+            unsampled_top._depth += 1
+            return unsampled_top
         else:
             trace_id, parent_id = self._new_trace_id(), None
             start_ns = self._clock.now_ns
             self.traces_started += 1
+            if self.sampler is not None and not self.sampler.sample(trace_id):
+                self.traces_sampled_out += 1
+                return self._unsampled_span(trace_id)
         self._seq += 1
         span = Span(
             tracer=self, name=name, trace_id=trace_id,
@@ -217,6 +309,21 @@ class Tracer:
         self._stack.append(span)
         self.spans_started += 1
         return span
+
+    def _unsampled_span(self, trace_id: str) -> _UnsampledSpan:
+        """Reuse (or open) the unsampled subtree object for ``trace_id``."""
+        self.spans_unsampled += 1
+        if self._unsampled and self._unsampled[-1].trace_id == trace_id:
+            top = self._unsampled[-1]
+            top._depth += 1
+            return top
+        span = _UnsampledSpan(self, trace_id)
+        self._unsampled.append(span)
+        return span
+
+    def _unsampled_exit(self, span: _UnsampledSpan) -> None:
+        if self._unsampled and self._unsampled[-1] is span:
+            self._unsampled.pop()
 
     def _end(self, span: Span) -> None:
         if not self._stack or self._stack[-1] is not span:
@@ -245,11 +352,30 @@ class Tracer:
     # ------------------------------------------------------------------
     # Context and observers
     # ------------------------------------------------------------------
+    def recording(self) -> bool:
+        """Would a span opened now record anything?
+
+        False only inside an open unsampled subtree — the guard that lets
+        hot call sites (``if tracer.enabled and tracer.recording()``)
+        skip even the fast-path span objects and the attribute values
+        they would discard.  With no span open at all this is True: the
+        next span starts a fresh root whose head decision has not been
+        made yet.
+        """
+        return bool(self._stack) or not self._unsampled
+
     def current_context(self) -> Optional[TraceContext]:
-        """The innermost open span's context, for header injection."""
-        if not self._stack:
-            return None
-        return self._stack[-1].context
+        """The innermost open span's context, for header injection.
+
+        An open unsampled subtree still yields a context (with
+        ``sampled=False``), so the not-sampled decision propagates to
+        downstream participants instead of letting them re-roll it.
+        """
+        if self._stack:
+            return self._stack[-1].context
+        if self._unsampled:
+            return self._unsampled[-1].context
+        return None
 
     def on_span_end(self, callback: Callable[[Span], None]) -> None:
         """Run ``callback`` on every finished span (self-telemetry feed)."""
@@ -261,6 +387,7 @@ class _NoopSpan:
 
     __slots__ = ()
 
+    recording = False
     context = None
     events: tuple = ()
     attributes: dict = {}
@@ -293,12 +420,18 @@ class NoopTracer:
 
     enabled = False
     store = None
+    sampler = None
     spans_started = 0
     spans_ended = 0
     traces_started = 0
+    traces_sampled_out = 0
+    spans_unsampled = 0
 
     def span(self, name, attributes=None, parent=None) -> _NoopSpan:  # noqa: D102
         return NOOP_SPAN
+
+    def recording(self) -> bool:  # noqa: D102
+        return False
 
     def current_context(self) -> None:  # noqa: D102
         return None

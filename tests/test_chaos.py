@@ -46,6 +46,8 @@ def build_rig(
     retention_s=None,
     staleness_intervals=3,
     traced=False,
+    sampling_p=None,
+    tail=False,
     tsdb_factory=None,
 ):
     """A full scrape pipeline behind a seeded fault plan."""
@@ -79,10 +81,18 @@ def build_rig(
     tsdb = factory(retention_ns=None if retention_s is None else seconds(retention_s))
     trace_store = tracer = None
     if traced:
-        from repro.trace import Tracer, TraceStore
+        from repro.trace import HeadSampler, TailRules, Tracer, TraceStore
 
-        trace_store = TraceStore(max_traces=4096)
-        tracer = Tracer(clock, rng=rng.fork("tracer"), store=trace_store)
+        trace_store = TraceStore(
+            max_traces=4096, tail_rules=TailRules() if tail else None,
+        )
+        sampler = None
+        if sampling_p is not None:
+            sampler = HeadSampler(sampling_p, rng=rng.fork("sampler"))
+        tracer = Tracer(
+            clock, rng=rng.fork("tracer"), store=trace_store,
+            sampler=sampler,
+        )
     manager = ScrapeManager(
         clock, network, tsdb, interval_ns=seconds(INTERVAL_S),
         timeout_budget_s=1.0, max_retries=max_retries,
@@ -339,3 +349,62 @@ def test_injected_faults_appear_as_span_events():
     assert "scrape.retry_scheduled" in events
     retry_spans = [s for s in spans if s.name == "scrape.retry"]
     assert retry_spans and all(s.parent_id for s in retry_spans)
+
+
+# ---------------------------------------------------------------------------
+# Adaptive sampling under chaos: the PR's acceptance bars
+# ---------------------------------------------------------------------------
+#: A fault mix that leaves most cycles clean: the slow link in MIXED
+#: stamps a ``transport.delay`` event on *every* fetch, which makes every
+#: trace keep-worthy — useless for exercising the drop path.
+LIGHT = dict(flap=True, delay_p=0.05, corrupt_p=0.06, max_retries=2)
+def test_tail_rules_keep_every_fault_bearing_trace():
+    # Same seed, same chaos, two stores: one keeping everything, one tail
+    # sampling.  Every trace the keep rules match in the unfiltered store
+    # must survive tail sampling — fault-bearing traces are never lost.
+    from repro.trace import TailRules
+
+    full = build_rig(67, **LIGHT, traced=True)
+    tailed = build_rig(67, **LIGHT, traced=True, tail=True)
+    drive(full, 150)
+    drive(tailed, 150)
+    tailed.trace_store.flush_pending()
+    rules = TailRules()
+    keep_worthy = [
+        trace_id for trace_id in full.trace_store.trace_ids()
+        if rules.evaluate(full.trace_store.get(trace_id))[0]
+    ]
+    assert keep_worthy, "this chaos mix must produce fault-bearing traces"
+    kept = set(tailed.trace_store.trace_ids())
+    missing = [t for t in keep_worthy if t not in kept]
+    assert not missing, (
+        f"tail sampling lost {len(missing)} fault-bearing traces "
+        f"(e.g. {missing[:3]})"
+    )
+    # And it earns its keep: the boring majority is dropped.
+    assert tailed.trace_store.traces_dropped > 0
+    assert len(tailed.trace_store) < len(full.trace_store)
+    # Tail sampling observes, never perturbs.
+    assert tsdb_digest(tailed) == tsdb_digest(full)
+    assert tailed.plan.journal_text() == full.plan.journal_text()
+
+
+def test_same_seed_sampled_chaos_journals_are_byte_identical():
+    def run(seed):
+        rig = build_rig(seed, **LIGHT, traced=True, sampling_p=0.5,
+                        tail=True)
+        drive(rig, 150)
+        rig.trace_store.flush_pending()
+        return rig
+
+    first, second = run(71), run(71)
+    assert first.trace_store.journal_text() == \
+        second.trace_store.journal_text()
+    assert first.trace_store.journal_text()  # something survived both
+    # Both levers actually engaged under chaos.
+    assert first.tracer.traces_sampled_out > 0
+    assert first.tracer.spans_started > 0
+    assert first.trace_store.traces_dropped > 0
+    assert tsdb_digest(first) == tsdb_digest(second)
+    assert run(72).trace_store.journal_text() != \
+        first.trace_store.journal_text()

@@ -27,6 +27,9 @@ INTERVAL_NS = 5 * NANOS_PER_SEC
 
 def traced_deployment(seed=7, cycles=3, **config_kwargs):
     kernel, _ = make_sgx_host(seed=seed)
+    # Pin the sampling probability: these tests assert on *every* trace,
+    # so they must hold regardless of the test profile's default.
+    config_kwargs.setdefault("trace_sampling_probability", 1.0)
     deployment = deploy(
         kernel, TeemonConfig(enable_tracing=True, **config_kwargs),
         start=False,
@@ -130,7 +133,9 @@ def test_self_histogram_exemplar_resolves_to_stored_trace():
 
 def test_self_counters_are_queryable_via_promql():
     kernel, _ = make_sgx_host(seed=13)
-    deployment = deploy(kernel, TeemonConfig(enable_tracing=True), start=False)
+    deployment = deploy(kernel, TeemonConfig(
+        enable_tracing=True, trace_sampling_probability=1.0,
+    ), start=False)
     # A target that never resolves forces failures and retries.
     deployment.scrape_manager.add_target(ScrapeTarget(
         job="ghost", instance="ghost", url="http://ghost:1/metrics"
@@ -211,7 +216,7 @@ def test_session_trace_accessors_and_rendering():
 
 def test_tracing_disabled_is_inert_and_session_raises():
     kernel, _ = make_sgx_host(seed=7)
-    deployment = deploy(kernel, TeemonConfig(), start=False)
+    deployment = deploy(kernel, TeemonConfig(enable_tracing=False), start=False)
     assert deployment.trace_store is None
     assert deployment.tracer.enabled is False
     kernel.clock.advance(INTERVAL_NS)
