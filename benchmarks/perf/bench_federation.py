@@ -1,0 +1,191 @@
+"""Federation-tier ingest benchmark and its CI gate.
+
+Quantifies what the remote-write uplink costs the *global* monitor
+compared with scraping the same targets directly, at equal sample
+volume:
+
+* ``ingest_direct``    — the direct-scrape ingest path: parse one
+  OpenMetrics exposition per cycle, merge target identity, batch-append
+  (exactly what :meth:`ScrapeManager.scrape_once` does per target);
+* ``ingest_federated`` — the remote-write path at the receiver: decode
+  batched zlib/base64 frames (CRC-checked WAL records) and batch-append;
+* ``client_encode``    — the leaf-side collect+encode cost, reported for
+  context (the leaf pays it, not the global tier).
+
+The gate: batched remote-write ingest must stay within
+``--max-overhead`` (default 1.10×) of direct-scrape ingest — federation
+must not make the global tier the fleet's new bottleneck.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_federation [--quick]
+        [--output BENCH_federation.json] [--max-overhead 1.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from benchmarks.perf.harness import BenchReport, best_of
+
+from repro.openmetrics.parser import parse_exposition
+from repro.pmag.model import Labels, METRIC_NAME_LABEL
+from repro.pmag.remote_write import encode_frame, RemoteWriteReceiver
+from repro.pmag.tsdb import Tsdb
+from repro.simkernel.clock import NANOS_PER_SEC
+
+SCHEMA = "teemon.bench.federation/1"
+
+#: Samples per remote-write frame (the client default).
+FRAME_SAMPLES = 500
+
+METRICS = ("sgx_epc_pages_evicted_total", "sgx_aexs_total",
+           "ebpf_syscalls_total", "node_cpu_utilization",
+           "scrape_duration_seconds")
+
+
+def _fleet_cycles(nodes: int, cycles: int):
+    """Per-cycle (now_ns, [(node, metric, value), ...]) fleet snapshots."""
+    out = []
+    for step in range(cycles):
+        now_ns = (step + 1) * 5 * NANOS_PER_SEC
+        rows = [
+            (f"node-{n}", metric, float(step * (n + 1) + i))
+            for n in range(nodes)
+            for i, metric in enumerate(METRICS)
+        ]
+        out.append((now_ns, rows))
+    return out
+
+
+def _expositions(cycle_rows):
+    """One exposition body per (cycle, node) — what a scrape reads."""
+    bodies = []
+    for now_ns, rows in cycle_rows:
+        by_node = {}
+        for node, metric, value in rows:
+            by_node.setdefault(node, []).append(f"{metric} {value}")
+        for node, lines in by_node.items():
+            bodies.append((now_ns, node, "\n".join(lines) + "\n# EOF\n"))
+    return bodies
+
+
+def _entries(cycle_rows):
+    """The same samples as labelled TSDB entries (the remote-write view)."""
+    entries = []
+    for now_ns, rows in cycle_rows:
+        for node, metric, value in rows:
+            entries.append((Labels({
+                METRIC_NAME_LABEL: metric, "job": "sgx", "instance": node,
+            }), now_ns, value))
+    return entries
+
+
+def _frames(entries):
+    """Client-side framing: sequence-numbered, zlib/base64-packed."""
+    frames = []
+    for start in range(0, len(entries), FRAME_SAMPLES):
+        chunk = entries[start:start + FRAME_SAMPLES]
+        frames.append(encode_frame("leaf-0", len(frames) + 1, chunk))
+    return frames
+
+
+def run_suite(quick: bool) -> BenchReport:
+    report = BenchReport(quick=quick)
+    nodes = 20 if quick else 60
+    cycles = 24 if quick else 80
+    runs = 3 if quick else 5
+
+    cycle_rows = _fleet_cycles(nodes, cycles)
+    volume = sum(len(rows) for _now, rows in cycle_rows)
+    bodies = _expositions(cycle_rows)
+    entries = _entries(cycle_rows)
+    assert len(entries) == volume
+
+    def direct():
+        tsdb = Tsdb()
+        for now_ns, node, body in bodies:
+            identity = {"job": "sgx", "instance": node}
+            batch = []
+            for sample in parse_exposition(body):
+                labels = dict(sample.labels)
+                labels.update(identity)
+                labels[METRIC_NAME_LABEL] = sample.name
+                batch.append((Labels(labels), now_ns, sample.value))
+            tsdb.append_batch(batch)
+
+    direct_s = best_of(runs, direct)
+    report.add(
+        "ingest_direct", elapsed_ms=direct_s * 1e3,
+        samples_per_s=volume / direct_s,
+        notes=f"{volume} samples, {nodes} nodes x {cycles} cycles",
+    )
+
+    encode_s = best_of(runs, lambda: _frames(entries))
+    frames = _frames(entries)
+    report.add(
+        "client_encode", elapsed_ms=encode_s * 1e3,
+        frames=float(len(frames)),
+        notes="leaf-side cost, informational (not gated)",
+    )
+
+    def federated():
+        receiver = RemoteWriteReceiver(Tsdb())
+        for body in frames:
+            receiver.handle(body)
+
+    federated_s = best_of(runs, federated)
+    report.add(
+        "ingest_federated", elapsed_ms=federated_s * 1e3,
+        samples_per_s=volume / federated_s,
+        overhead_vs_direct=federated_s / direct_s,
+        notes=f"{len(frames)} frames of <= {FRAME_SAMPLES} samples",
+    )
+
+    # Sanity: both paths stored the identical sample volume.
+    probe = RemoteWriteReceiver(Tsdb())
+    for body in frames:
+        probe.handle(body)
+    assert probe.samples_applied == volume, (probe.samples_applied, volume)
+    assert probe.samples_deduped == 0
+
+    return report
+
+
+def check_overhead(report: BenchReport, max_overhead: float) -> int:
+    """The CI gate: federated ingest within ``max_overhead`` of direct."""
+    by_name = {r.name: r for r in report.results}
+    ratio = by_name["ingest_federated"].metrics["overhead_vs_direct"]
+    if ratio > max_overhead:
+        print(f"GATE FAIL: federated ingest is {ratio:.3f}x direct-scrape "
+              f"(limit {max_overhead:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"gate ok: federated ingest is {ratio:.3f}x direct-scrape "
+          f"(limit {max_overhead:.2f}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_federation.json",
+                        help="report path (default: ./BENCH_federation.json)")
+    parser.add_argument("--max-overhead", type=float, default=1.10,
+                        help="allowed federated/direct ingest ratio")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick)
+    payload = report.to_payload()
+    payload["schema"] = SCHEMA
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(report.render())
+    print(f"\nwrote {args.output}")
+    return check_overhead(report, args.max_overhead)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from repro.faults.injectors import (
     FaultContext,
     FlapInjector,
     Injector,
+    PartitionInjector,
     SlowLinkInjector,
     StaleReplayInjector,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "FaultyHttpNetwork",
     "FlapInjector",
     "Injector",
+    "PartitionInjector",
     "SlowLinkInjector",
     "StaleReplayInjector",
     "TornWriteInjector",

@@ -147,6 +147,66 @@ class FlapInjector(Injector):
             ctx.short_circuit(503, "fault: endpoint flapped down")
 
 
+class PartitionInjector(Injector):
+    """Hard network partitions: explicit unreachability windows per URL.
+
+    Where :class:`FlapInjector` models an *endpoint* bouncing on a seeded
+    schedule, a partition models the *network* between two monitors being
+    cut — deliberately placed by the scenario, not drawn from a
+    distribution.  Every request to a partitioned URL short-circuits to
+    503 for the whole window, which is exactly what a remote-write client
+    sees when its uplink's route is gone: it spills to its queue and
+    drains on heal.  With a :class:`~repro.faults.plan.FaultPlan`
+    attached, ``partition-begin``/``partition-heal`` markers land in the
+    one journal at the window edges, so a run's partition history is
+    byte-comparable like every other fault.
+    """
+
+    kind = "partition"
+
+    def __init__(self, rng: DeterministicRng, plan=None) -> None:
+        super().__init__(rng)
+        self._plan = plan
+        #: Per-URL sorted list of (start_ns, end_ns) cut windows.
+        self._windows: Dict[str, List[Tuple[int, int]]] = {}
+
+    def partition(self, url: str, start_ns: int, end_ns: int) -> None:
+        """Cut ``url`` for ``[start_ns, end_ns)`` of virtual time."""
+        if end_ns <= start_ns:
+            raise NetworkError(
+                f"empty partition window: [{start_ns}, {end_ns})"
+            )
+        self._windows.setdefault(url, []).append((start_ns, end_ns))
+        self._windows[url].sort()
+        if self._plan is not None:
+            clock = self._plan.clock
+
+            def begin() -> None:
+                self._plan.record("partition-begin", url, method="NET")
+
+            def heal() -> None:
+                self._plan.record("partition-heal", url, method="NET")
+
+            clock.call_at(start_ns, begin)
+            clock.call_at(end_ns, heal)
+
+    def windows(self, url: str) -> List[Tuple[int, int]]:
+        """The configured cut windows for one URL."""
+        return list(self._windows.get(url, ()))
+
+    def active_at(self, url: str, now_ns: int) -> bool:
+        """Whether ``url`` is partitioned away at ``now_ns``."""
+        return any(
+            start <= now_ns < end
+            for start, end in self._windows.get(url, ())
+        )
+
+    def before(self, ctx: FaultContext) -> None:
+        if self.active_at(ctx.url, ctx.now_ns):
+            ctx.applied.append(self.kind)
+            ctx.short_circuit(503, "fault: network partitioned")
+
+
 # ---------------------------------------------------------------------------
 # Latency faults
 # ---------------------------------------------------------------------------

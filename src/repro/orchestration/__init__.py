@@ -17,10 +17,14 @@ This package models all of that:
   pods, node labels/taints and tolerations, DaemonSets, and
   annotation-driven service discovery;
 * :mod:`repro.orchestration.helm` — a chart model and the TEEMon chart
-  that installs the full monitoring stack onto a cluster.
+  that installs the full monitoring stack onto a cluster;
+* :mod:`repro.orchestration.fleet` — node fleets at scale: DaemonSet
+  exporters across hundreds of nodes with seeded churn and rolling
+  upgrades.
 """
 
 from repro.orchestration.container import Container, ContainerImage, DockerRuntime
+from repro.orchestration.fleet import FleetChurner, FleetExporter, NodeFleet
 from repro.orchestration.helm import HelmChart, install_teemon_chart
 from repro.orchestration.kubernetes import (
     Cluster,
@@ -43,6 +47,9 @@ __all__ = [
     "Taint",
     "DaemonSet",
     "Deployment",
+    "FleetChurner",
+    "FleetExporter",
+    "NodeFleet",
     "HelmChart",
     "install_teemon_chart",
 ]

@@ -17,16 +17,22 @@ supports data queries over specified time ranges and labeled dimensions"
   and target health (the ``up`` metric);
 * :mod:`repro.pmag.query` — a PromQL-subset query engine with range
   selectors, ``rate``/``*_over_time`` functions, aggregation by label and
-  binary arithmetic.
+  binary arithmetic;
+* :mod:`repro.pmag.remote_write` — the federation uplink: batched,
+  compressed, sequence-numbered sample frames from leaf monitors to a
+  global monitor with exactly-once ingest.
 """
 
 from repro.pmag.model import Labels, Sample, Series
+from repro.pmag.remote_write import RemoteWriteClient, RemoteWriteReceiver
 from repro.pmag.scrape import ScrapeManager, ScrapeTarget
 from repro.pmag.storage import ShardedTsdb, build_storage_engine
 from repro.pmag.tsdb import StorageEngine, Tsdb
 
 __all__ = [
     "Labels",
+    "RemoteWriteClient",
+    "RemoteWriteReceiver",
     "Sample",
     "Series",
     "ShardedTsdb",

@@ -12,10 +12,17 @@ metrics" sentence covers.
 rate limiting (the DoS concern §4 raises), and appends to the TSDB
 immediately — every push is aggregator work, which is exactly the
 burst-amplification the ablation measures.
+
+Retry safety: a client that times out *after* the gateway accepted its
+push cannot tell delivery from loss, so a naive retry double-counts.
+Wire pushes therefore carry an idempotency key (a trailing ``@key``
+token); the gateway remembers recently accepted keys per source and
+acknowledges a replayed key without re-appending.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -25,6 +32,12 @@ from repro.pmag.model import Labels, METRIC_NAME_LABEL
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
 from repro.simkernel.rng import DeterministicRng
+
+#: Per-source idempotency window: how many recently accepted push keys
+#: the gateway remembers for retry deduplication.  A retry arriving
+#: after the key aged out re-appends — the window bounds memory, and
+#: retries land within a few backoff intervals in practice.
+DEDUP_WINDOW = 1024
 
 
 @dataclass
@@ -66,9 +79,12 @@ class PushGateway:
         self._quotas: Dict[str, SourceQuota] = {}
         self.pushes_accepted = 0
         self.pushes_rejected = 0
+        self.pushes_deduped = 0
         #: Distinct timestamps are required per series; pushes landing in
         #: the same nanosecond get a +1 ns nudge (sequence within instant).
         self._last_push_ns: Dict[Labels, int] = {}
+        #: source -> (insertion order, membership) of accepted push keys.
+        self._seen_keys: Dict[str, Tuple[deque, set]] = {}
 
     def set_quota(self, source: str, rate_per_s: float, burst: float) -> None:
         """Override the quota for one source."""
@@ -141,25 +157,72 @@ class PushGateway:
             line = line.strip()
             if not line:
                 continue
+            line, key = split_push_key(line)
             source, metric, value, labels = decode_push_line(line)
+            if key is not None and self._key_seen(source, key):
+                # Idempotent replay: the original push was accepted, the
+                # client just never saw the ack.  Ack again, append nothing.
+                self.pushes_deduped += 1
+                accepted += 1
+                continue
             if self.push(source, metric, value, **labels):
+                if key is not None:
+                    self._remember_key(source, key)
                 accepted += 1
             else:
                 rejected += 1
         return f"accepted={accepted} rejected={rejected}"
 
+    def _key_seen(self, source: str, key: str) -> bool:
+        entry = self._seen_keys.get(source)
+        return entry is not None and key in entry[1]
+
+    def _remember_key(self, source: str, key: str) -> None:
+        entry = self._seen_keys.get(source)
+        if entry is None:
+            entry = (deque(), set())
+            self._seen_keys[source] = entry
+        order, members = entry
+        order.append(key)
+        members.add(key)
+        while len(order) > DEDUP_WINDOW:
+            members.discard(order.popleft())
+
 
 def encode_push_line(source: str, metric: str, value: float,
-                     labels: Dict[str, str]) -> str:
-    """Wire format: ``source metric value [k=v,k=v]`` (no spaces in values)."""
+                     labels: Dict[str, str],
+                     key: Optional[str] = None) -> str:
+    """Wire format: ``source metric value [k=v,k=v] [@key]``.
+
+    ``key`` is an optional idempotency token the gateway uses to
+    deduplicate retries of an already-accepted push.
+    """
     for token in (source, metric, *labels, *labels.values()):
         if not token or any(c in token for c in " ,=\n"):
             raise TsdbError(f"token not wire-safe: {token!r}")
+    if key is not None and (not key or any(c in key for c in " ,=@\n")):
+        raise TsdbError(f"push key not wire-safe: {key!r}")
     line = f"{source} {metric} {value}"
     if labels:
         pairs = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
         line += f" {pairs}"
+    if key is not None:
+        line += f" @{key}"
     return line
+
+
+def split_push_key(line: str) -> Tuple[str, Optional[str]]:
+    """Split a trailing ``@key`` idempotency token off a wire line.
+
+    Unambiguous because no other trailing token can start with ``@``:
+    the value token parses as a float and label values reject ``@`` only
+    in the leading position by construction (the pairs token starts with
+    ``k=``).
+    """
+    head, sep, tail = line.rpartition(" ")
+    if sep and tail.startswith("@") and len(tail) > 1:
+        return head, tail[1:]
+    return line, None
 
 
 def decode_push_line(line: str) -> Tuple[str, str, float, Dict[str, str]]:
@@ -228,16 +291,22 @@ class PushClient:
         self.pushes_failed = 0
         self.push_timeouts_total = 0
         self.push_retries_total = 0
+        self._next_key = 0
 
     def push(self, metric: str, value: float, **labels: str) -> bool:
         """Attempt one push now; returns True if delivered immediately.
 
         On timeout or transport failure a retry is scheduled on the
         virtual clock; the eventual outcome lands in
-        :attr:`pushes_delivered` / :attr:`pushes_failed`.
+        :attr:`pushes_delivered` / :attr:`pushes_failed`.  Every push
+        carries a fresh idempotency key, so a retry after a
+        timeout-after-accept is acknowledged by the gateway's dedup
+        window instead of double-counting.
         """
         self.pushes_sent += 1
-        line = encode_push_line(self.source, metric, value, labels)
+        key = f"{self.source}-{self._next_key}"
+        self._next_key += 1
+        line = encode_push_line(self.source, metric, value, labels, key=key)
         return self._attempt(line, attempt=0)
 
     def _attempt(self, line: str, attempt: int) -> bool:

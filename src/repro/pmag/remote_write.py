@@ -1,0 +1,554 @@
+"""Federation: remote-write from leaf monitors to a global monitor.
+
+The paper's §5.4 deployment is one monitor scraping one exporter per
+node.  A fleet needs a *tier*: leaf monitors scrape their local targets
+and ship everything upstream, where a global monitor holds the
+fleet-wide view (the Prometheus remote-write / Thanos receive shape).
+This module is that uplink, hardened the same way the scrape path is:
+
+* :class:`RemoteWriteClient` — runs inside a leaf monitor.  Each flush
+  tick it *collects* every sample the leaf TSDB accepted since its
+  watermark, packs them into compressed frames (WAL record framing,
+  zlib, base64 over the simulated HTTP transport), and *pumps* the frame
+  queue to the receiver with jittered-exponential retry/backoff on the
+  virtual clock.  The queue is bounded: while the uplink is down the
+  leaf keeps serving local queries and spills frames to the queue;
+  past ``queue_max_frames`` the oldest frames are dropped and counted
+  (graceful degradation, never memory growth).
+* :class:`RemoteWriteReceiver` — runs inside the global monitor.  Frames
+  carry per-sender monotonic sequence numbers: a frame whose sequence is
+  not beyond the sender's last applied one is a *replay* (a retry of a
+  delivery whose ack was lost) and is acknowledged without being applied
+  — exactly-once at frame granularity.  Within an applied frame, the
+  TSDB's per-series monotonic-append check rejects any sample whose
+  (series fingerprint, timestamp) already landed — exactly-once at
+  sample granularity, which is also what deduplicates an HA *pair* of
+  leaves shipping the same scrape (see :mod:`repro.teemon.ha`).
+* Durability — the client's watermark and last-acked sequence persist as
+  WAL cursor frames (the same channel the rule evaluator uses), so a
+  crashed-and-recovered leaf resumes shipping from its last acked
+  position: anything re-sent is deduplicated by the receiver, anything
+  in the WAL loss window is accounted by ``samples_lost``, and nothing
+  is double-counted.
+
+Self-telemetry lands in the local TSDB as ``teemon_remote_write_*``
+series (queue depth, retries, dropped frames, dedup hits), so the
+federation tier is observable with the same PromQL as everything else.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import TsdbError, WalError
+from repro.net.http import HttpNetwork
+from repro.pmag.model import Labels
+from repro.pmag.tsdb import StorageEngine
+from repro.pmag.wal import (
+    MAX_RECORD_BYTES,
+    decode_payload,
+    encode_record_cached,
+)
+from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
+from repro.simkernel.rng import DeterministicRng
+
+#: Port/path convention for the receiving endpoint (Prometheus uses
+#: ``/api/v1/write`` on its own port; 9009 is the Cortex/Mimir habit).
+REMOTE_WRITE_PORT = 9009
+REMOTE_WRITE_PATH = "/api/v1/write"
+
+#: Wire-format version tag, first token of every frame.
+FRAME_MAGIC = "teemon-rw/1"
+
+#: Identity labels of the client's self-series in the *leaf* TSDB.
+CLIENT_IDENTITY = {"job": "pmag", "instance": "remote_write"}
+#: Identity labels of the receiver's self-series in the *global* TSDB.
+RECEIVER_IDENTITY = {"job": "pmag", "instance": "remote_write_receiver"}
+
+#: WAL cursor keys persisting the client's durable uplink position.
+#: ``:`` keeps them out of the rule evaluator's ``group/record`` space
+#: (unknown keys are ignored there anyway).
+def watermark_cursor_key(source: str) -> str:
+    """Cursor key holding the highest acked sample timestamp."""
+    return f"remote-write:wm:{source}"
+
+
+def sequence_cursor_key(source: str) -> str:
+    """Cursor key holding the last acked frame sequence number."""
+    return f"remote-write:seq:{source}"
+
+
+def encode_frame(
+    sender: str, seq: int, entries: List[Tuple[Labels, int, float]]
+) -> str:
+    """One batched, compressed sample frame as an HTTP body.
+
+    Header line ``teemon-rw/1 <sender> <seq> <count>``, then the base64
+    of the zlib-compressed concatenation of WAL-framed records — each
+    record keeps its own CRC32, so a corrupted frame is detected at
+    record granularity, the same integrity story as the on-disk log.
+    """
+    if not sender or any(c in sender for c in " \n"):
+        raise WalError(f"sender not wire-safe: {sender!r}")
+    # A frame holds many samples of few distinct series; the cached
+    # encoder builds each series' label block (and partial CRC) once.
+    prefix_cache: Dict[Labels, Tuple[bytes, int, bytes]] = {}
+    payload = b"".join(
+        encode_record_cached(labels, time_ns, value, prefix_cache)
+        for labels, time_ns, value in entries
+    )
+    body = base64.b64encode(zlib.compress(payload, 6)).decode("ascii")
+    return f"{FRAME_MAGIC} {sender} {seq} {len(entries)}\n{body}"
+
+
+def decode_frame(text: str) -> Tuple[str, int, List[Tuple[Labels, int, float]]]:
+    """Inverse of :func:`encode_frame`; raises :class:`WalError` on any
+    framing, CRC, count or compression damage."""
+    header, sep, body = text.partition("\n")
+    pieces = header.split()
+    if len(pieces) != 4 or pieces[0] != FRAME_MAGIC or not sep:
+        raise WalError(f"malformed remote-write frame header: {header!r}")
+    sender = pieces[1]
+    try:
+        seq = int(pieces[2])
+        count = int(pieces[3])
+    except ValueError:
+        raise WalError(f"bad frame sequence/count: {header!r}") from None
+    try:
+        payload = zlib.decompress(base64.b64decode(body.encode("ascii")))
+    except Exception as exc:  # noqa: BLE001 - any transport damage
+        raise WalError(f"undecodable frame payload: {exc}") from exc
+    entries: List[Tuple[Labels, int, float]] = []
+    pos = 0
+    # Per-frame decode memo: records of the same series share their
+    # label block (everything before the trailing 16-byte time+value),
+    # and the CRC above already vouches for the bytes — so each distinct
+    # block is parsed into a Labels once and reused.
+    label_cache: Dict[bytes, Labels] = {}
+    while pos < len(payload):
+        if len(payload) - pos < 8:
+            raise WalError("truncated record frame in remote-write payload")
+        length, crc = struct.unpack_from("<II", payload, pos)
+        if not 0 < length <= MAX_RECORD_BYTES:
+            raise WalError(f"implausible record length: {length}")
+        record = payload[pos + 8:pos + 8 + length]
+        if len(record) != length:
+            raise WalError("truncated record in remote-write payload")
+        if zlib.crc32(record) != crc:
+            raise WalError("record CRC mismatch in remote-write frame")
+        labels = label_cache.get(record[:-16])
+        if labels is not None:
+            time_ns, value = struct.unpack_from("<qd", record, length - 16)
+            entries.append((labels, time_ns, value))
+        else:
+            decoded = decode_payload(record)
+            label_cache[record[:-16]] = decoded[0]
+            entries.append(decoded)
+        pos += 8 + length
+    if len(entries) != count:
+        raise WalError(
+            f"frame count mismatch: header {count}, payload {len(entries)}"
+        )
+    return sender, seq, entries
+
+
+class RemoteWriteReceiver:
+    """Ingests remote-write frames into the global monitor's TSDB.
+
+    Dedup happens at two granularities:
+
+    * **frame replays** — a frame whose sequence is ≤ the sender's last
+      applied one was already ingested (the client retried because the
+      ack was lost in transit); it is acknowledged again and its samples
+      are counted as :attr:`replay_dedup_hits` without touching storage;
+    * **sample duplicates** — within an applied frame, the storage
+      engine's per-series monotonic-append check rejects every sample
+      whose (series fingerprint, timestamp) is already present, counted
+      as :attr:`samples_deduped`.  This is what collapses an HA pair of
+      leaves shipping the same scrape into exactly one stored copy: the
+      replica whose frame arrives first wins, and
+      :class:`~repro.teemon.ha.HAMonitorPair` staggers replica flush
+      ticks by priority so "first" is deterministically the
+      lower-priority-number replica.
+
+    Sequence state is per *sender* and lives in monitor memory: after a
+    global-monitor crash the map is empty, so the receiver accepts any
+    forward sequence and relies on sample-granularity dedup for the
+    overlap a resuming client re-sends.
+    """
+
+    def __init__(self, tsdb: StorageEngine) -> None:
+        self._tsdb = tsdb
+        self._last_seq: Dict[str, int] = {}
+        self._endpoint = None
+        self.frames_received = 0
+        self.frames_applied = 0
+        self.frames_replayed = 0
+        self.frames_rejected = 0
+        self.samples_applied = 0
+        self.samples_deduped = 0
+        self.replay_dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    def expose(self, network: HttpNetwork, host: str,
+               port: int = REMOTE_WRITE_PORT,
+               path: str = REMOTE_WRITE_PATH):
+        """Register the write endpoint on the simulated network."""
+        endpoint = network.register(host, port, path, self._status_body)
+        endpoint.post_handler = self.handle
+        self._endpoint = endpoint
+        return endpoint
+
+    def withdraw(self, network: HttpNetwork, host: str,
+                 port: int = REMOTE_WRITE_PORT,
+                 path: str = REMOTE_WRITE_PATH) -> None:
+        """Remove the write endpoint (the receiving process died)."""
+        network.unregister(host, port, path)
+        self._endpoint = None
+
+    @property
+    def url(self) -> str:
+        """Endpoint URL once exposed."""
+        if self._endpoint is None:
+            raise TsdbError("remote-write receiver not exposed yet")
+        return self._endpoint.url
+
+    def _status_body(self) -> str:
+        return (
+            f"remote_write_frames_received_total {self.frames_received}\n"
+            f"remote_write_samples_applied_total {self.samples_applied}\n"
+        )
+
+    # ------------------------------------------------------------------
+    def handle(self, body: str) -> str:
+        """Apply one frame; returns the ack line the client parses.
+
+        A malformed frame raises (the transport turns that into a 500,
+        which the client retries with the intact frame).
+        """
+        self.frames_received += 1
+        try:
+            sender, seq, entries = decode_frame(body)
+        except WalError:
+            self.frames_rejected += 1
+            raise
+        last = self._last_seq.get(sender, 0)
+        if seq <= last:
+            self.frames_replayed += 1
+            self.replay_dedup_hits += len(entries)
+            return f"ack {seq} replayed={len(entries)}"
+        rejected = self._tsdb.append_batch(entries) if entries else []
+        applied = len(entries) - len(rejected)
+        self.samples_applied += applied
+        self.samples_deduped += len(rejected)
+        self.frames_applied += 1
+        self._last_seq[sender] = seq
+        return f"ack {seq} applied={applied} deduped={len(rejected)}"
+
+    # ------------------------------------------------------------------
+    def last_sequence(self, sender: str) -> int:
+        """Last applied frame sequence for one sender (0 = none)."""
+        return self._last_seq.get(sender, 0)
+
+    def stats(self) -> Dict[str, int]:
+        """Receiver counters as a plain mapping."""
+        return {
+            "frames_received": self.frames_received,
+            "frames_applied": self.frames_applied,
+            "frames_replayed": self.frames_replayed,
+            "frames_rejected": self.frames_rejected,
+            "samples_applied": self.samples_applied,
+            "samples_deduped": self.samples_deduped,
+            "replay_dedup_hits": self.replay_dedup_hits,
+        }
+
+    def record_self_series(self, now_ns: int) -> None:
+        """Append the receiver's counters into the receiving TSDB."""
+        for metric, value in (
+            ("teemon_remote_write_frames_received_total", self.frames_received),
+            ("teemon_remote_write_frames_replayed_total", self.frames_replayed),
+            ("teemon_remote_write_samples_applied_total", self.samples_applied),
+            ("teemon_remote_write_samples_deduped_total", self.samples_deduped),
+            ("teemon_remote_write_replay_dedup_hits_total",
+             self.replay_dedup_hits),
+        ):
+            try:
+                self._tsdb.append_sample(
+                    metric, now_ns, float(value), **RECEIVER_IDENTITY
+                )
+            except TsdbError:
+                pass  # duplicate instant (manual tick + scheduled tick)
+
+
+class _Frame:
+    """One queued frame: samples collected but not yet acknowledged."""
+
+    __slots__ = ("seq", "entries", "end_ns", "attempts")
+
+    def __init__(self, seq: int, entries: List[Tuple[Labels, int, float]],
+                 end_ns: int) -> None:
+        self.seq = seq
+        self.entries = entries
+        self.end_ns = end_ns
+        self.attempts = 0
+
+
+class RemoteWriteClient:
+    """Ships the leaf TSDB's samples upstream in sequence-numbered frames.
+
+    ``flush()`` (the deployment runs it on a virtual-clock cadence,
+    staggered by ``priority`` so HA replicas never deliver at the same
+    instant in ambiguous order) does two things: *collect* — snapshot
+    every sample in ``(collected watermark, now]`` into frames of at most
+    ``max_frame_samples`` — and *pump* — deliver queued frames in
+    sequence order, one in flight at a time, with jittered-exponential
+    retry on the virtual clock.  Delivery failures leave the frame at the
+    head of the queue; after ``max_retries`` failed attempts the pump
+    goes idle until the next flush tick, so a dead uplink costs one
+    bounded retry burst per cadence, not an unbounded timer storm.
+
+    Durability: when a WAL is attached, each acked frame persists the new
+    watermark and sequence as cursor frames.  A crashed leaf seeds both
+    from recovery (:meth:`seed`) and resumes from the acked position —
+    the receiver's dedup absorbs any overlap.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        network: HttpNetwork,
+        tsdb: StorageEngine,
+        url: str,
+        source: str,
+        wal=None,
+        max_frame_samples: int = 500,
+        queue_max_frames: int = 64,
+        timeout_budget_s: float = 1.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_jitter: float = 0.5,
+        rng: Optional[DeterministicRng] = None,
+        priority: int = 0,
+        stagger_ns: int = 1_000_000,
+    ) -> None:
+        if max_frame_samples < 1:
+            raise TsdbError(f"max_frame_samples must be >= 1: {max_frame_samples}")
+        if queue_max_frames < 1:
+            raise TsdbError(f"queue_max_frames must be >= 1: {queue_max_frames}")
+        if timeout_budget_s <= 0:
+            raise TsdbError(f"timeout budget must be positive: {timeout_budget_s}")
+        if max_retries < 0:
+            raise TsdbError(f"negative retry count: {max_retries}")
+        if backoff_base_s <= 0:
+            raise TsdbError(f"backoff base must be positive: {backoff_base_s}")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise TsdbError(f"backoff jitter must be in [0, 1): {backoff_jitter}")
+        if priority < 0:
+            raise TsdbError(f"priority cannot be negative: {priority}")
+        self._clock = clock
+        self._network = network
+        self._tsdb = tsdb
+        self.url = url
+        self.source = source
+        self._wal = wal
+        self.max_frame_samples = max_frame_samples
+        self.queue_max_frames = queue_max_frames
+        self.timeout_budget_s = timeout_budget_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_jitter = backoff_jitter
+        self.priority = priority
+        self.stagger_offset_ns = priority * stagger_ns
+        self._rng = (rng or DeterministicRng(0)).fork("remote-write")
+        self._queue: Deque[_Frame] = deque()
+        self._retry_timer = None
+        self._stopped = False
+        #: Highest sample timestamp *collected* into a frame (in-memory).
+        self._collected_ns = 0
+        #: Highest sample timestamp *acknowledged* upstream (durable).
+        self.watermark_ns = 0
+        #: Sequence of the last frame built / last frame acked.
+        self._seq = 0
+        self.acked_seq = 0
+        self.frames_sent = 0
+        self.frames_acked = 0
+        self.frames_dropped = 0
+        self.retries_total = 0
+        self.send_failures = 0
+        self.samples_shipped = 0
+        self.samples_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Recovery seeding
+    # ------------------------------------------------------------------
+    def seed(self, watermark_ns: Optional[int],
+             acked_seq: Optional[int]) -> None:
+        """Restore the durable uplink position after a crash.
+
+        The queue restarts empty: everything past the acked watermark is
+        still in the recovered TSDB and will be re-collected on the next
+        flush; the receiver deduplicates whatever the dead incarnation
+        already delivered without managing to persist the cursor.
+        """
+        if watermark_ns is not None:
+            self._collected_ns = self.watermark_ns = watermark_ns
+        if acked_seq is not None:
+            self._seq = self.acked_seq = acked_seq
+
+    def stop(self) -> None:
+        """Cancel the retry timer (the leaf monitor is stopping/dying)."""
+        self._stopped = True
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
+    # ------------------------------------------------------------------
+    # Collect + pump
+    # ------------------------------------------------------------------
+    def flush(self, now_ns: Optional[int] = None) -> int:
+        """Collect new samples into frames and pump the queue.
+
+        Returns the number of samples newly collected this call.
+        """
+        self._stopped = False
+        now = self._clock.now_ns if now_ns is None else now_ns
+        collected = self._collect(now)
+        if self._retry_timer is None:
+            self._pump()
+        return collected
+
+    def _collect(self, now_ns: int) -> int:
+        if now_ns <= self._collected_ns:
+            return 0
+        entries: List[Tuple[Labels, int, float]] = []
+        # Window is (collected, now]: select is inclusive on both ends,
+        # so the left edge is nudged one ns past the last collected stamp.
+        for series in self._tsdb.select([], self._collected_ns + 1, now_ns):
+            for sample in series.samples:
+                entries.append((series.labels, sample.time_ns, sample.value))
+        self._collected_ns = now_ns
+        if not entries:
+            return 0
+        for start in range(0, len(entries), self.max_frame_samples):
+            chunk = entries[start:start + self.max_frame_samples]
+            self._seq += 1
+            self._queue.append(_Frame(self._seq, chunk, now_ns))
+        while len(self._queue) > self.queue_max_frames:
+            dropped = self._queue.popleft()
+            self.frames_dropped += 1
+            self.samples_dropped += len(dropped.entries)
+        return len(entries)
+
+    def _pump(self) -> None:
+        """Deliver queued frames in order until one fails or none remain."""
+        while self._queue and not self._stopped:
+            frame = self._queue[0]
+            if not self._attempt(frame):
+                return
+            self._acknowledge(frame)
+
+    def _attempt(self, frame: _Frame) -> bool:
+        """One delivery try; schedules a retry (or gives up) on failure."""
+        frame.attempts += 1
+        self.frames_sent += 1
+        body = encode_frame(self.source, frame.seq, frame.entries)
+        response = self._network.post_url(self.url, body)
+        latency_s = getattr(response, "latency_s", 0.0)
+        ok = (
+            response.ok
+            and latency_s <= self.timeout_budget_s
+            and response.body.startswith(f"ack {frame.seq}")
+        )
+        if ok:
+            return True
+        if frame.attempts <= self.max_retries:
+            delay_s = self.backoff_base_s * (2 ** (frame.attempts - 1))
+            if self.backoff_jitter:
+                delay_s *= 1.0 + self.backoff_jitter * (
+                    2.0 * self._rng.random() - 1.0
+                )
+            self._retry_timer = self._clock.call_later(
+                int(delay_s * NANOS_PER_SEC), self._retry
+            )
+        else:
+            # Out of retries this cadence: leave the frame queued (the
+            # next flush pumps again) — spill, don't spin.
+            self.send_failures += 1
+        return False
+
+    def _retry(self) -> None:
+        self._retry_timer = None
+        if self._stopped:
+            return
+        self.retries_total += 1
+        self._pump()
+
+    def _acknowledge(self, frame: _Frame) -> None:
+        self._queue.popleft()
+        self.frames_acked += 1
+        self.samples_shipped += len(frame.entries)
+        self.acked_seq = frame.seq
+        self.watermark_ns = max(self.watermark_ns, frame.end_ns)
+        if self._wal is not None:
+            self._wal.append_cursor(
+                watermark_cursor_key(self.source), self.watermark_ns
+            )
+            self._wal.append_cursor(
+                sequence_cursor_key(self.source), self.acked_seq
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection / self-telemetry
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently spilled to the send queue."""
+        return len(self._queue)
+
+    @property
+    def queued_samples(self) -> int:
+        """Samples inside queued frames."""
+        return sum(len(frame.entries) for frame in self._queue)
+
+    def stats(self) -> Dict[str, int]:
+        """Client counters as a plain mapping."""
+        return {
+            "queue_frames": self.queue_depth,
+            "queue_samples": self.queued_samples,
+            "frames_sent": self.frames_sent,
+            "frames_acked": self.frames_acked,
+            "frames_dropped": self.frames_dropped,
+            "retries_total": self.retries_total,
+            "send_failures": self.send_failures,
+            "samples_shipped": self.samples_shipped,
+            "samples_dropped": self.samples_dropped,
+            "watermark_ns": self.watermark_ns,
+            "acked_seq": self.acked_seq,
+        }
+
+    def record_self_series(self, now_ns: int) -> None:
+        """Append the client's counters into the *local* TSDB.
+
+        They ride the next collect upstream like every other series, so
+        the global tier can alert on a leaf's queue growth.
+        """
+        for metric, value in (
+            ("teemon_remote_write_queue_frames", self.queue_depth),
+            ("teemon_remote_write_queue_samples", self.queued_samples),
+            ("teemon_remote_write_frames_sent_total", self.frames_sent),
+            ("teemon_remote_write_frames_acked_total", self.frames_acked),
+            ("teemon_remote_write_frames_dropped_total", self.frames_dropped),
+            ("teemon_remote_write_retries_total", self.retries_total),
+            ("teemon_remote_write_samples_shipped_total", self.samples_shipped),
+            ("teemon_remote_write_samples_dropped_total", self.samples_dropped),
+        ):
+            try:
+                self._tsdb.append_sample(
+                    metric, now_ns, float(value), **CLIENT_IDENTITY
+                )
+            except TsdbError:
+                pass  # duplicate instant (manual tick + scheduled tick)

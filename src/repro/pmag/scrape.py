@@ -193,6 +193,13 @@ class ScrapeManager:
             "teemon_target_flaps_total",
             "Target up/down transitions observed",
         )
+        self._removed_counter = registry.counter(
+            "teemon_scrape_targets_removed_total",
+            "Targets dropped by discovery and retired with staleness markers",
+        )
+        #: URLs whose removal wrote a staleness marker; if discovery ever
+        #: returns them again, the first healthy scrape clears the marker.
+        self._removed_stale: set = set()
         #: Latest exemplar seen per metric name on ingested samples.
         self._exemplars: Dict[str, Tuple[Tuple[Tuple[str, str], ...], Exemplar]] = {}
 
@@ -238,6 +245,11 @@ class ScrapeManager:
     def flaps_total(self) -> int:
         """Up/down transitions observed."""
         return int(self._flaps_counter.value)
+
+    @property
+    def targets_removed(self) -> int:
+        """Targets retired after discovery stopped returning them."""
+        return int(self._removed_counter.value)
 
     # ------------------------------------------------------------------
     # Target management
@@ -323,6 +335,9 @@ class ScrapeManager:
         ingested = 0
         targets = self.current_targets()
         with tracer.span("scrape.cycle", {"targets": len(targets)}):
+            self._retire_removed_targets(
+                {target.url for target in targets}, now
+            )
             for target in targets:
                 self._cancel_retry(target)
                 health = self.health(target)
@@ -432,6 +447,32 @@ class ScrapeManager:
             self._meta_writes_counter.inc()
         return ingested
 
+    def _retire_removed_targets(self, current_urls, now_ns: int) -> None:
+        """Retire health records of targets discovery no longer returns.
+
+        A departed node's series must not linger as phantoms: the target
+        gets a final ``up 0`` and a staleness marker (the same mechanism
+        as a target that missed the staleness threshold of scrapes), its
+        pending retry is cancelled, and its health record is dropped so
+        the targets page reflects the live topology.
+        """
+        for target in list(self._health):
+            if target.url in current_urls:
+                continue
+            health = self._health.pop(target)
+            self._cancel_retry(target)
+            self._removed_counter.inc()
+            if not health.observed:
+                continue  # never scraped: nothing in the TSDB to retire
+            identity = target.identity()
+            if health.up:
+                if self._append("up", now_ns, 0.0, identity):
+                    self._up_writes_counter.inc()
+            if not health.stale:
+                if self._append("scrape_target_stale", now_ns, 1.0, identity):
+                    self._stale_writes_counter.inc()
+            self._removed_stale.add(target.url)
+
     # ------------------------------------------------------------------
     # Failure handling, retries, staleness
     # ------------------------------------------------------------------
@@ -489,6 +530,12 @@ class ScrapeManager:
             health.stale = False
             if self._append("scrape_target_stale", now_ns, 0.0, identity):
                 self._stale_writes_counter.inc()
+        elif target.url in self._removed_stale:
+            # The target was retired by discovery and has rejoined under
+            # a fresh health record: clear the removal staleness marker.
+            if self._append("scrape_target_stale", now_ns, 0.0, identity):
+                self._stale_writes_counter.inc()
+        self._removed_stale.discard(target.url)
 
     def backoff_delay_ns(self, attempt: int) -> int:
         """Jittered exponential backoff before retry ``attempt + 1``.
@@ -560,6 +607,7 @@ class ScrapeManager:
             ("scrape_retries_total", self.retries_total),
             ("scrape_samples_dropped_total", self.samples_dropped),
             ("target_flaps_total", self.flaps_total),
+            ("scrape_targets_removed_total", self.targets_removed),
         ):
             self._append(name, now_ns, float(value), SELF_IDENTITY)
 
@@ -571,6 +619,7 @@ class ScrapeManager:
             "scrape_retries_total": self.retries_total,
             "scrape_samples_dropped_total": self.samples_dropped,
             "target_flaps_total": self.flaps_total,
+            "scrape_targets_removed_total": self.targets_removed,
             "samples_ingested": self.samples_ingested,
             "up_writes": self.up_writes,
         }

@@ -18,13 +18,16 @@ See :mod:`repro.teemon.deploy` for the deployment object and
 
 from repro.teemon.config import TeemonConfig
 from repro.teemon.deploy import TeemonDeployment, deploy
+from repro.teemon.ha import HAMonitorPair, deploy_ha_pair
 from repro.teemon.session import MonitoringSession
 from repro.teemon.supervisor import MonitorSupervisor
 
 __all__ = [
     "TeemonConfig",
     "deploy",
+    "deploy_ha_pair",
     "TeemonDeployment",
+    "HAMonitorPair",
     "MonitoringSession",
     "MonitorSupervisor",
 ]

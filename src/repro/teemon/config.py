@@ -196,6 +196,39 @@ class TeemonConfig:
     #: Rollup bucket width.  Range queries whose step is at least this
     #: are served from the downsampled buckets.
     downsample_resolution_s: float = 300.0
+    #: Build the per-node exporters and register their scrape targets.
+    #: Off for monitor-only tiers — a federation *global* monitor ingests
+    #: exclusively via remote-write and scrapes nothing locally, and an
+    #: HA replica shares its exporter substrate with its peer.
+    enable_exporters: bool = True
+    #: Remote-write uplink: ship everything this monitor ingests to the
+    #: receiver at this URL as batched, compressed frames on the virtual
+    #: clock.  ``None`` (the default) disables the client entirely.
+    remote_write_url: Optional[str] = None
+    #: Sender identity stamped into every frame header; the receiver
+    #: tracks sequence numbers per source.  Defaults to the hostname.
+    remote_write_source: Optional[str] = None
+    #: Remote-write flush cadence (collect-and-ship tick).
+    remote_write_interval_s: float = 5.0
+    #: Samples per frame; a flush ships as many frames as needed.
+    remote_write_frame_samples: int = 500
+    #: Bound of the send queue, in frames.  When the uplink is down the
+    #: queue absorbs this much before the oldest frames are dropped
+    #: (counted in ``teemon_remote_write_frames_dropped_total``).
+    remote_write_queue_frames: int = 256
+    #: Frame posts slower than this count as timeouts and retry.
+    remote_write_timeout_s: float = 1.0
+    #: In-flight retries per frame before spilling back to the queue.
+    remote_write_max_retries: int = 2
+    #: Replica priority: staggers this monitor's remote-write flush tick
+    #: by ``priority * 1ms`` so an HA pair shipping the same samples has
+    #: a deterministic winner (the lower priority lands first; the
+    #: loser's duplicates are rejected sample-by-sample upstream).
+    remote_write_priority: int = 0
+    #: Run a :class:`~repro.pmag.remote_write.RemoteWriteReceiver` and
+    #: expose it on this deployment's network at
+    #: ``http://{hostname}:9009/api/v1/write``.
+    remote_write_receiver: bool = False
 
     def span_metrics_enabled(self) -> bool:
         """Resolved ``trace_span_metrics``: explicit value if set, else
@@ -253,7 +286,8 @@ class TeemonConfig:
             raise DeploymentError("retention must be positive")
         if self.analysis_every_s <= 0 or self.analysis_window_s <= 0:
             raise DeploymentError("analysis cadence/window must be positive")
-        if not (self.enable_tme or self.enable_ebpf
+        if self.enable_exporters and not (
+                self.enable_tme or self.enable_ebpf
                 or self.enable_node_exporter or self.enable_cadvisor):
             raise DeploymentError("at least one exporter must be enabled")
         if self.wal_flush_records < 0:
@@ -284,6 +318,18 @@ class TeemonConfig:
             raise DeploymentError("block_range_s must be positive")
         if self.downsample_resolution_s <= 0:
             raise DeploymentError("downsample_resolution_s must be positive")
+        if self.remote_write_interval_s <= 0:
+            raise DeploymentError("remote_write_interval_s must be positive")
+        if self.remote_write_frame_samples < 1:
+            raise DeploymentError("remote_write_frame_samples must be >= 1")
+        if self.remote_write_queue_frames < 1:
+            raise DeploymentError("remote_write_queue_frames must be >= 1")
+        if self.remote_write_timeout_s <= 0:
+            raise DeploymentError("remote_write_timeout_s must be positive")
+        if self.remote_write_max_retries < 0:
+            raise DeploymentError("remote_write_max_retries cannot be negative")
+        if self.remote_write_priority < 0:
+            raise DeploymentError("remote_write_priority cannot be negative")
         if self.downsample_after_s is not None:
             if self.downsample_after_s <= 0:
                 raise DeploymentError("downsample_after_s must be positive")

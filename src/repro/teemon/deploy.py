@@ -53,6 +53,14 @@ from repro.pmag.alerting import (
     SilenceStore,
 )
 from repro.pmag.query.engine import QueryEngine
+from repro.pmag.remote_write import (
+    REMOTE_WRITE_PATH,
+    REMOTE_WRITE_PORT,
+    RemoteWriteClient,
+    RemoteWriteReceiver,
+    sequence_cursor_key,
+    watermark_cursor_key,
+)
 from repro.pmag.rules import RecordingRule, RuleEvaluator, RuleGroup
 from repro.pmag.scrape import SELF_IDENTITY, ScrapeManager, ScrapeTarget
 from repro.pmag.storage import build_storage_engine
@@ -159,6 +167,12 @@ class TeemonDeployment:
         self._wal_checkpoint_timer = None
         self._compaction_timer = None
         self._anomaly_timer = None
+        self._remote_write_timer = None
+        #: Service-discovery sources registered via :meth:`add_discovery`.
+        #: Substrate, not monitor memory: the cluster the callbacks watch
+        #: outlives a monitor crash, so resurrection replays them onto the
+        #: fresh scrape manager.
+        self._discoverers: List = []
         #: Whether the monitor is currently dead (killed, not resurrected).
         self.crashed = False
         #: The durable medium backing the WAL (substrate: survives kills).
@@ -294,6 +308,30 @@ class TeemonDeployment:
             self.scrape_manager.add_target(
                 ScrapeTarget(job=job, instance=kernel.hostname, url=exporter.url)
             )
+        for discoverer in self._discoverers:
+            self.scrape_manager.add_discovery(discoverer)
+        # Federation: the receiver ingests other monitors' remote-write
+        # frames into this TSDB; the client ships this TSDB's samples
+        # upstream.  Both are monitor memory — rebuilt per incarnation;
+        # the client's durable position is re-seeded by resurrect().
+        self.remote_write_receiver: Optional[RemoteWriteReceiver] = None
+        if config.remote_write_receiver:
+            self.remote_write_receiver = RemoteWriteReceiver(self.tsdb)
+            self.remote_write_receiver.expose(self.network, kernel.hostname)
+        self.remote_write_client: Optional[RemoteWriteClient] = None
+        if config.remote_write_url is not None:
+            self.remote_write_client = RemoteWriteClient(
+                kernel.clock, self.network, self.tsdb,
+                url=config.remote_write_url,
+                source=config.remote_write_source or kernel.hostname,
+                wal=self.wal,
+                max_frame_samples=config.remote_write_frame_samples,
+                queue_max_frames=config.remote_write_queue_frames,
+                timeout_budget_s=config.remote_write_timeout_s,
+                max_retries=config.remote_write_max_retries,
+                rng=kernel.rng,
+                priority=config.remote_write_priority,
+            )
         self.self_exporter: Optional[TeemonSelfExporter] = None
         if config.enable_self_telemetry:
             rules_on = config.enable_recording_rules or config.enable_alerting
@@ -383,6 +421,8 @@ class TeemonDeployment:
     def _create_exporters(self) -> None:
         config = self.config
         kernel = self.kernel
+        if not config.enable_exporters:
+            return
 
         def containerised(name: str, factory) -> Exporter:
             image = ContainerImage(name=name, entrypoint=factory)
@@ -441,6 +481,18 @@ class TeemonDeployment:
         self._schedule_wal_maintenance()
         self._schedule_compaction()
         self._schedule_anomaly_detection()
+        self._schedule_remote_write()
+
+    def add_discovery(self, discoverer) -> None:
+        """Register a service-discovery source durably.
+
+        Unlike registering straight on the scrape manager, sources added
+        here survive :meth:`kill`/:meth:`resurrect` — the cluster a
+        discoverer watches is substrate, so the rebuilt monitor should
+        keep watching it.
+        """
+        self._discoverers.append(discoverer)
+        self.scrape_manager.add_discovery(discoverer)
 
     def stop(self) -> None:
         """Stop scraping and analysis gracefully (exporters stay
@@ -453,6 +505,11 @@ class TeemonDeployment:
             self.rule_evaluator.stop()
         if self.notification_router is not None:
             self.notification_router.stop()
+        if self.remote_write_client is not None:
+            # One last flush so a graceful stop ships everything ingested
+            # so far, then park the retry timer.
+            self.remote_write_client.flush()
+            self.remote_write_client.stop()
         self._running = False
         self._cancel_maintenance_timers()
         if self.wal is not None:
@@ -484,7 +541,7 @@ class TeemonDeployment:
     def _cancel_maintenance_timers(self) -> None:
         for attr in ("_accounting_timer", "_wal_flush_timer",
                      "_wal_checkpoint_timer", "_compaction_timer",
-                     "_anomaly_timer"):
+                     "_anomaly_timer", "_remote_write_timer"):
             timer = getattr(self, attr)
             if timer is not None:
                 timer.cancel()
@@ -511,6 +568,15 @@ class TeemonDeployment:
             self.rule_evaluator.stop()
         if self.notification_router is not None:
             self.notification_router.stop()
+        if self.remote_write_client is not None:
+            # Abrupt: no final flush — queued frames die with the process.
+            self.remote_write_client.stop()
+        if self.remote_write_receiver is not None:
+            # A dead receiving process serves nothing: withdraw the write
+            # endpoint so leaves fail fast and spill to their queues.
+            self.remote_write_receiver.withdraw(
+                self.network, self.kernel.hostname
+            )
         self._running = False
         self._cancel_maintenance_timers()
         self.crashed = True
@@ -558,6 +624,15 @@ class TeemonDeployment:
             self.rule_evaluator.seed_cursors(cursors)
             if self.wal is not None:
                 self.wal.record_cursors(cursors)
+        if self.remote_write_client is not None:
+            # Resume the uplink from the last *acked* position.  The
+            # receiver deduplicates whatever the dead incarnation shipped
+            # past the last persisted cursor.
+            client = self.remote_write_client
+            client.seed(
+                cursors.get(watermark_cursor_key(client.source)),
+                cursors.get(sequence_cursor_key(client.source)),
+            )
         if self.config.enable_alerting:
             now_ns = self.kernel.clock.now_ns
             tolerance_ns = int(
@@ -594,6 +669,8 @@ class TeemonDeployment:
             ("scrape_retries_total", "teemon_scrape_retries_total"),
             ("scrape_samples_dropped_total", "teemon_scrape_samples_dropped_total"),
             ("target_flaps_total", "teemon_target_flaps_total"),
+            ("scrape_targets_removed_total",
+             "teemon_scrape_targets_removed_total"),
         ):
             sample = self.tsdb.latest(series_name, **SELF_IDENTITY)
             if sample is not None:
@@ -679,6 +756,34 @@ class TeemonDeployment:
 
         self._anomaly_timer = clock.call_later(interval_ns, tick)
 
+    def _schedule_remote_write(self) -> None:
+        """Timed remote-write flushes on the virtual clock.
+
+        The first tick lands at ``interval + priority * stagger``:
+        HA replicas configured with distinct priorities never flush at
+        the same instant, so the receiver's first-frame-wins sample
+        dedup has a deterministic winner (the priority-0 replica).
+        Flush ticks trail the scrape tick at a shared instant (scheduled
+        later at deployment start), so each cycle's samples are ingested
+        before the collect that ships them.
+        """
+        if self.remote_write_client is None:
+            return
+        clock = self.kernel.clock
+        interval_ns = int(
+            self.config.remote_write_interval_s * NANOS_PER_SEC
+        )
+
+        def tick() -> None:
+            if not self._running:
+                return
+            self.remote_write_client.flush(clock.now_ns)
+            self._remote_write_timer = clock.call_later(interval_ns, tick)
+
+        self._remote_write_timer = clock.call_later(
+            interval_ns + self.remote_write_client.stagger_offset_ns, tick
+        )
+
     def _schedule_service_accounting(self) -> None:
         """Charge the aggregation/visualisation services their CPU share.
 
@@ -722,6 +827,10 @@ class TeemonDeployment:
                 self.tsdb.append_sample(metric, now_ns, value, **identity)
             except TsdbError:
                 pass  # duplicate instant (manual tick + scheduled tick)
+        if self.remote_write_client is not None:
+            self.remote_write_client.record_self_series(now_ns)
+        if self.remote_write_receiver is not None:
+            self.remote_write_receiver.record_self_series(now_ns)
 
     def shutdown(self) -> None:
         """Full teardown: stop everything and exit all TEEMon processes."""

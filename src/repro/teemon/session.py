@@ -110,6 +110,29 @@ class MonitoringSession:
         return self._deployment.tsdb.storage_stats()
 
     # ------------------------------------------------------------------
+    # Federation
+    # ------------------------------------------------------------------
+    def remote_write_stats(self) -> Dict[str, object]:
+        """Federation counters: the uplink client's queue/retry/ship
+        totals and/or the receiver's dedup totals, whichever this
+        deployment runs."""
+        deployment = self._deployment
+        client = deployment.remote_write_client
+        receiver = deployment.remote_write_receiver
+        if client is None and receiver is None:
+            raise DeploymentError(
+                "federation is disabled; deploy with "
+                "TeemonConfig(remote_write_url=...) or "
+                "TeemonConfig(remote_write_receiver=True)"
+            )
+        stats: Dict[str, object] = {}
+        if client is not None:
+            stats["client"] = client.stats()
+        if receiver is not None:
+            stats["receiver"] = receiver.stats()
+        return stats
+
+    # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------
     def _trace_store(self):

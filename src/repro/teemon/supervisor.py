@@ -32,7 +32,8 @@ MONITOR_SUBJECT = "teemon-monitor"
 class MonitorSupervisor:
     """Kills and resurrects a deployment's monitoring process."""
 
-    def __init__(self, deployment: TeemonDeployment, plan=None) -> None:
+    def __init__(self, deployment: TeemonDeployment, plan=None,
+                 subject: str = MONITOR_SUBJECT) -> None:
         if not deployment.config.enable_wal:
             raise DeploymentError(
                 "supervised restart needs durable storage; deploy with "
@@ -40,6 +41,10 @@ class MonitorSupervisor:
             )
         self.deployment = deployment
         self.plan = plan
+        #: Journal subject of this monitor's crash/recover events.  An HA
+        #: pair supervises two replicas, so each needs its own name in
+        #: the shared journal.
+        self.subject = subject
         self.crashes = 0
         self.recoveries = 0
         self._last_crash: Optional[DiskCrashReport] = None
@@ -60,7 +65,7 @@ class MonitorSupervisor:
         self._last_crash = deployment.disk.crash()
         self.crashes += 1
         if self.plan is not None:
-            self.plan.record("crash", MONITOR_SUBJECT, method="PROC")
+            self.plan.record("crash", self.subject, method="PROC")
         return self._last_crash
 
     def recover(self):
@@ -100,7 +105,7 @@ class MonitorSupervisor:
         self.recoveries += 1
         self.reports.append(report)
         if self.plan is not None:
-            self.plan.record("recover", MONITOR_SUBJECT, method="PROC")
+            self.plan.record("recover", self.subject, method="PROC")
         return report
 
     def total_samples_lost(self) -> int:

@@ -231,7 +231,7 @@ def test_ingest_counters_reconcile_with_tsdb_appends():
     rig = build_rig(29, flap=True, corrupt_p=0.1, max_retries=0)
     drive(rig, cycles)
     manager = rig.manager
-    self_writes = 4 * cycles  # four self-monitoring series per cycle
+    self_writes = 5 * cycles  # five self-monitoring series per cycle
     assert rig.tsdb.total_appends == (
         manager.samples_ingested + manager.up_writes + manager.meta_writes
         + self_writes + manager.stale_writes

@@ -122,6 +122,66 @@ def test_crash_recover_continue_loses_at_most_one_flush_interval():
     assert "PROC teemon-monitor recover" in journal
 
 
+def test_kill_resurrect_under_combined_sharded_traced_profile():
+    """Crash recovery with sharding AND tracing on at once.
+
+    CI runs the suite under ``sharded`` and ``traced`` profiles
+    separately; this pins the combination explicitly, because recovery
+    replays the WAL into a *sharded* engine while the tracer is live —
+    two subsystems that each hook the scrape cycle.
+    """
+    def build(seed):
+        kernel = Kernel(seed=seed, hostname="crash-host")
+        kernel.load_module(SgxDriver())
+        rng = DeterministicRng(seed)
+        plan = FaultPlan(kernel.clock, rng.fork("plan"))
+        disk = SimDisk()
+        config = TeemonConfig(
+            enable_wal=True,
+            wal_flush_every_s=FLUSH_S,
+            checkpoint_every_s=CHECKPOINT_S,
+            storage_shards=4,
+            enable_tracing=True,
+            trace_sampling_probability=0.25,
+        )
+        deployment = deploy(kernel, config, disk=disk, start=False)
+        supervisor = MonitorSupervisor(deployment, plan=plan)
+        return SimpleNamespace(
+            kernel=kernel, clock=kernel.clock, plan=plan,
+            deployment=deployment, supervisor=supervisor,
+        )
+
+    baseline = build(11)
+    baseline.deployment.start()
+    baseline.clock.advance(seconds(T_END_S))
+    baseline.deployment.stop()
+
+    rig = build(11)
+    rig.deployment.start()
+    rig.clock.call_at(seconds(T_CRASH_S), rig.supervisor.crash)
+    rig.clock.call_at(seconds(T_CRASH_S + 2), rig.supervisor.recover)
+    rig.clock.advance(seconds(T_END_S))
+    rig.deployment.stop()
+
+    assert rig.supervisor.crashes == rig.supervisor.recoveries == 1
+    report = rig.supervisor.reports[0]
+    crash_ns = seconds(T_CRASH_S)
+    expected = sample_set(baseline.deployment.tsdb, 0, crash_ns)
+    recovered = sample_set(rig.deployment.tsdb, 0, crash_ns)
+    # Same loss-accounting contract as the unsharded/untraced case: no
+    # invented data, exact loss accounting, all loss in the final flush
+    # interval.
+    assert recovered <= expected
+    missing = expected - recovered
+    assert len(missing) == report.samples_lost
+    assert all(t > crash_ns - seconds(FLUSH_S) for _key, t, _v in missing)
+    # The resurrected monitor keeps collecting and keeps tracing.
+    assert sample_set(rig.deployment.tsdb, crash_ns, seconds(T_END_S))
+    tracer = rig.deployment.tracer
+    assert tracer.traces_started > 0
+    assert tracer.traces_started > tracer.traces_sampled_out  # some kept
+
+
 def test_corrupt_wal_record_is_quarantined_without_aborting_recovery():
     # Between the kill and the recovery, rot one durable record in the
     # live segment — the CRC must catch it, recovery must complete.

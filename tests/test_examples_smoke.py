@@ -22,6 +22,9 @@ CASES = [
     ("sev_vm_monitoring.py", ["active guests", "SevAsidPoolLow"]),
     ("slo_burn_rate_alerts.py",
      ["firing during burn", "all resolved", "legend"]),
+    ("federated_fleet.py",
+     ["AnomalyDetected", "TargetDown,instance=node-5",
+      "failover", "partition-heal", "firing now:"]),
 ]
 
 

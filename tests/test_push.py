@@ -12,6 +12,7 @@ from repro.pmag.push import (
     PushGateway,
     decode_push_line,
     encode_push_line,
+    split_push_key,
 )
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock, seconds
@@ -150,6 +151,55 @@ def test_gateway_expose_reports_quota_rejections():
 
 
 # ---------------------------------------------------------------------------
+# Idempotency keys
+# ---------------------------------------------------------------------------
+def test_wire_key_roundtrip():
+    line = encode_push_line("svc", "m_total", 1.5, {"kind": "x"}, key="svc-7")
+    assert line.endswith(" @svc-7")
+    head, key = split_push_key(line)
+    assert key == "svc-7"
+    assert decode_push_line(head) == ("svc", "m_total", 1.5, {"kind": "x"})
+    # Keyless lines split to themselves.
+    bare = encode_push_line("svc", "m_total", 1.5, {})
+    assert split_push_key(bare) == (bare, None)
+    with pytest.raises(TsdbError):
+        encode_push_line("svc", "m_total", 1.0, {}, key="has space")
+
+
+def test_gateway_dedups_replayed_key_without_reappending():
+    clock, tsdb, gateway = _gateway()
+    clock.advance(seconds(1))
+    network = HttpNetwork()
+    url = gateway.expose(network)
+    line = encode_push_line("svc", "events_total", 2.0, {}, key="svc-0")
+    assert network.post_url(url, line).body == "accepted=1 rejected=0"
+    # The replay is acked as accepted but appends nothing.
+    assert network.post_url(url, line).body == "accepted=1 rejected=0"
+    assert gateway.pushes_accepted == 1
+    assert gateway.pushes_deduped == 1
+    series = tsdb.select_metric("events_total", 0, clock.now_ns + 10)
+    assert len(series) == 1 and len(series[0].samples) == 1
+    # A fresh key for the same metric is a genuinely new sample.
+    other = encode_push_line("svc", "events_total", 3.0, {}, key="svc-1")
+    assert network.post_url(url, other).body == "accepted=1 rejected=0"
+    assert gateway.pushes_accepted == 2
+
+
+def test_gateway_dedup_window_is_per_source():
+    clock, _tsdb, gateway = _gateway()
+    clock.advance(seconds(1))
+    network = HttpNetwork()
+    url = gateway.expose(network)
+    a = encode_push_line("alpha", "m_total", 1.0, {}, key="k-0")
+    b = encode_push_line("beta", "m_total", 1.0, {}, key="k-0")
+    network.post_url(url, a)
+    # Same key text under a different source is not a replay.
+    assert network.post_url(url, b).body == "accepted=1 rejected=0"
+    assert gateway.pushes_accepted == 2
+    assert gateway.pushes_deduped == 0
+
+
+# ---------------------------------------------------------------------------
 # PushClient: timeout, retry, terminal rejection
 # ---------------------------------------------------------------------------
 class _FirstNDelay(Injector):
@@ -246,11 +296,14 @@ def test_client_exhausted_retries_counted_as_failed():
     assert rig.client.push_retries_total == 1
     assert rig.client.pushes_failed == 1
     assert rig.client.pushes_delivered == 0
-    # A timed-out push is not a lost push: the gateway processed both the
-    # original and the retry, it only answered too late.  Push gives
-    # at-least-once delivery under timeouts — one more §4 argument for
-    # pull, where a timed-out scrape ingests nothing.
-    assert rig.gateway.pushes_accepted == 2
+    # A timed-out push is not a lost push: the gateway processed the
+    # original, it only answered too late.  The retry carried the same
+    # idempotency key, so the gateway acknowledged it from the dedup
+    # window instead of double-counting the sample.
+    assert rig.gateway.pushes_accepted == 1
+    assert rig.gateway.pushes_deduped == 1
+    series = rig.tsdb.select_metric("m_total", 0, rig.clock.now_ns + 10)
+    assert len(series) == 1 and len(series[0].samples) == 1
 
 
 def test_client_retry_times_follow_jittered_backoff():

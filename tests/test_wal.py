@@ -31,6 +31,7 @@ from repro.pmag.wal import (
     checkpoint_name,
     decode_payload,
     encode_record,
+    encode_record_cached,
     recover,
     segment_name,
 )
@@ -136,6 +137,22 @@ def test_record_roundtrip():
     decoded_labels, time_ns, value = decode_payload(record[8:])
     assert decoded_labels == labels
     assert (time_ns, value) == (12345, -2.5)
+
+
+def test_cached_encoder_is_byte_identical():
+    cache = {}
+    entries = [
+        (Labels.of("m", job="j", zone="eu"), 10, 1.5),
+        (Labels.of("m", job="j", zone="eu"), 20, 2.5),  # cache hit
+        (Labels.of("n", job="j"), 10, -1.0),
+        (Labels.of("m", job="j", zone="eu"), 30, 0.0),  # hit again
+    ]
+    for labels, time_ns, value in entries:
+        assert encode_record_cached(labels, time_ns, value, cache) == \
+            encode_record(labels, time_ns, value)
+    assert len(cache) == 2  # one prefix per distinct label set
+    with pytest.raises(WalError):
+        encode_record_cached(Labels.of("m", k="v" * 70_000), 1, 1.0, {})
 
 
 def test_decode_rejects_malformed_payloads():
