@@ -88,7 +88,7 @@ def _frames(entries):
     frames = []
     for start in range(0, len(entries), FRAME_SAMPLES):
         chunk = entries[start:start + FRAME_SAMPLES]
-        frames.append(encode_frame("leaf-0", len(frames) + 1, chunk))
+        frames.append(encode_frame("leaf-0", 0, len(frames) + 1, chunk))
     return frames
 
 

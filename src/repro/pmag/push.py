@@ -200,6 +200,12 @@ def encode_push_line(source: str, metric: str, value: float,
     for token in (source, metric, *labels, *labels.values()):
         if not token or any(c in token for c in " ,=\n"):
             raise TsdbError(f"token not wire-safe: {token!r}")
+    for name in labels:
+        # A leading '@' on the first (sorted) label name would make the
+        # labels token masquerade as a trailing idempotency key; ban it
+        # on every name so sortedness never decides wire-safety.
+        if name.startswith("@"):
+            raise TsdbError(f"label name not wire-safe: {name!r}")
     if key is not None and (not key or any(c in key for c in " ,=@\n")):
         raise TsdbError(f"push key not wire-safe: {key!r}")
     line = f"{source} {metric} {value}"
@@ -214,13 +220,16 @@ def encode_push_line(source: str, metric: str, value: float,
 def split_push_key(line: str) -> Tuple[str, Optional[str]]:
     """Split a trailing ``@key`` idempotency token off a wire line.
 
-    Unambiguous because no other trailing token can start with ``@``:
-    the value token parses as a float and label values reject ``@`` only
-    in the leading position by construction (the pairs token starts with
-    ``k=``).
+    Unambiguous because keys reject `` ,=@\\n`` at encode time while the
+    only other candidate trailing tokens cannot look like one: the value
+    token parses as a float, and the labels token either starts with a
+    non-``@`` name (encode bans ``@``-leading label names) or contains
+    ``=`` — so a trailing token is a key iff it starts with ``@`` and
+    carries no ``=``/``,``.
     """
     head, sep, tail = line.rpartition(" ")
-    if sep and tail.startswith("@") and len(tail) > 1:
+    if (sep and tail.startswith("@") and len(tail) > 1
+            and "=" not in tail and "," not in tail):
         return head, tail[1:]
     return line, None
 

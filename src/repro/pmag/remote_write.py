@@ -16,20 +16,29 @@ This module is that uplink, hardened the same way the scrape path is:
   past ``queue_max_frames`` the oldest frames are dropped and counted
   (graceful degradation, never memory growth).
 * :class:`RemoteWriteReceiver` — runs inside the global monitor.  Frames
-  carry per-sender monotonic sequence numbers: a frame whose sequence is
-  not beyond the sender's last applied one is a *replay* (a retry of a
-  delivery whose ack was lost) and is acknowledged without being applied
-  — exactly-once at frame granularity.  Within an applied frame, the
-  TSDB's per-series monotonic-append check rejects any sample whose
-  (series fingerprint, timestamp) already landed — exactly-once at
-  sample granularity, which is also what deduplicates an HA *pair* of
-  leaves shipping the same scrape (see :mod:`repro.teemon.ha`).
+  carry a per-incarnation *epoch* and per-sender monotonic sequence
+  numbers: within one epoch, a frame whose sequence is not beyond the
+  sender's last applied one is a *replay* (a retry of a delivery whose
+  ack was lost) and is acknowledged without being applied — exactly-once
+  at frame granularity.  A frame with a *newer* epoch is a recovered
+  incarnation of the sender: its sequence numbering restarts, so frames
+  it sends are never mistaken for replays of the dead incarnation's
+  deliveries.  Within an applied frame, the TSDB's per-series
+  monotonic-append check rejects any sample whose (series fingerprint,
+  timestamp) already landed — exactly-once at sample granularity, which
+  is also what deduplicates an HA *pair* of leaves shipping the same
+  scrape (see :mod:`repro.teemon.ha`) and absorbs the overlap a
+  recovered incarnation re-ships under its fresh epoch.
 * Durability — the client's watermark and last-acked sequence persist as
   WAL cursor frames (the same channel the rule evaluator uses), so a
   crashed-and-recovered leaf resumes shipping from its last acked
   position: anything re-sent is deduplicated by the receiver, anything
   in the WAL loss window is accounted by ``samples_lost``, and nothing
-  is double-counted.
+  is double-counted.  Each frame's durable watermark is the highest
+  sample timestamp *that frame* actually carries (collection sorts by
+  timestamp before chunking), so a crash between the chunks of one
+  collect window can never advance the cursor past samples whose
+  delivery was still pending.
 
 Self-telemetry lands in the local TSDB as ``teemon_remote_write_*``
 series (queue depth, retries, dropped frames, dedup hits), so the
@@ -61,8 +70,9 @@ from repro.simkernel.rng import DeterministicRng
 REMOTE_WRITE_PORT = 9009
 REMOTE_WRITE_PATH = "/api/v1/write"
 
-#: Wire-format version tag, first token of every frame.
-FRAME_MAGIC = "teemon-rw/1"
+#: Wire-format version tag, first token of every frame.  Version 2
+#: added the sender-incarnation epoch to the header.
+FRAME_MAGIC = "teemon-rw/2"
 
 #: Identity labels of the client's self-series in the *leaf* TSDB.
 CLIENT_IDENTITY = {"job": "pmag", "instance": "remote_write"}
@@ -83,14 +93,17 @@ def sequence_cursor_key(source: str) -> str:
 
 
 def encode_frame(
-    sender: str, seq: int, entries: List[Tuple[Labels, int, float]]
+    sender: str, epoch: int, seq: int,
+    entries: List[Tuple[Labels, int, float]],
 ) -> str:
     """One batched, compressed sample frame as an HTTP body.
 
-    Header line ``teemon-rw/1 <sender> <seq> <count>``, then the base64
-    of the zlib-compressed concatenation of WAL-framed records — each
-    record keeps its own CRC32, so a corrupted frame is detected at
+    Header line ``teemon-rw/2 <sender> <epoch> <seq> <count>``, then the
+    base64 of the zlib-compressed concatenation of WAL-framed records —
+    each record keeps its own CRC32, so a corrupted frame is detected at
     record granularity, the same integrity story as the on-disk log.
+    ``epoch`` identifies the sender *incarnation* (a recovered monitor
+    gets a fresh, strictly larger one), ``seq`` orders frames within it.
     """
     if not sender or any(c in sender for c in " \n"):
         raise WalError(f"sender not wire-safe: {sender!r}")
@@ -102,22 +115,25 @@ def encode_frame(
         for labels, time_ns, value in entries
     )
     body = base64.b64encode(zlib.compress(payload, 6)).decode("ascii")
-    return f"{FRAME_MAGIC} {sender} {seq} {len(entries)}\n{body}"
+    return f"{FRAME_MAGIC} {sender} {epoch} {seq} {len(entries)}\n{body}"
 
 
-def decode_frame(text: str) -> Tuple[str, int, List[Tuple[Labels, int, float]]]:
+def decode_frame(
+    text: str,
+) -> Tuple[str, int, int, List[Tuple[Labels, int, float]]]:
     """Inverse of :func:`encode_frame`; raises :class:`WalError` on any
     framing, CRC, count or compression damage."""
     header, sep, body = text.partition("\n")
     pieces = header.split()
-    if len(pieces) != 4 or pieces[0] != FRAME_MAGIC or not sep:
+    if len(pieces) != 5 or pieces[0] != FRAME_MAGIC or not sep:
         raise WalError(f"malformed remote-write frame header: {header!r}")
     sender = pieces[1]
     try:
-        seq = int(pieces[2])
-        count = int(pieces[3])
+        epoch = int(pieces[2])
+        seq = int(pieces[3])
+        count = int(pieces[4])
     except ValueError:
-        raise WalError(f"bad frame sequence/count: {header!r}") from None
+        raise WalError(f"bad frame epoch/sequence/count: {header!r}") from None
     try:
         payload = zlib.decompress(base64.b64decode(body.encode("ascii")))
     except Exception as exc:  # noqa: BLE001 - any transport damage
@@ -153,7 +169,7 @@ def decode_frame(text: str) -> Tuple[str, int, List[Tuple[Labels, int, float]]]:
         raise WalError(
             f"frame count mismatch: header {count}, payload {len(entries)}"
         )
-    return sender, seq, entries
+    return sender, epoch, seq, entries
 
 
 class RemoteWriteReceiver:
@@ -161,10 +177,17 @@ class RemoteWriteReceiver:
 
     Dedup happens at two granularities:
 
-    * **frame replays** — a frame whose sequence is ≤ the sender's last
-      applied one was already ingested (the client retried because the
-      ack was lost in transit); it is acknowledged again and its samples
-      are counted as :attr:`replay_dedup_hits` without touching storage;
+    * **frame replays** — a frame whose (epoch, sequence) is ≤ the
+      sender's last applied one was already ingested (the client retried
+      because the ack was lost in transit); it is acknowledged again and
+      its samples are counted as :attr:`replay_dedup_hits` without
+      touching storage.  A frame with a *larger* epoch is a recovered
+      incarnation of the sender whose sequence numbering restarts: it is
+      always treated as forward progress, never as a replay, because the
+      dead incarnation may have delivered frames whose acks were lost —
+      sequence numbers alone cannot distinguish "you already sent me
+      this" from "a previous you sent me something else under this
+      number";
     * **sample duplicates** — within an applied frame, the storage
       engine's per-series monotonic-append check rejects every sample
       whose (series fingerprint, timestamp) is already present, counted
@@ -175,15 +198,16 @@ class RemoteWriteReceiver:
       ticks by priority so "first" is deterministically the
       lower-priority-number replica.
 
-    Sequence state is per *sender* and lives in monitor memory: after a
-    global-monitor crash the map is empty, so the receiver accepts any
-    forward sequence and relies on sample-granularity dedup for the
-    overlap a resuming client re-sends.
+    (Epoch, sequence) state is per *sender* and lives in monitor memory:
+    after a global-monitor crash the map is empty, so the receiver
+    accepts any epoch/sequence and relies on sample-granularity dedup
+    for the overlap a resuming client re-sends.
     """
 
     def __init__(self, tsdb: StorageEngine) -> None:
         self._tsdb = tsdb
-        self._last_seq: Dict[str, int] = {}
+        #: sender -> (epoch, seq) of the last applied frame.
+        self._last_applied: Dict[str, Tuple[int, int]] = {}
         self._endpoint = None
         self.frames_received = 0
         self.frames_applied = 0
@@ -232,12 +256,12 @@ class RemoteWriteReceiver:
         """
         self.frames_received += 1
         try:
-            sender, seq, entries = decode_frame(body)
+            sender, epoch, seq, entries = decode_frame(body)
         except WalError:
             self.frames_rejected += 1
             raise
-        last = self._last_seq.get(sender, 0)
-        if seq <= last:
+        last_epoch, last_seq = self._last_applied.get(sender, (-1, 0))
+        if epoch < last_epoch or (epoch == last_epoch and seq <= last_seq):
             self.frames_replayed += 1
             self.replay_dedup_hits += len(entries)
             return f"ack {seq} replayed={len(entries)}"
@@ -246,13 +270,17 @@ class RemoteWriteReceiver:
         self.samples_applied += applied
         self.samples_deduped += len(rejected)
         self.frames_applied += 1
-        self._last_seq[sender] = seq
+        self._last_applied[sender] = (epoch, seq)
         return f"ack {seq} applied={applied} deduped={len(rejected)}"
 
     # ------------------------------------------------------------------
     def last_sequence(self, sender: str) -> int:
         """Last applied frame sequence for one sender (0 = none)."""
-        return self._last_seq.get(sender, 0)
+        return self._last_applied.get(sender, (-1, 0))[1]
+
+    def last_epoch(self, sender: str) -> int:
+        """Epoch of the sender's last applied frame (-1 = none)."""
+        return self._last_applied.get(sender, (-1, 0))[0]
 
     def stats(self) -> Dict[str, int]:
         """Receiver counters as a plain mapping."""
@@ -285,7 +313,13 @@ class RemoteWriteReceiver:
 
 
 class _Frame:
-    """One queued frame: samples collected but not yet acknowledged."""
+    """One queued frame: samples collected but not yet acknowledged.
+
+    ``end_ns`` is the watermark this frame's ack justifies: every
+    collected sample with a timestamp ≤ ``end_ns`` sits in this frame or
+    an earlier one (delivery is strictly in order), so persisting it on
+    ack can never skip samples whose delivery is still pending.
+    """
 
     __slots__ = ("seq", "entries", "end_ns", "attempts")
 
@@ -364,6 +398,13 @@ class RemoteWriteClient:
         self.priority = priority
         self.stagger_offset_ns = priority * stagger_ns
         self._rng = (rng or DeterministicRng(0)).fork("remote-write")
+        #: Incarnation stamp carried by every frame.  Construction time
+        #: on the virtual clock is strictly increasing across the
+        #: incarnations of one sender (a recovered monitor rebuilds its
+        #: client after the crash it recovers from), so the receiver can
+        #: tell "the same incarnation retried seq N" from "a new
+        #: incarnation reused seq N for different content".
+        self.epoch = clock.now_ns
         self._queue: Deque[_Frame] = deque()
         self._retry_timer = None
         self._stopped = False
@@ -393,7 +434,15 @@ class RemoteWriteClient:
         still in the recovered TSDB and will be re-collected on the next
         flush; the receiver deduplicates whatever the dead incarnation
         already delivered without managing to persist the cursor.
+
+        Sequence numbering resumes from the durable cursor, which may
+        *reuse* numbers the dead incarnation sent past its last durable
+        ack — safe because this incarnation's :attr:`epoch` is fresh, so
+        the receiver treats every frame it sends as forward progress
+        (never as a replay of the dead incarnation's deliveries) and
+        sample-level dedup absorbs any actual overlap.
         """
+        self.epoch = self._clock.now_ns
         if watermark_ns is not None:
             self._collected_ns = self.watermark_ns = watermark_ns
         if acked_seq is not None:
@@ -433,10 +482,27 @@ class RemoteWriteClient:
         self._collected_ns = now_ns
         if not entries:
             return 0
+        # Chunk in timestamp order (stable, so per-series order is kept)
+        # and give each frame the watermark its own ack justifies: the
+        # newest timestamp fully covered by it and its predecessors.
+        # Only the final frame may claim the whole window end — an ack
+        # of an earlier chunk must not durably skip samples still queued
+        # behind it (they would be silently lost across a crash).
+        entries.sort(key=lambda entry: entry[1])
         for start in range(0, len(entries), self.max_frame_samples):
             chunk = entries[start:start + self.max_frame_samples]
+            nxt = start + self.max_frame_samples
+            if nxt >= len(entries):
+                end_ns = now_ns
+            elif entries[nxt][1] == chunk[-1][1]:
+                # The boundary splits a timestamp: samples at it are
+                # still pending in the next chunk, so the watermark this
+                # ack justifies stops just short of it.
+                end_ns = chunk[-1][1] - 1
+            else:
+                end_ns = chunk[-1][1]
             self._seq += 1
-            self._queue.append(_Frame(self._seq, chunk, now_ns))
+            self._queue.append(_Frame(self._seq, chunk, end_ns))
         while len(self._queue) > self.queue_max_frames:
             dropped = self._queue.popleft()
             self.frames_dropped += 1
@@ -455,7 +521,7 @@ class RemoteWriteClient:
         """One delivery try; schedules a retry (or gives up) on failure."""
         frame.attempts += 1
         self.frames_sent += 1
-        body = encode_frame(self.source, frame.seq, frame.entries)
+        body = encode_frame(self.source, self.epoch, frame.seq, frame.entries)
         response = self._network.post_url(self.url, body)
         latency_s = getattr(response, "latency_s", 0.0)
         ok = (

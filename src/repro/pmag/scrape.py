@@ -197,8 +197,12 @@ class ScrapeManager:
             "teemon_scrape_targets_removed_total",
             "Targets dropped by discovery and retired with staleness markers",
         )
-        #: URLs whose removal wrote a staleness marker; if discovery ever
-        #: returns them again, the first healthy scrape clears the marker.
+        #: (job, instance) identities whose removal wrote a staleness
+        #: marker; if discovery ever returns them again, the first
+        #: healthy scrape clears the marker.  Keyed by identity (not
+        #: URL) because that is what the ``scrape_target_stale`` series
+        #: carries — which lets crash recovery rebuild this set from the
+        #: recovered TSDB (:meth:`seed_removed_stale`).
         self._removed_stale: set = set()
         #: Latest exemplar seen per metric name on ingested samples.
         self._exemplars: Dict[str, Tuple[Tuple[Tuple[str, str], ...], Exemplar]] = {}
@@ -300,6 +304,18 @@ class ScrapeManager:
         health.observed = True
         health.stale = stale
         health.missed_intervals = self.staleness_intervals if stale else 0
+
+    def seed_removed_stale(self, identities) -> None:
+        """Restore pending removal-staleness markers after a crash.
+
+        ``identities`` are ``(job, instance)`` pairs whose latest
+        ``scrape_target_stale`` sample in the recovered TSDB is set —
+        targets retired by discovery (or gone stale) before the crash.
+        Without this, a retired target that rejoins after a recovery
+        would start from a fresh health record and its marker would
+        never be cleared by the first healthy scrape.
+        """
+        self._removed_stale.update(identities)
 
     def seed_counters(self, values: Dict[str, float]) -> None:
         """Restore self-stat counters from recovered series values.
@@ -471,7 +487,7 @@ class ScrapeManager:
             if not health.stale:
                 if self._append("scrape_target_stale", now_ns, 1.0, identity):
                     self._stale_writes_counter.inc()
-            self._removed_stale.add(target.url)
+            self._removed_stale.add((target.job, target.instance))
 
     # ------------------------------------------------------------------
     # Failure handling, retries, staleness
@@ -530,12 +546,12 @@ class ScrapeManager:
             health.stale = False
             if self._append("scrape_target_stale", now_ns, 0.0, identity):
                 self._stale_writes_counter.inc()
-        elif target.url in self._removed_stale:
+        elif (target.job, target.instance) in self._removed_stale:
             # The target was retired by discovery and has rejoined under
             # a fresh health record: clear the removal staleness marker.
             if self._append("scrape_target_stale", now_ns, 0.0, identity):
                 self._stale_writes_counter.inc()
-        self._removed_stale.discard(target.url)
+        self._removed_stale.discard((target.job, target.instance))
 
     def backoff_delay_ns(self, attempt: int) -> int:
         """Jittered exponential backoff before retry ``attempt + 1``.

@@ -663,6 +663,20 @@ class TeemonDeployment:
                 up=up_sample.value >= 1.0,
                 stale=stale_sample is not None and stale_sample.value >= 1.0,
             )
+        # Targets retired by discovery *before* the crash are absent from
+        # current_targets(), but their set staleness markers survive in
+        # the recovered TSDB.  Reseed the manager's removed-stale set
+        # from them so a later rejoin still clears its marker.
+        removed_stale = set()
+        for series in self.tsdb.select_metric(
+            "scrape_target_stale", 0, self.kernel.clock.now_ns
+        ):
+            if series.samples and series.samples[-1].value >= 1.0:
+                removed_stale.add((
+                    series.labels.get("job"), series.labels.get("instance"),
+                ))
+        if removed_stale:
+            manager.seed_removed_stale(removed_stale)
         seeds = {}
         for series_name, family_name in (
             ("scrape_timeouts_total", "teemon_scrape_timeouts_total"),

@@ -20,6 +20,9 @@ invariants, asserted *exactly* against an uninterrupted same-seed run:
 from types import SimpleNamespace
 
 from repro.faults import FaultPlan
+from repro.net.http import HttpNetwork
+from repro.openmetrics import CollectorRegistry, encode_registry
+from repro.pmag.scrape import ScrapeTarget
 from repro.pmag.wal import HEADER_SIZE
 from repro.simkernel.clock import seconds
 from repro.simkernel.disk import SimDisk
@@ -221,6 +224,55 @@ def test_scrape_health_carries_across_the_restart():
     assert rig.deployment.session.down_targets() == []
     health = rig.deployment.session.target_health()
     assert health and all(h.up and h.observed for h in health.values())
+
+
+def test_removed_target_stale_marker_clears_on_rejoin_after_restart():
+    """Retired-target staleness memory survives a crash.
+
+    A target retired by discovery gets a ``scrape_target_stale = 1``
+    marker, and the manager remembers its identity so a rejoin clears
+    the marker on the first healthy scrape.  That memory is monitor RAM,
+    so recovery reseeds it from the recovered TSDB's markers — without
+    that, a retire → crash → recover → rejoin sequence would leave the
+    marker set forever.
+    """
+    kernel = Kernel(seed=17, hostname="mon-0")
+    kernel.load_module(SgxDriver())
+    network = HttpNetwork()
+    registry = CollectorRegistry()
+    registry.counter("events_total", "e")
+    network.register("node-a", 9100, "/metrics",
+                     lambda: encode_registry(registry))
+    target = ScrapeTarget(job="fleet", instance="node-a",
+                          url="http://node-a:9100/metrics")
+    discovered = [target]
+
+    deployment = deploy(
+        kernel, TeemonConfig(enable_wal=True, wal_flush_every_s=5.0),
+        network=network, start=False,
+    )
+    deployment.add_discovery(lambda: list(discovered))
+    supervisor = MonitorSupervisor(deployment)
+    deployment.start()
+    clock = kernel.clock
+
+    clock.advance(seconds(20))  # scraped healthy
+    discovered.clear()          # discovery retires the target
+    clock.advance(seconds(20))  # marker written and WAL-flushed
+    assert deployment.tsdb.latest(
+        "scrape_target_stale", job="fleet", instance="node-a"
+    ).value == 1.0
+
+    supervisor.crash()
+    clock.advance(seconds(2))
+    supervisor.recover()
+
+    discovered.append(target)   # the node rejoins post-recovery
+    clock.advance(seconds(20))
+    assert deployment.tsdb.latest(
+        "scrape_target_stale", job="fleet", instance="node-a"
+    ).value == 0.0
+    deployment.stop()
 
 
 def test_same_seed_crashed_runs_are_identical():

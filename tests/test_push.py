@@ -166,6 +166,21 @@ def test_wire_key_roundtrip():
         encode_push_line("svc", "m_total", 1.0, {}, key="has space")
 
 
+def test_at_sign_label_names_cannot_masquerade_as_keys():
+    # A label name starting with '@' would put '@' at the head of the
+    # trailing labels token, which split_push_key would then swallow as
+    # an idempotency key — silently dropping every label.  Encode
+    # rejects such names outright...
+    with pytest.raises(TsdbError):
+        encode_push_line("svc", "m_total", 1.0, {"@host": "h", "kind": "x"})
+    # ...and the splitter refuses tails that are structurally labels
+    # (keys cannot contain '=' or ',' by construction), so even a
+    # hand-crafted line keeps its labels intact.
+    crafted = "svc m_total 1.0 @host=h,kind=x"
+    head, key = split_push_key(crafted)
+    assert key is None and head == crafted
+
+
 def test_gateway_dedups_replayed_key_without_reappending():
     clock, tsdb, gateway = _gateway()
     clock.advance(seconds(1))

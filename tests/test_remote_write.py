@@ -32,14 +32,14 @@ def _entries(count, start_ns=1, metric="m_total", **labels):
 # ---------------------------------------------------------------------------
 def test_frame_roundtrip():
     entries = _entries(3, job="sgx", instance="n0")
-    body = encode_frame("leaf-0", 7, entries)
-    sender, seq, decoded = decode_frame(body)
-    assert sender == "leaf-0" and seq == 7
+    body = encode_frame("leaf-0", 42, 7, entries)
+    sender, epoch, seq, decoded = decode_frame(body)
+    assert sender == "leaf-0" and epoch == 42 and seq == 7
     assert decoded == entries
 
 
 def test_frame_rejects_damage():
-    body = encode_frame("leaf-0", 1, _entries(2))
+    body = encode_frame("leaf-0", 0, 1, _entries(2))
     header, payload = body.split("\n", 1)
     with pytest.raises(WalError):
         decode_frame("not-a-frame " + body)
@@ -47,11 +47,11 @@ def test_frame_rejects_damage():
         decode_frame(header + "\n" + "AAAA" + payload[4:])
     # Count mismatch between header and payload.
     pieces = header.split()
-    pieces[3] = "9"
+    pieces[4] = "9"
     with pytest.raises(WalError):
         decode_frame(" ".join(pieces) + "\n" + payload)
     with pytest.raises(WalError):
-        encode_frame("has space", 1, _entries(1))
+        encode_frame("has space", 0, 1, _entries(1))
 
 
 # ---------------------------------------------------------------------------
@@ -114,7 +114,7 @@ def test_flush_collects_only_past_watermark():
 def test_replayed_frame_is_acked_without_reappending():
     clock, _net, _leaf, global_tsdb, receiver, _client = _rig()
     clock.advance(seconds(1))
-    body = encode_frame("leaf-0", 1, _entries(4))
+    body = encode_frame("leaf-0", 0, 1, _entries(4))
     assert receiver.handle(body).startswith("ack 1 applied=4")
     assert receiver.handle(body) == "ack 1 replayed=4"
     assert receiver.frames_replayed == 1
@@ -128,13 +128,39 @@ def test_duplicate_samples_within_forward_frame_are_deduped():
     # second copy is rejected sample-by-sample, not frame-by-frame.
     clock, _net, _leaf, global_tsdb, receiver, _client = _rig()
     entries = _entries(6)
-    receiver.handle(encode_frame("replica-0", 1, entries))
-    ack = receiver.handle(encode_frame("replica-1", 1, entries))
+    receiver.handle(encode_frame("replica-0", 0, 1, entries))
+    ack = receiver.handle(encode_frame("replica-1", 0, 1, entries))
     assert ack == "ack 1 applied=0 deduped=6"
     assert receiver.samples_applied == 6
     assert receiver.samples_deduped == 6
     got = global_tsdb.select_metric("m_total", 0, 100)
     assert sum(len(s.samples) for s in got) == 6
+
+
+def test_new_epoch_applies_reused_sequence_numbers():
+    # A recovered incarnation may reuse sequence numbers the dead one
+    # sent past its last durable ack.  The fresh epoch makes those
+    # frames forward progress — NOT replays — so their (new) content is
+    # stored instead of silently acked away.
+    clock, _net, _leaf, global_tsdb, receiver, _client = _rig()
+    old = _entries(3, start_ns=1)
+    receiver.handle(encode_frame("leaf-0", 0, 1, old))
+    receiver.handle(encode_frame("leaf-0", 0, 2, _entries(3, start_ns=10)))
+    assert receiver.last_sequence("leaf-0") == 2
+    # New incarnation (later epoch) reuses seq 2 for brand-new samples.
+    fresh = _entries(3, start_ns=20, metric="n_total")
+    ack = receiver.handle(encode_frame("leaf-0", 5, 2, fresh))
+    assert ack == "ack 2 applied=3 deduped=0"
+    assert receiver.frames_replayed == 0
+    assert receiver.last_epoch("leaf-0") == 5
+    got = global_tsdb.select_metric("n_total", 0, 100)
+    assert sum(len(s.samples) for s in got) == 3
+    # Within the new epoch, sequence replay detection still works...
+    assert receiver.handle(
+        encode_frame("leaf-0", 5, 2, fresh)) == "ack 2 replayed=3"
+    # ...and a straggler from the dead epoch is a replay too.
+    assert receiver.handle(
+        encode_frame("leaf-0", 0, 3, old)) == "ack 3 replayed=3"
 
 
 def test_outage_spills_then_drains_without_loss():
@@ -166,6 +192,90 @@ def test_outage_spills_then_drains_without_loss():
     assert receiver.samples_deduped == 0
     got = global_tsdb.select_metric("m_total", 0, clock.now_ns)
     assert sum(len(s.samples) for s in got) == 20
+
+
+def test_watermark_trails_undelivered_chunks_of_one_collect():
+    # One collect window chunked into several frames: an ack of an early
+    # chunk must only advance the watermark over the samples *that
+    # chunk* carries.  Were it to claim the whole window, a crash before
+    # the later chunks deliver would durably skip their samples —
+    # silent, unaccounted loss.
+    clock, network, leaf, global_tsdb, receiver, client = _rig(
+        max_frame_samples=10, max_retries=0)
+    clock.advance(seconds(1))
+    _fill(leaf, 25, clock.now_ns)  # timestamps now-24 .. now
+
+    endpoint = network.register("fail-after-1", 1, "/w", lambda: "")
+    calls = {"n": 0}
+
+    def flaky(body):
+        calls["n"] += 1
+        if calls["n"] > 1:
+            raise RuntimeError("injected outage")  # transport turns into 500
+        return receiver.handle(body)
+
+    endpoint.post_handler = flaky
+    client.url = endpoint.url
+    client.flush()
+    assert client.frames_acked == 1
+    assert client.queue_depth == 2
+    # The durable watermark covers exactly the first chunk's 10 samples.
+    assert client.watermark_ns == clock.now_ns - 24 + 9
+    assert client.watermark_ns < clock.now_ns
+
+    # A client seeded from that cursor (the crash-recovery path)
+    # re-collects everything past it: the 15 undelivered samples.
+    recovered = RemoteWriteClient(
+        clock, network, leaf, receiver.url, "leaf-0",
+        max_frame_samples=10, rng=DeterministicRng(3),
+    )
+    recovered.seed(client.watermark_ns, client.acked_seq)
+    assert recovered.flush() == 15
+    got = global_tsdb.select_metric("m_total", 0, clock.now_ns + 1)
+    assert sum(len(s.samples) for s in got) == 25
+
+    # The original client drains too once the fault clears; only the
+    # recovered incarnation's overlap dedupes, nothing is lost.
+    endpoint.post_handler = receiver.handle
+    client.flush()
+    assert client.queue_depth == 0
+    assert client.watermark_ns == clock.now_ns
+
+
+def test_recovered_client_is_not_mistaken_for_a_replay():
+    # The dead incarnation delivered a frame whose ack was lost (so the
+    # durable cursor never advanced).  The recovered incarnation reuses
+    # that sequence number for NEW samples; its fresh epoch must make
+    # the receiver apply them rather than ack-without-applying.
+    clock, network, leaf, global_tsdb, receiver, client = _rig(
+        max_frame_samples=100)
+    clock.advance(seconds(1))
+    _fill(leaf, 5, clock.now_ns)
+    client.flush()
+    assert client.acked_seq == 1
+
+    # Frame seq 2 reaches the receiver but its ack is lost in transit:
+    # deliver it behind the client's back, as the doomed incarnation did.
+    lost = _entries(4, start_ns=clock.now_ns + 1, metric="lost_total")
+    receiver.handle(encode_frame("leaf-0", client.epoch, 2, lost))
+    assert receiver.last_sequence("leaf-0") == 2
+
+    # Crash + recover: a new client seeds from the durable cursor
+    # (acked_seq == 1) and collects fresh post-crash samples.
+    clock.advance(seconds(1))
+    recovered = RemoteWriteClient(
+        clock, network, leaf, receiver.url, "leaf-0",
+        max_frame_samples=100, rng=DeterministicRng(3),
+    )
+    recovered.seed(client.watermark_ns, client.acked_seq)
+    assert recovered.epoch > client.epoch
+    _fill(leaf, 5, clock.now_ns, metric="fresh_total")
+    assert recovered.flush() == 5
+    # Seq 2 was reused — and applied, because the epoch is new.
+    assert recovered.acked_seq == 2
+    assert receiver.frames_replayed == 0
+    got = global_tsdb.select_metric("fresh_total", 0, clock.now_ns + 1)
+    assert sum(len(s.samples) for s in got) == 5
 
 
 def test_bounded_queue_drops_oldest_and_counts():
