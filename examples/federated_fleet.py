@@ -1,26 +1,34 @@
 #!/usr/bin/env python3
-"""Federated HA monitoring: leaf tier, global HA pair, chaos mid-run.
+"""Hierarchical federation: two regions, relay crash mid-thrash, HA root.
 
-The full robustness topology in one run:
+The full federation topology in one run, declared with
+:class:`FederationTopology`:
 
-* a 9-node SGX fleet, scraped by **3 leaf monitors** (each owns a third
-  of the nodes via a sharded discovery filter);
-* every leaf remote-writes to a **global HA pair** — the primary uplink
-  ships to ``global-0``, a mirror client ships the same leaf TSDB to
-  ``global-1``, so either global replica can answer queries alone;
-* the global tier (not the leaves) runs anomaly detection and alerting
-  over the federated series.
+* two regions, each a 4-node SGX fleet scraped by **2 leaf monitors**
+  (each leaf owns half its region's nodes via a sharded discovery
+  filter);
+* each region runs a **relay** — a monitor with both a remote-write
+  receiver and an uplink: leaf frames land in the region TSDB (the
+  region-scoped view) and are re-shipped upstream re-stamped under the
+  region's own identity, epoch and sequence numbers;
+* the root is a **global HA pair** — the topology derives every relay's
+  primary uplink (``global-0``) and mirror (``global-1``), so either
+  root replica can answer queries alone;
+* anomaly detection and alerting run at the GLOBAL tier only, over
+  series that crossed two federation hops.
 
 Then the chaos, all on one virtual clock:
 
-* ``t=60..90``   node-2 thrashes its EPC (2000 pages/s vs an 8/s
-  baseline)   -> ``AnomalyDetected`` fires at the global tier;
-* ``t=100``      node-5's exporter route vanishes but the node stays
-  discovered -> ``up == 0`` persists and ``TargetDown`` fires;
-* ``t=130..160`` a partition cuts every leaf's primary uplink — spill
-  queues absorb the window and drain on heal (mirrors unaffected);
+* ``t=60..90``   ``r0-node-2`` thrashes its EPC (2000 pages/s vs an
+  8/s baseline) -> ``AnomalyDetected`` fires at the global tier;
+* ``t=70..80``   the **region-0 relay crashes mid-thrash** and
+  recovers from its WAL — its leaves spill, the anomaly still lands;
+* ``t=100``      ``r1-node-1``'s exporter route vanishes -> ``up == 0``
+  crosses both tiers and ``TargetDown`` fires at the root;
+* ``t=130..160`` a partition cuts ``leaf-0-0``'s uplink — the spill
+  queue absorbs the window and drains on heal;
 * ``t=180..195`` ``global-0`` crashes and recovers — the query lease
-  fails over to ``global-1`` (which has the mirrored data) and back.
+  fails over to ``global-1`` (fed by the relays' mirrors) and back.
 
 Run:  PYTHONPATH=src python examples/federated_fleet.py
 """
@@ -29,25 +37,41 @@ from repro.faults import FaultPlan, FaultyHttpNetwork, PartitionInjector
 from repro.net.http import HttpNetwork
 from repro.orchestration.fleet import NodeFleet
 from repro.orchestration.kubernetes import Cluster
-from repro.pmag.remote_write import RemoteWriteClient
 from repro.simkernel.clock import VirtualClock, seconds
-from repro.simkernel.kernel import Kernel
 from repro.simkernel.rng import DeterministicRng
-from repro.teemon import TeemonConfig, deploy, deploy_ha_pair
+from repro.teemon import FederationTopology, TeemonConfig
 
-FLEET_NODES = 9
-LEAVES = 3
+REGIONS = 2
+NODES_PER_REGION = 4
+LEAVES_PER_REGION = 2
 T_END_S = 240
+
+LEAF_CFG = TeemonConfig(
+    enable_exporters=False, enable_recording_rules=False,
+    enable_anomaly_detection=False, enable_alerting=False,
+)
+RELAY_CFG = TeemonConfig(
+    enable_exporters=False, enable_recording_rules=False,
+    enable_anomaly_detection=False, enable_alerting=False,
+    enable_self_telemetry=False, remote_write_receiver=True,
+    enable_wal=True, wal_flush_records=1,
+)
+GLOBAL_CFG = TeemonConfig(
+    remote_write_receiver=True,
+    enable_exporters=False, enable_recording_rules=False,
+    enable_anomaly_detection=True, enable_alerting=True,
+)
 
 
 def shard_discovery(fleet, shard: int):
-    """A leaf's view of the fleet: nodes whose index is ``shard`` mod 3."""
+    """A leaf's view of its region: nodes whose index matches mod 2."""
     base = fleet.discovery()
 
     def discover():
         return [
             target for target in base()
-            if int(target.instance.rsplit("-", 1)[1]) % LEAVES == shard
+            if (int(target.instance.rsplit("-", 1)[1])
+                % LEAVES_PER_REGION == shard)
         ]
 
     return discover
@@ -59,123 +83,116 @@ def main() -> None:
     plan = FaultPlan(clock, rng.fork("plan"))
     network = HttpNetwork()
 
-    cluster = Cluster(clock=clock)
-    fleet = NodeFleet(cluster, network, rng, plan=plan)
-    fleet.add_nodes(FLEET_NODES)
+    # One cluster + fleet per region (discovery is cluster-scoped).
+    fleets = []
+    for region in range(REGIONS):
+        cluster = Cluster(clock=clock)
+        fleet = NodeFleet(cluster, network, rng.fork(f"fleet-{region}"),
+                          plan=plan, node_prefix=f"r{region}-node")
+        fleet.add_nodes(NODES_PER_REGION)
+        fleets.append(fleet)
 
-    # Global HA pair: remote-write receivers, anomaly detection and
-    # alerting run HERE, over the federated series — the leaves only
-    # scrape and ship.
-    global_pair = deploy_ha_pair(
-        [Kernel(seed=57 + i, hostname=f"global-{i}", clock=clock)
-         for i in range(2)],
-        TeemonConfig(
-            remote_write_receiver=True,
-            enable_exporters=False,
-            enable_recording_rules=False,
-            enable_anomaly_detection=True,
-            enable_alerting=True,
-        ),
-        network=network, plan=plan, subject="teemon-global",
-    )
-    primary_url = global_pair.replicas[0].remote_write_receiver.url
-    standby_url = global_pair.replicas[1].remote_write_receiver.url
+    # leaf-0-0's uplink runs through a fault-injectable network; the
+    # partition window cuts exactly the region-0 receiver URL.
+    victim_network = FaultyHttpNetwork(network, plan)
 
-    # The leaves reach global-0 through a fault-injectable network: a
-    # partition window cuts exactly that URL, nothing else.
+    topo = FederationTopology(clock, network, plan=plan)
+    topo.add("global", GLOBAL_CFG, ha=True)
+    for region in range(REGIONS):
+        topo.add(f"region-{region}", RELAY_CFG, uplink="global")
+    for region in range(REGIONS):
+        for leaf in range(LEAVES_PER_REGION):
+            name = f"leaf-{region}-{leaf}"
+            topo.add(name, LEAF_CFG, uplink=f"region-{region}",
+                     network=victim_network if name == "leaf-0-0" else None)
+    nodes = topo.build()
+    for region in range(REGIONS):
+        for leaf in range(LEAVES_PER_REGION):
+            nodes[f"leaf-{region}-{leaf}"].add_discovery(
+                shard_discovery(fleets[region], leaf)
+            )
+    global_pair = nodes["global"]
+
     injector = PartitionInjector(rng.fork("partition"), plan=plan)
-    injector.partition(primary_url, seconds(130), seconds(160))
-    leaf_network = FaultyHttpNetwork(network, plan)
-    plan.add(injector, urls=[primary_url])
-
-    leaves = []
-    for index in range(LEAVES):
-        dep = deploy(
-            Kernel(seed=11 + index, hostname=f"leaf-{index}", clock=clock),
-            TeemonConfig(
-                remote_write_url=primary_url,
-                enable_exporters=False,
-                enable_recording_rules=False,
-                enable_anomaly_detection=False,
-                enable_alerting=False,
-            ),
-            network=leaf_network,
-        )
-        dep.add_discovery(shard_discovery(fleet, index))
-        leaves.append(dep)
-
-    # Mirror clients: same leaf TSDBs, second uplink to global-1 over
-    # the un-faulted network — the pair's standby stays fresh even while
-    # the primary uplink is partitioned or global-0 is down.
-    mirrors = [
-        RemoteWriteClient(
-            clock, network, dep.tsdb, url=standby_url,
-            source=dep.kernel.hostname, rng=rng.fork(f"mirror-{index}"),
-            priority=1,
-        )
-        for index, dep in enumerate(leaves)
-    ]
-
-    def mirror_tick():
-        for mirror in mirrors:
-            mirror.flush()
-        clock.call_later(seconds(5), mirror_tick)
-
-    clock.call_later(seconds(5), mirror_tick)
+    region0_url = nodes["region-0"].remote_write_receiver.url
+    injector.partition(region0_url, seconds(130), seconds(160))
+    plan.add(injector, urls=[region0_url])
 
     # The chaos schedule.
-    fleet.exporter("node-2").inject_epc_thrash(
+    fleets[0].exporter("r0-node-2").inject_epc_thrash(
         seconds(60), seconds(90), pages_per_s=2000.0
     )
-    clock.call_at(seconds(100), lambda: fleet.exporter("node-5").withdraw())
+    clock.call_at(seconds(70), lambda: topo.crash("region-0"))
+    clock.call_at(seconds(80), lambda: topo.recover("region-0"))
+    clock.call_at(seconds(100),
+                  lambda: fleets[1].exporter("r1-node-1").withdraw())
     clock.call_at(seconds(180), lambda: global_pair.crash(0))
     clock.call_at(seconds(195), lambda: global_pair.recover(0))
 
-    print(f"federated fleet: {LEAVES} leaf monitors x {FLEET_NODES} nodes "
-          "-> HA global pair (global-0 primary, global-1 mirror)")
-    print("chaos: EPC thrash t=60..90 on node-2; node-5 exporter withdrawn "
-          "t=100;\n       partition of the primary uplink t=130..160; "
+    print(f"hierarchical federation: {REGIONS} regions x "
+          f"{LEAVES_PER_REGION} leaves x {NODES_PER_REGION} nodes "
+          "-> region relays -> HA global pair")
+    print("chaos: EPC thrash t=60..90 on r0-node-2; region-0 relay crash "
+          "t=70..80 MID-THRASH;\n       r1-node-1 exporter withdrawn "
+          "t=100; partition of leaf-0-0's uplink t=130..160;\n       "
           "global-0 crash t=180..195\n")
 
     clock.advance(seconds(T_END_S))
 
     # ------------------------------------------------------------------
-    # Uplink accounting: the partition and the global-0 crash both made
-    # the leaves spill; everything drained, nothing was dropped.
-    print("leaf uplinks (primary -> global-0):")
-    for dep in leaves:
+    # Per-tier uplink accounting: everything drained, nothing dropped.
+    print("leaf uplinks (leaf -> region relay):")
+    for region in range(REGIONS):
+        for leaf in range(LEAVES_PER_REGION):
+            dep = nodes[f"leaf-{region}-{leaf}"]
+            client = dep.remote_write_client
+            print(f"  {dep.kernel.hostname}: shipped "
+                  f"{client.samples_shipped} samples, "
+                  f"{client.send_failures} send failures, dropped "
+                  f"{client.samples_dropped}, queue depth "
+                  f"{client.queue_depth}")
+    print("region relays (region -> global pair, re-stamped):")
+    for region in range(REGIONS):
+        dep = nodes[f"region-{region}"]
+        recv = dep.remote_write_receiver.stats()
         client = dep.remote_write_client
-        print(f"  {dep.kernel.hostname}: shipped {client.samples_shipped} "
-              f"samples, {client.send_failures} send failures "
-              f"(partition + crash), dropped {client.samples_dropped}, "
-              f"queue depth {client.queue_depth}")
+        print(f"  region-{region}: applied {recv['samples_applied']} from "
+              f"its leaves, relayed {client.samples_shipped} upstream, "
+              f"{len(dep.remote_write_mirrors)} mirror uplink(s)")
     for index in range(2):
-        name = f"global-{index}"
         recv = global_pair.replicas[index].remote_write_receiver.stats()
-        print(f"  {name} receiver: applied {recv['samples_applied']}, "
-              f"deduped {recv['samples_deduped']}, "
-              f"frames replayed {recv['frames_replayed']}")
+        print(f"  global-{index} receiver: applied "
+              f"{recv['samples_applied']}, deduped "
+              f"{recv['samples_deduped']}, frames replayed "
+              f"{recv['frames_replayed']}")
 
     # The lease moved while global-0 was down, and back after recovery.
-    pair_stats = global_pair.stats()
     journal = plan.journal_text()
     assert "failover" in journal and "failback" in journal
-    print(f"\nglobal pair: lease failover to global-1 at the crash, "
-          f"failback after recovery; global-0 lost "
-          f"{pair_stats['replicas'][0]['samples_lost']} WAL-accounted "
-          "samples — global-1's mirror kept the window")
+    assert "teemon-fed/region-0 crash" in journal
+    assert "partition-heal" in journal
+    print("\nglobal pair: lease failover to global-1 at the crash, "
+          "failback after recovery")
     print("journal:", ", ".join(
         line.split(" ", 1)[1] for line in journal.splitlines()
-        if "PROC teemon-global" in line or "NET " in line
+        if "PROC teemon-fed" in line or "NET " in line
     ))
 
-    # The fleet view at the global tier, queried through the lease.
+    # Federation lag as the root saw it: both relays, the region-0
+    # wedge during its crash, the global-0 outage gap.
+    print("\nfederation lag timeline (global-1's receiver, full run):")
+    print(global_pair.replicas[1].session.render_federation_timeline(
+        window_s=float(T_END_S)))
+
+    # The fleet view at the root, queried through the lease.
     live = global_pair.query('sum(up{job="sgx"})')
+    total = REGIONS * NODES_PER_REGION
     print(f"\nglobal query sum(up{{job=\"sgx\"}}) = {live[0][1]:.0f} "
-          f"of {FLEET_NODES} (node-5's exporter is still withdrawn)")
+          f"of {total} (r1-node-1's exporter is still withdrawn)")
 
     # And the point of the whole exercise: the alerts fired at the
-    # GLOBAL tier, over federated data the leaves shipped.
+    # GLOBAL tier, over series that crossed two federation hops — the
+    # relay crash in the middle of the EPC thrash cost nothing.
     print("\nalert timeline (global tier):")
     print(global_pair.session.render_alert_timeline())
     firing = sorted(
@@ -183,6 +200,9 @@ def main() -> None:
         for alert in global_pair.session.firing_alerts()
     )
     print("firing now:", ", ".join(firing))
+    assert any(a.startswith("AnomalyDetected") for a in firing) or (
+        "AnomalyDetected" in global_pair.session.render_alert_timeline()
+    )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Federation: remote-write from leaf monitors to a global monitor.
+"""Federation: remote-write between monitor tiers.
 
 The paper's §5.4 deployment is one monitor scraping one exporter per
 node.  A fleet needs a *tier*: leaf monitors scrape their local targets
@@ -8,27 +8,45 @@ This module is that uplink, hardened the same way the scrape path is:
 
 * :class:`RemoteWriteClient` — runs inside a leaf monitor.  Each flush
   tick it *collects* every sample the leaf TSDB accepted since its
-  watermark, packs them into compressed frames (WAL record framing,
-  zlib, base64 over the simulated HTTP transport), and *pumps* the frame
-  queue to the receiver with jittered-exponential retry/backoff on the
-  virtual clock.  The queue is bounded: while the uplink is down the
-  leaf keeps serving local queries and spills frames to the queue;
-  past ``queue_max_frames`` the oldest frames are dropped and counted
-  (graceful degradation, never memory growth).
-* :class:`RemoteWriteReceiver` — runs inside the global monitor.  Frames
-  carry a per-incarnation *epoch* and per-sender monotonic sequence
-  numbers: within one epoch, a frame whose sequence is not beyond the
-  sender's last applied one is a *replay* (a retry of a delivery whose
-  ack was lost) and is acknowledged without being applied — exactly-once
-  at frame granularity.  A frame with a *newer* epoch is a recovered
-  incarnation of the sender: its sequence numbering restarts, so frames
-  it sends are never mistaken for replays of the dead incarnation's
-  deliveries.  Within an applied frame, the TSDB's per-series
-  monotonic-append check rejects any sample whose (series fingerprint,
-  timestamp) already landed — exactly-once at sample granularity, which
-  is also what deduplicates an HA *pair* of leaves shipping the same
-  scrape (see :mod:`repro.teemon.ha`) and absorbs the overlap a
-  recovered incarnation re-ships under its fresh epoch.
+  watermark, packs them into compressed shard-partitioned frames (one
+  CRC-guarded block per series, fingerprinted with the same CRC32 the
+  sharded engine routes on), and *pumps* the frame queue to the receiver
+  with jittered-exponential retry/backoff on the virtual clock.  The
+  queue is bounded: while the uplink is down the leaf keeps serving
+  local queries and spills frames to the queue; past ``queue_max_frames``
+  the oldest frames are dropped and counted (graceful degradation, never
+  memory growth).  With ``federation_mode: aggregate`` the collect ships
+  only recording-rule outputs plus a raw allowlist — the leaf-side
+  pushdown that keeps region uplinks cheap.
+* :class:`RemoteWriteReceiver` — runs inside the global (or a region)
+  monitor.  Frames carry a per-incarnation *epoch* and per-sender
+  monotonic sequence numbers: within one epoch, a frame whose sequence
+  is not beyond the sender's last applied one is a *replay* (a retry of
+  a delivery whose ack was lost) and is acknowledged without being
+  applied — exactly-once at frame granularity.  A frame with a *newer*
+  epoch is a recovered incarnation of the sender: its sequence numbering
+  restarts, so frames it sends are never mistaken for replays of the
+  dead incarnation's deliveries.  Within an applied frame, the TSDB's
+  per-series monotonic-append check rejects any sample whose (series
+  fingerprint, timestamp) already landed — exactly-once at sample
+  granularity, which is also what deduplicates an HA *pair* of leaves
+  shipping the same scrape (see :mod:`repro.teemon.ha`) and absorbs the
+  overlap a recovered incarnation re-ships under its fresh epoch.  On a
+  sharded engine the per-series blocks are routed straight to their
+  shards (:meth:`~repro.pmag.storage.ShardedTsdb.append_fingerprinted`),
+  dispatched through the shard executor when one is configured.
+* *Relays* — a monitor that is both receiver and client forwards
+  everything it ingests upstream under its **own** sender identity,
+  epoch and sequence numbering (re-stamping is automatic: the relay's
+  client collects from the relay's TSDB by time window, so upstream
+  tiers see one well-ordered sender per relay, never the leaves'
+  numbering).  Frames that arrive carrying samples *older* than the
+  relay's collected watermark (a healed leaf partition draining its
+  spill) regress the collect window via :meth:`RemoteWriteClient.
+  note_late_arrival` so the next flush re-ships them; the upstream
+  receiver's dedup absorbs any overlap the regression re-sends.  A
+  receiver built with its own ``identity`` rejects frames claiming to
+  come from itself — the loop guard for mis-wired topologies.
 * Durability — the client's watermark and last-acked sequence persist as
   WAL cursor frames (the same channel the rule evaluator uses), so a
   crashed-and-recovered leaf resumes shipping from its last acked
@@ -41,8 +59,11 @@ This module is that uplink, hardened the same way the scrape path is:
   delivery was still pending.
 
 Self-telemetry lands in the local TSDB as ``teemon_remote_write_*``
-series (queue depth, retries, dropped frames, dedup hits), so the
-federation tier is observable with the same PromQL as everything else.
+series (queue depth, frames in flight, retries, dropped frames, dedup
+hits) and, on the receiving side, per-sender
+``teemon_federation_lag_seconds`` — so the federation tier is observable
+with the same PromQL as everything else, and the ``pmv`` federation
+timeline renders the lag per sender.
 """
 
 from __future__ import annotations
@@ -51,17 +72,15 @@ import base64
 import struct
 import zlib
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TsdbError, WalError
 from repro.net.http import HttpNetwork
-from repro.pmag.model import Labels
+from repro.pmag.model import Labels, METRIC_NAME_LABEL
+from repro.pmag.rules import is_recorded_output
+from repro.pmag.storage import series_fingerprint
 from repro.pmag.tsdb import StorageEngine
-from repro.pmag.wal import (
-    MAX_RECORD_BYTES,
-    decode_payload,
-    encode_record_cached,
-)
+from repro.pmag.wal import MAX_RECORD_BYTES, _pack_text
 from repro.simkernel.clock import NANOS_PER_SEC, VirtualClock
 from repro.simkernel.rng import DeterministicRng
 
@@ -71,13 +90,20 @@ REMOTE_WRITE_PORT = 9009
 REMOTE_WRITE_PATH = "/api/v1/write"
 
 #: Wire-format version tag, first token of every frame.  Version 2
-#: added the sender-incarnation epoch to the header.
-FRAME_MAGIC = "teemon-rw/2"
+#: added the sender-incarnation epoch to the header; version 3 replaced
+#: the flat record stream with shard-partitioned per-series blocks
+#: (fingerprint + one label block + packed samples, CRC32 per block).
+FRAME_MAGIC = "teemon-rw/3"
 
-#: Identity labels of the client's self-series in the *leaf* TSDB.
+#: Identity labels of the client's self-series in the *local* TSDB.
+#: ``record_self_series`` adds a ``source`` label so the series of
+#: different senders never collide when they meet at an upper tier.
 CLIENT_IDENTITY = {"job": "pmag", "instance": "remote_write"}
-#: Identity labels of the receiver's self-series in the *global* TSDB.
+#: Identity labels of the receiver's self-series in the ingesting TSDB.
+#: ``record_self_series`` adds a ``host`` label so a relay's receiver
+#: series stay distinct from the global receiver's after forwarding.
 RECEIVER_IDENTITY = {"job": "pmag", "instance": "remote_write_receiver"}
+
 
 #: WAL cursor keys persisting the client's durable uplink position.
 #: ``:`` keeps them out of the rule evaluator's ``group/record`` space
@@ -92,37 +118,101 @@ def sequence_cursor_key(source: str) -> str:
     return f"remote-write:seq:{source}"
 
 
+def build_ship_filter(
+    mode: str, allowlist: Sequence[str] = (),
+) -> Optional[Callable[[Labels], bool]]:
+    """The collect-side series filter a ``federation_mode`` asks for.
+
+    ``"raw"`` returns None (ship everything — the flat-tier default).
+    ``"aggregate"`` ships only recording-rule outputs (colon-namespaced
+    metric names, the PR 7 materialization) plus metrics matching the
+    ``allowlist``: exact names, or prefixes written with a trailing
+    ``*`` (``"teemon_*"``).
+    """
+    if mode == "raw":
+        return None
+    if mode != "aggregate":
+        raise TsdbError(f"unknown federation mode: {mode!r}")
+    exact = frozenset(name for name in allowlist if not name.endswith("*"))
+    prefixes = tuple(name[:-1] for name in allowlist if name.endswith("*"))
+
+    def ship(labels: Labels) -> bool:
+        name = labels.get(METRIC_NAME_LABEL) or ""
+        if is_recorded_output(name) or name in exact:
+            return True
+        return bool(prefixes) and name.startswith(prefixes)
+
+    return ship
+
+
 def encode_frame(
     sender: str, epoch: int, seq: int,
     entries: List[Tuple[Labels, int, float]],
+    fingerprints: Optional[Dict[Labels, int]] = None,
 ) -> str:
-    """One batched, compressed sample frame as an HTTP body.
+    """One batched, compressed, shard-partitioned frame as an HTTP body.
 
-    Header line ``teemon-rw/2 <sender> <epoch> <seq> <count>``, then the
-    base64 of the zlib-compressed concatenation of WAL-framed records —
-    each record keeps its own CRC32, so a corrupted frame is detected at
-    record granularity, the same integrity story as the on-disk log.
-    ``epoch`` identifies the sender *incarnation* (a recovered monitor
-    gets a fresh, strictly larger one), ``seq`` orders frames within it.
+    Header line ``teemon-rw/3 <sender> <epoch> <seq> <count>``, then the
+    base64 of the zlib-compressed concatenation of per-series blocks::
+
+        u32 len | u32 crc32(block) | block
+        block = u32 fingerprint | u32 label_count
+                (u16-len key | u16-len value)*     -- sorted by key
+                u32 sample_count | (i64 time_ns | f64 value)*
+
+    Each series' label set is encoded **once** per frame and stamped
+    with the same CRC32 fingerprint :func:`series_fingerprint` computes,
+    so a sharded receiver routes whole blocks to their shards without
+    re-deriving the fingerprint per sample.  Per-block CRC32 keeps the
+    on-the-wire integrity story of the on-disk log.  ``epoch``
+    identifies the sender *incarnation* (a recovered monitor gets a
+    fresh, strictly larger one), ``seq`` orders frames within it.
+    ``fingerprints`` is an optional cross-frame fingerprint memo.
     """
     if not sender or any(c in sender for c in " \n"):
         raise WalError(f"sender not wire-safe: {sender!r}")
-    # A frame holds many samples of few distinct series; the cached
-    # encoder builds each series' label block (and partial CRC) once.
-    prefix_cache: Dict[Labels, Tuple[bytes, int, bytes]] = {}
-    payload = b"".join(
-        encode_record_cached(labels, time_ns, value, prefix_cache)
-        for labels, time_ns, value in entries
-    )
-    body = base64.b64encode(zlib.compress(payload, 6)).decode("ascii")
+    groups: Dict[Labels, List[Tuple[int, float]]] = {}
+    for labels, time_ns, value in entries:
+        bucket = groups.get(labels)
+        if bucket is None:
+            groups[labels] = bucket = []
+        bucket.append((time_ns, value))
+    if fingerprints is None:
+        fingerprints = {}
+    pieces: List[bytes] = []
+    for labels, samples in groups.items():
+        fingerprint = fingerprints.get(labels)
+        if fingerprint is None:
+            fingerprint = series_fingerprint(labels)
+            fingerprints[labels] = fingerprint
+        items = labels.items()
+        parts = [struct.pack("<II", fingerprint, len(items))]
+        for key, value in items:
+            parts.append(_pack_text(key))
+            parts.append(_pack_text(value))
+        parts.append(struct.pack("<I", len(samples)))
+        parts.append(b"".join(
+            struct.pack("<qd", time_ns, value) for time_ns, value in samples
+        ))
+        block = b"".join(parts)
+        if len(block) > MAX_RECORD_BYTES:
+            raise WalError(f"series block too large: {len(block)} bytes")
+        pieces.append(struct.pack("<II", len(block), zlib.crc32(block)))
+        pieces.append(block)
+    body = base64.b64encode(zlib.compress(b"".join(pieces), 6)).decode("ascii")
     return f"{FRAME_MAGIC} {sender} {epoch} {seq} {len(entries)}\n{body}"
 
 
-def decode_frame(
+def decode_frame_blocks(
     text: str,
-) -> Tuple[str, int, int, List[Tuple[Labels, int, float]]]:
-    """Inverse of :func:`encode_frame`; raises :class:`WalError` on any
-    framing, CRC, count or compression damage."""
+) -> Tuple[str, int, int, List[Tuple[int, Labels, List[Tuple[int, float]]]]]:
+    """Inverse of :func:`encode_frame`, keeping the per-series shape.
+
+    Returns ``(sender, epoch, seq, blocks)`` where each block is
+    ``(fingerprint, labels, [(time_ns, value), ...])`` — the unit the
+    sharded ingest path routes.  Raises :class:`WalError` on any
+    framing, CRC, count or compression damage.
+    """
     header, sep, body = text.partition("\n")
     pieces = header.split()
     if len(pieces) != 5 or pieces[0] != FRAME_MAGIC or not sep:
@@ -138,42 +228,73 @@ def decode_frame(
         payload = zlib.decompress(base64.b64decode(body.encode("ascii")))
     except Exception as exc:  # noqa: BLE001 - any transport damage
         raise WalError(f"undecodable frame payload: {exc}") from exc
-    entries: List[Tuple[Labels, int, float]] = []
+    blocks: List[Tuple[int, Labels, List[Tuple[int, float]]]] = []
+    total = 0
     pos = 0
-    # Per-frame decode memo: records of the same series share their
-    # label block (everything before the trailing 16-byte time+value),
-    # and the CRC above already vouches for the bytes — so each distinct
-    # block is parsed into a Labels once and reused.
-    label_cache: Dict[bytes, Labels] = {}
-    while pos < len(payload):
-        if len(payload) - pos < 8:
-            raise WalError("truncated record frame in remote-write payload")
+    size = len(payload)
+    while pos < size:
+        if size - pos < 8:
+            raise WalError("truncated block frame in remote-write payload")
         length, crc = struct.unpack_from("<II", payload, pos)
         if not 0 < length <= MAX_RECORD_BYTES:
-            raise WalError(f"implausible record length: {length}")
-        record = payload[pos + 8:pos + 8 + length]
-        if len(record) != length:
-            raise WalError("truncated record in remote-write payload")
-        if zlib.crc32(record) != crc:
-            raise WalError("record CRC mismatch in remote-write frame")
-        labels = label_cache.get(record[:-16])
-        if labels is not None:
-            time_ns, value = struct.unpack_from("<qd", record, length - 16)
-            entries.append((labels, time_ns, value))
-        else:
-            decoded = decode_payload(record)
-            label_cache[record[:-16]] = decoded[0]
-            entries.append(decoded)
+            raise WalError(f"implausible block length: {length}")
+        block = payload[pos + 8:pos + 8 + length]
+        if len(block) != length:
+            raise WalError("truncated block in remote-write payload")
+        if zlib.crc32(block) != crc:
+            raise WalError("block CRC mismatch in remote-write frame")
+        try:
+            fingerprint, label_count = struct.unpack_from("<II", block, 0)
+            offset = 8
+            mapping = {}
+            for _ in range(label_count):
+                (key_len,) = struct.unpack_from("<H", block, offset)
+                offset += 2
+                key = block[offset:offset + key_len].decode("utf-8")
+                offset += key_len
+                (val_len,) = struct.unpack_from("<H", block, offset)
+                offset += 2
+                mapping[key] = block[offset:offset + val_len].decode("utf-8")
+                offset += val_len
+            (sample_count,) = struct.unpack_from("<I", block, offset)
+            offset += 4
+            if offset + 16 * sample_count != length:
+                raise WalError("block sample region length mismatch")
+            samples = [
+                struct.unpack_from("<qd", block, offset + 16 * index)
+                for index in range(sample_count)
+            ]
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise WalError(f"malformed series block: {exc}") from exc
+        blocks.append((fingerprint, Labels(mapping), samples))
+        total += sample_count
         pos += 8 + length
-    if len(entries) != count:
+    if total != count:
         raise WalError(
-            f"frame count mismatch: header {count}, payload {len(entries)}"
+            f"frame count mismatch: header {count}, payload {total}"
         )
+    return sender, epoch, seq, blocks
+
+
+def decode_frame(
+    text: str,
+) -> Tuple[str, int, int, List[Tuple[Labels, int, float]]]:
+    """Inverse of :func:`encode_frame`, flattened to (labels, ts, value).
+
+    Entries come back grouped by series (block order), each series in
+    its shipped sample order.
+    """
+    sender, epoch, seq, blocks = decode_frame_blocks(text)
+    entries = [
+        (labels, time_ns, value)
+        for _fingerprint, labels, samples in blocks
+        for time_ns, value in samples
+    ]
     return sender, epoch, seq, entries
 
 
 class RemoteWriteReceiver:
-    """Ingests remote-write frames into the global monitor's TSDB.
+    """Ingests remote-write frames into the local monitor's TSDB.
 
     Dedup happens at two granularities:
 
@@ -198,17 +319,41 @@ class RemoteWriteReceiver:
       ticks by priority so "first" is deterministically the
       lower-priority-number replica.
 
+    Shard routing: on a sharded engine the frame's per-series blocks are
+    grouped by ``fingerprint % shards`` and dispatched as per-shard
+    batches (through the shard executor when one is configured) via
+    :meth:`~repro.pmag.storage.ShardedTsdb.append_fingerprinted`; a
+    monolith engine takes one flat ``append_batch``.  Accept/reject
+    outcomes are identical either way, so the dedup ledger reconciles
+    exactly regardless of the layout.
+
+    Relays: :meth:`attach_relay` couples this receiver to the
+    co-resident :class:`RemoteWriteClient` of a relay deployment.  Every
+    applied frame notifies the client of the oldest timestamp it landed,
+    so samples arriving *behind* the relay's collected watermark (a
+    healed downstream partition draining) are re-collected and shipped
+    upstream instead of falling into the watermark's shadow.  A receiver
+    given its own ``identity`` rejects frames claiming that identity —
+    a relay loop would otherwise replay its own output forever.
+
     (Epoch, sequence) state is per *sender* and lives in monitor memory:
-    after a global-monitor crash the map is empty, so the receiver
+    after a receiving-monitor crash the map is empty, so the receiver
     accepts any epoch/sequence and relies on sample-granularity dedup
     for the overlap a resuming client re-sends.
     """
 
-    def __init__(self, tsdb: StorageEngine) -> None:
+    def __init__(self, tsdb: StorageEngine,
+                 identity: Optional[str] = None) -> None:
         self._tsdb = tsdb
+        self._identity = identity
         #: sender -> (epoch, seq) of the last applied frame.
         self._last_applied: Dict[str, Tuple[int, int]] = {}
+        #: sender -> newest sample timestamp applied (feeds the
+        #: ``teemon_federation_lag_seconds`` gauge).
+        self._newest_applied: Dict[str, int] = {}
+        self._relay_clients: List["RemoteWriteClient"] = []
         self._endpoint = None
+        self._host: Optional[str] = None
         self.frames_received = 0
         self.frames_applied = 0
         self.frames_replayed = 0
@@ -225,6 +370,7 @@ class RemoteWriteReceiver:
         endpoint = network.register(host, port, path, self._status_body)
         endpoint.post_handler = self.handle
         self._endpoint = endpoint
+        self._host = host
         return endpoint
 
     def withdraw(self, network: HttpNetwork, host: str,
@@ -241,6 +387,14 @@ class RemoteWriteReceiver:
             raise TsdbError("remote-write receiver not exposed yet")
         return self._endpoint.url
 
+    def attach_relay(self, client: "RemoteWriteClient") -> None:
+        """Couple a co-resident uplink client (this monitor is a relay).
+
+        Applied frames notify the client of late arrivals so nothing
+        lands in the shadow of its collected watermark.
+        """
+        self._relay_clients.append(client)
+
     def _status_body(self) -> str:
         return (
             f"remote_write_frames_received_total {self.frames_received}\n"
@@ -251,27 +405,66 @@ class RemoteWriteReceiver:
     def handle(self, body: str) -> str:
         """Apply one frame; returns the ack line the client parses.
 
-        A malformed frame raises (the transport turns that into a 500,
-        which the client retries with the intact frame).
+        A malformed frame — or one claiming this receiver's own sender
+        identity, the federation-loop guard — raises (the transport
+        turns that into a 500; a loop frame failing forever is the
+        correct outcome, the topology is mis-wired).
         """
         self.frames_received += 1
         try:
-            sender, epoch, seq, entries = decode_frame(body)
+            sender, epoch, seq, blocks = decode_frame_blocks(body)
         except WalError:
             self.frames_rejected += 1
             raise
+        if self._identity is not None and sender == self._identity:
+            self.frames_rejected += 1
+            raise WalError(
+                f"federation loop: frame sender {sender!r} is this "
+                f"receiver's own identity"
+            )
+        total = sum(len(samples) for _fp, _labels, samples in blocks)
         last_epoch, last_seq = self._last_applied.get(sender, (-1, 0))
         if epoch < last_epoch or (epoch == last_epoch and seq <= last_seq):
             self.frames_replayed += 1
-            self.replay_dedup_hits += len(entries)
-            return f"ack {seq} replayed={len(entries)}"
-        rejected = self._tsdb.append_batch(entries) if entries else []
-        applied = len(entries) - len(rejected)
+            self.replay_dedup_hits += total
+            return f"ack {seq} replayed={total}"
+        rejected = self._ingest(blocks) if total else 0
+        applied = total - rejected
         self.samples_applied += applied
-        self.samples_deduped += len(rejected)
+        self.samples_deduped += rejected
         self.frames_applied += 1
         self._last_applied[sender] = (epoch, seq)
-        return f"ack {seq} applied={applied} deduped={len(rejected)}"
+        if applied:
+            oldest = newest = None
+            for _fp, _labels, samples in blocks:
+                for time_ns, _value in samples:
+                    if oldest is None or time_ns < oldest:
+                        oldest = time_ns
+                    if newest is None or time_ns > newest:
+                        newest = time_ns
+            if newest > self._newest_applied.get(sender, 0):
+                self._newest_applied[sender] = newest
+            for client in self._relay_clients:
+                client.note_late_arrival(oldest)
+        return f"ack {seq} applied={applied} deduped={rejected}"
+
+    def _ingest(
+        self, blocks: List[Tuple[int, Labels, List[Tuple[int, float]]]]
+    ) -> int:
+        """Land one frame's blocks in storage; returns rejected samples.
+
+        Sharded engines take the blocks whole (fingerprint-routed,
+        executor-dispatched); a monolith takes one flat batch.
+        """
+        sink = getattr(self._tsdb, "append_fingerprinted", None)
+        if sink is not None:
+            return sink(blocks)
+        entries = [
+            (labels, time_ns, value)
+            for _fp, labels, samples in blocks
+            for time_ns, value in samples
+        ]
+        return len(self._tsdb.append_batch(entries))
 
     # ------------------------------------------------------------------
     def last_sequence(self, sender: str) -> int:
@@ -281,6 +474,14 @@ class RemoteWriteReceiver:
     def last_epoch(self, sender: str) -> int:
         """Epoch of the sender's last applied frame (-1 = none)."""
         return self._last_applied.get(sender, (-1, 0))[0]
+
+    def lag_seconds(self, now_ns: int) -> Dict[str, float]:
+        """Per-sender federation lag: virtual now minus the newest
+        applied sample timestamp (0 before a sender's first apply)."""
+        return {
+            sender: max(0.0, (now_ns - newest) / NANOS_PER_SEC)
+            for sender, newest in sorted(self._newest_applied.items())
+        }
 
     def stats(self) -> Dict[str, int]:
         """Receiver counters as a plain mapping."""
@@ -295,7 +496,16 @@ class RemoteWriteReceiver:
         }
 
     def record_self_series(self, now_ns: int) -> None:
-        """Append the receiver's counters into the receiving TSDB."""
+        """Append the receiver's counters into the receiving TSDB.
+
+        The ``host`` label keeps a relay's receiver series distinct from
+        the next tier's own once they are forwarded upstream; the
+        per-sender lag gauge is what the ``pmv`` federation timeline
+        renders.
+        """
+        identity = dict(RECEIVER_IDENTITY)
+        if self._host is not None:
+            identity["host"] = self._host
         for metric, value in (
             ("teemon_remote_write_frames_received_total", self.frames_received),
             ("teemon_remote_write_frames_replayed_total", self.frames_replayed),
@@ -306,10 +516,18 @@ class RemoteWriteReceiver:
         ):
             try:
                 self._tsdb.append_sample(
-                    metric, now_ns, float(value), **RECEIVER_IDENTITY
+                    metric, now_ns, float(value), **identity
                 )
             except TsdbError:
                 pass  # duplicate instant (manual tick + scheduled tick)
+        for sender, lag_s in self.lag_seconds(now_ns).items():
+            try:
+                self._tsdb.append_sample(
+                    "teemon_federation_lag_seconds", now_ns, lag_s,
+                    sender=sender, **identity,
+                )
+            except TsdbError:
+                pass  # duplicate instant
 
 
 class _Frame:
@@ -318,7 +536,9 @@ class _Frame:
     ``end_ns`` is the watermark this frame's ack justifies: every
     collected sample with a timestamp ≤ ``end_ns`` sits in this frame or
     an earlier one (delivery is strictly in order), so persisting it on
-    ack can never skip samples whose delivery is still pending.
+    ack can never skip samples whose delivery is still pending.  A
+    late-arrival regression clamps it downward (see
+    :meth:`RemoteWriteClient.note_late_arrival`).
     """
 
     __slots__ = ("seq", "entries", "end_ns", "attempts")
@@ -332,12 +552,14 @@ class _Frame:
 
 
 class RemoteWriteClient:
-    """Ships the leaf TSDB's samples upstream in sequence-numbered frames.
+    """Ships the local TSDB's samples upstream in sequence-numbered frames.
 
     ``flush()`` (the deployment runs it on a virtual-clock cadence,
     staggered by ``priority`` so HA replicas never deliver at the same
-    instant in ambiguous order) does two things: *collect* — snapshot
-    every sample in ``(collected watermark, now]`` into frames of at most
+    instant in ambiguous order, and by ``tier`` so a relay collects only
+    after the tier below has delivered at a shared instant) does two
+    things: *collect* — snapshot every sample in ``(collected watermark,
+    now]`` that passes the ship filter into frames of at most
     ``max_frame_samples`` — and *pump* — deliver queued frames in
     sequence order, one in flight at a time, with jittered-exponential
     retry on the virtual clock.  Delivery failures leave the frame at the
@@ -346,9 +568,12 @@ class RemoteWriteClient:
     bounded retry burst per cadence, not an unbounded timer storm.
 
     Durability: when a WAL is attached, each acked frame persists the new
-    watermark and sequence as cursor frames.  A crashed leaf seeds both
-    from recovery (:meth:`seed`) and resumes from the acked position —
-    the receiver's dedup absorbs any overlap.
+    watermark and sequence as cursor frames (keyed by ``cursor_name``,
+    which defaults to ``source`` — mirror clients shipping the same TSDB
+    to a second receiver use a distinct name so the cursors never
+    collide).  A crashed leaf seeds both from recovery (:meth:`seed`)
+    and resumes from the acked position — the receiver's dedup absorbs
+    any overlap.
     """
 
     def __init__(
@@ -368,6 +593,9 @@ class RemoteWriteClient:
         rng: Optional[DeterministicRng] = None,
         priority: int = 0,
         stagger_ns: int = 1_000_000,
+        tier: int = 0,
+        ship_filter: Optional[Callable[[Labels], bool]] = None,
+        cursor_name: Optional[str] = None,
     ) -> None:
         if max_frame_samples < 1:
             raise TsdbError(f"max_frame_samples must be >= 1: {max_frame_samples}")
@@ -383,6 +611,8 @@ class RemoteWriteClient:
             raise TsdbError(f"backoff jitter must be in [0, 1): {backoff_jitter}")
         if priority < 0:
             raise TsdbError(f"priority cannot be negative: {priority}")
+        if tier < 0:
+            raise TsdbError(f"tier cannot be negative: {tier}")
         self._clock = clock
         self._network = network
         self._tsdb = tsdb
@@ -396,7 +626,16 @@ class RemoteWriteClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_jitter = backoff_jitter
         self.priority = priority
-        self.stagger_offset_ns = priority * stagger_ns
+        self.tier = tier
+        #: Flush-tick offset: replica priority staggers HA pairs apart
+        #: (1 ms steps), tier staggers a relay's collect *after* the
+        #: deliveries of the tier below at a shared virtual instant
+        #: (2 ms per tier — strictly beyond any replica stagger), so in
+        #: steady state a relay never collects a window that downstream
+        #: frames are still about to land in.
+        self.stagger_offset_ns = (priority + 2 * tier) * stagger_ns
+        self.ship_filter = ship_filter
+        self.cursor_name = cursor_name if cursor_name is not None else source
         self._rng = (rng or DeterministicRng(0)).fork("remote-write")
         #: Incarnation stamp carried by every frame.  Construction time
         #: on the virtual clock is strictly increasing across the
@@ -415,6 +654,8 @@ class RemoteWriteClient:
         #: Sequence of the last frame built / last frame acked.
         self._seq = 0
         self.acked_seq = 0
+        #: Cross-frame fingerprint memo for the v3 encoder.
+        self._fingerprints: Dict[Labels, int] = {}
         self.frames_sent = 0
         self.frames_acked = 0
         self.frames_dropped = 0
@@ -422,6 +663,8 @@ class RemoteWriteClient:
         self.send_failures = 0
         self.samples_shipped = 0
         self.samples_dropped = 0
+        self.bytes_shipped = 0
+        self.late_arrivals = 0
 
     # ------------------------------------------------------------------
     # Recovery seeding
@@ -456,6 +699,36 @@ class RemoteWriteClient:
             self._retry_timer = None
 
     # ------------------------------------------------------------------
+    # Relay feed
+    # ------------------------------------------------------------------
+    def note_late_arrival(self, min_time_ns: int) -> None:
+        """Samples at/after ``min_time_ns`` just landed *behind* the
+        collected watermark (a relay's receiver applied a healed
+        downstream spill).  Regress the collect window so the next flush
+        re-collects from just before them, clamp every queued frame's
+        durable watermark to the regression point (an ack of a
+        pre-regression frame must not persist a cursor past samples that
+        are no longer covered), and persist the regressed watermark so a
+        crash before the re-ship still resumes behind the late window.
+        The upstream receiver's sample dedup absorbs whatever the
+        re-collect re-ships.
+        """
+        point = min_time_ns - 1
+        if point >= self._collected_ns:
+            return
+        self.late_arrivals += 1
+        self._collected_ns = point
+        for frame in self._queue:
+            if frame.end_ns > point:
+                frame.end_ns = point
+        if self.watermark_ns > point:
+            self.watermark_ns = point
+            if self._wal is not None:
+                self._wal.append_cursor(
+                    watermark_cursor_key(self.cursor_name), point
+                )
+
+    # ------------------------------------------------------------------
     # Collect + pump
     # ------------------------------------------------------------------
     def flush(self, now_ns: Optional[int] = None) -> int:
@@ -476,7 +749,10 @@ class RemoteWriteClient:
         entries: List[Tuple[Labels, int, float]] = []
         # Window is (collected, now]: select is inclusive on both ends,
         # so the left edge is nudged one ns past the last collected stamp.
+        ship = self.ship_filter
         for series in self._tsdb.select([], self._collected_ns + 1, now_ns):
+            if ship is not None and not ship(series.labels):
+                continue
             for sample in series.samples:
                 entries.append((series.labels, sample.time_ns, sample.value))
         self._collected_ns = now_ns
@@ -521,7 +797,8 @@ class RemoteWriteClient:
         """One delivery try; schedules a retry (or gives up) on failure."""
         frame.attempts += 1
         self.frames_sent += 1
-        body = encode_frame(self.source, self.epoch, frame.seq, frame.entries)
+        body = encode_frame(self.source, self.epoch, frame.seq, frame.entries,
+                            self._fingerprints)
         response = self._network.post_url(self.url, body)
         latency_s = getattr(response, "latency_s", 0.0)
         ok = (
@@ -530,6 +807,7 @@ class RemoteWriteClient:
             and response.body.startswith(f"ack {frame.seq}")
         )
         if ok:
+            self.bytes_shipped += len(body)
             return True
         if frame.attempts <= self.max_retries:
             delay_s = self.backoff_base_s * (2 ** (frame.attempts - 1))
@@ -558,13 +836,17 @@ class RemoteWriteClient:
         self.frames_acked += 1
         self.samples_shipped += len(frame.entries)
         self.acked_seq = frame.seq
-        self.watermark_ns = max(self.watermark_ns, frame.end_ns)
+        # Assignment, not max(): frames ack strictly in order, and a
+        # late-arrival regression legitimately *lowers* the watermark a
+        # clamped frame justifies — max() would resurrect the higher
+        # pre-regression cursor and shadow the late window across a crash.
+        self.watermark_ns = frame.end_ns
         if self._wal is not None:
             self._wal.append_cursor(
-                watermark_cursor_key(self.source), self.watermark_ns
+                watermark_cursor_key(self.cursor_name), self.watermark_ns
             )
             self._wal.append_cursor(
-                sequence_cursor_key(self.source), self.acked_seq
+                sequence_cursor_key(self.cursor_name), self.acked_seq
             )
 
     # ------------------------------------------------------------------
@@ -580,11 +862,17 @@ class RemoteWriteClient:
         """Samples inside queued frames."""
         return sum(len(frame.entries) for frame in self._queue)
 
+    @property
+    def frames_inflight(self) -> int:
+        """Queued frames with at least one delivery attempt outstanding."""
+        return sum(1 for frame in self._queue if frame.attempts)
+
     def stats(self) -> Dict[str, int]:
         """Client counters as a plain mapping."""
         return {
             "queue_frames": self.queue_depth,
             "queue_samples": self.queued_samples,
+            "frames_inflight": self.frames_inflight,
             "frames_sent": self.frames_sent,
             "frames_acked": self.frames_acked,
             "frames_dropped": self.frames_dropped,
@@ -592,6 +880,8 @@ class RemoteWriteClient:
             "send_failures": self.send_failures,
             "samples_shipped": self.samples_shipped,
             "samples_dropped": self.samples_dropped,
+            "bytes_shipped": self.bytes_shipped,
+            "late_arrivals": self.late_arrivals,
             "watermark_ns": self.watermark_ns,
             "acked_seq": self.acked_seq,
         }
@@ -600,21 +890,28 @@ class RemoteWriteClient:
         """Append the client's counters into the *local* TSDB.
 
         They ride the next collect upstream like every other series, so
-        the global tier can alert on a leaf's queue growth.
+        the global tier can alert on a leaf's queue growth.  The
+        ``source`` label keeps each sender's series distinct once many
+        of them meet in one upstream TSDB.
         """
+        identity = dict(CLIENT_IDENTITY)
+        identity["source"] = self.source
         for metric, value in (
+            ("teemon_remote_write_queue_depth", self.queue_depth),
             ("teemon_remote_write_queue_frames", self.queue_depth),
             ("teemon_remote_write_queue_samples", self.queued_samples),
+            ("teemon_remote_write_frames_inflight", self.frames_inflight),
             ("teemon_remote_write_frames_sent_total", self.frames_sent),
             ("teemon_remote_write_frames_acked_total", self.frames_acked),
             ("teemon_remote_write_frames_dropped_total", self.frames_dropped),
             ("teemon_remote_write_retries_total", self.retries_total),
             ("teemon_remote_write_samples_shipped_total", self.samples_shipped),
             ("teemon_remote_write_samples_dropped_total", self.samples_dropped),
+            ("teemon_remote_write_bytes_shipped_total", self.bytes_shipped),
         ):
             try:
                 self._tsdb.append_sample(
-                    metric, now_ns, float(value), **CLIENT_IDENTITY
+                    metric, now_ns, float(value), **identity
                 )
             except TsdbError:
                 pass  # duplicate instant (manual tick + scheduled tick)

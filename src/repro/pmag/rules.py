@@ -86,6 +86,17 @@ class RecordingRule:
             )
 
 
+def is_recorded_output(name: str) -> bool:
+    """Whether a metric name is a recording-rule output.
+
+    The Prometheus ``level:metric:op`` naming convention (enforced at
+    :class:`RecordingRule` construction) makes this a pure name test —
+    which is what lets the remote-write aggregate pushdown decide
+    ship/skip per series without consulting the rule set.
+    """
+    return ":" in name
+
+
 def _rule_key(rule) -> str:
     """Group-unique identity for recording and alerting rules alike."""
     if isinstance(rule, RecordingRule):

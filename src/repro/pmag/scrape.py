@@ -121,6 +121,7 @@ class ScrapeManager:
         rng: Optional[DeterministicRng] = None,
         self_monitor: bool = True,
         tracer=None,
+        host: Optional[str] = None,
     ) -> None:
         if interval_ns <= 0:
             raise TsdbError(f"scrape interval must be positive, got {interval_ns}")
@@ -144,6 +145,14 @@ class ScrapeManager:
         self.backoff_jitter = backoff_jitter
         self.staleness_intervals = staleness_intervals
         self.self_monitor = self_monitor
+        #: Federation identity: stamped onto the scraper's own meta
+        #: series (which otherwise carry only the fixed
+        #: :data:`SELF_IDENTITY`), so copies remote-written from
+        #: different monitors stay distinct series instead of colliding
+        #: sample-for-sample at a relay tier.
+        self._self_identity = dict(SELF_IDENTITY)
+        if host is not None:
+            self._self_identity["host"] = host
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._backoff_rng = (rng or DeterministicRng(0)).fork("scrape-backoff")
         self._static_targets: List[ScrapeTarget] = []
@@ -625,7 +634,7 @@ class ScrapeManager:
             ("target_flaps_total", self.flaps_total),
             ("scrape_targets_removed_total", self.targets_removed),
         ):
-            self._append(name, now_ns, float(value), SELF_IDENTITY)
+            self._append(name, now_ns, float(value), self._self_identity)
 
     def self_stats(self) -> Dict[str, int]:
         """The self-monitoring counters as a plain mapping (a view over

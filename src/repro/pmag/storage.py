@@ -281,6 +281,66 @@ class ShardedTsdb(StorageEngine):
                 rejected.append(i)
         return rejected
 
+    def append_fingerprinted(
+        self,
+        blocks: Sequence[Tuple[int, Labels, Sequence[Tuple[int, float]]]],
+    ) -> int:
+        """Ingest pre-fingerprinted per-series sample blocks.
+
+        The remote-write receiver's shard-routed path: a v3 frame
+        arrives already grouped by series and stamped with the same
+        CRC32 fingerprint this engine routes on, so whole blocks are
+        bucketed by ``fingerprint % shards`` without re-hashing any
+        label set — and the per-shard sub-batches are dispatched
+        through the shard executor when one is configured (shards are
+        independent, each with its own WAL, so parallel ingest is
+        deterministic).  A series' first-seen fingerprint is verified
+        against :func:`series_fingerprint` before it enters the route
+        cache — a frame cannot mis-route a series for every later
+        frame.  Returns the number of rejected (duplicate / too-old)
+        samples; per-series accept/reject outcomes are identical to
+        the flat :meth:`append_batch` path, so dedup ledgers reconcile
+        regardless of the engine layout.
+        """
+        shards = self._shards
+        count = len(shards)
+        cache = self._fingerprints
+        buckets: List[Optional[list]] = [None] * count
+        for fingerprint, labels, samples in blocks:
+            index = cache.get(labels)
+            if index is None:
+                actual = series_fingerprint(labels)
+                if actual != fingerprint:
+                    raise TsdbError(
+                        f"block fingerprint {fingerprint} does not match "
+                        f"series {dict(labels.items())!r} ({actual})"
+                    )
+                index = actual % count
+                cache[labels] = index
+            elif fingerprint % count != index:
+                raise TsdbError(
+                    f"block fingerprint {fingerprint} routes series "
+                    f"{dict(labels.items())!r} away from its shard {index}"
+                )
+            bucket = buckets[index]
+            if bucket is None:
+                buckets[index] = bucket = []
+            for time_ns, value in samples:
+                bucket.append((labels, time_ns, value))
+        jobs = [(i, b) for i, b in enumerate(buckets) if b]
+        if not jobs:
+            return 0
+        executor = self._executor
+        if executor is None or len(jobs) == 1:
+            return sum(
+                len(shards[index].append_batch(bucket))
+                for index, bucket in jobs
+            )
+        rejected = executor.map(
+            lambda job: len(shards[job[0]].append_batch(job[1])), jobs
+        )
+        return sum(rejected)
+
     def install_series(self, labels: Labels, storage: ChunkedSeries) -> None:
         """Install a fully-built series on its owning shard."""
         self._route(labels).install_series(labels, storage)

@@ -11,6 +11,7 @@ dashboards — SGX, Docker, and infrastructure — which ship in
 from repro.pmv.alert_view import render_alert_timeline
 from repro.pmv.anomaly_view import render_anomaly_timeline
 from repro.pmv.dashboard import Dashboard, DashboardRow
+from repro.pmv.federation_view import render_federation_timeline
 from repro.pmv.panels import (
     GaugePanel,
     GraphPanel,
@@ -24,6 +25,7 @@ from repro.pmv.trace_view import render_flamegraph, render_waterfall
 __all__ = [
     "render_alert_timeline",
     "render_anomaly_timeline",
+    "render_federation_timeline",
     "render_waterfall",
     "render_flamegraph",
     "Panel",

@@ -1,0 +1,82 @@
+"""Federation timeline rendering: per-sender uplink lag bars.
+
+The remote-write receiver appends ``teemon_federation_lag_seconds``
+per sender (virtual now minus the newest applied sample timestamp);
+this view folds those series into one bar per sender over a window::
+
+    region-0
+      |▁▁▁▁▁▂▁▁▁▁▁▁▅▇██████▇▅▂▁▁▁▁▁▁▁▁▁▁▁▁|  last 5.0s  max 41.0s
+
+Each cell is the worst lag observed in its slice of the window, scaled
+against the window's overall maximum (the ramp ``▁``–``█``); ``·``
+marks slices with no measurement (the sender had not applied yet, or
+the receiver was down).  A healthy uplink is a flat low ramp (lag ≈
+one flush interval); a relay crash or partition reads as a growing
+wedge that collapses when the spill drains.  Purely deterministic text
+over deterministic input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+CHAR_EMPTY = "·"   # ·
+RAMP = "▁▂▃▄▅▆▇█"  # eighth blocks, lowest to full
+
+
+def render_federation_timeline(
+    lag_series: Sequence[Tuple[str, Sequence[Tuple[int, float]]]],
+    start_ns: int, end_ns: int,
+    width: int = 72,
+) -> str:
+    """Render one lag bar per sender over ``[start, end]``.
+
+    ``lag_series`` maps each sender to its ``(time_ns, lag_seconds)``
+    measurements (what the receiver's self-series hold).
+    """
+    if end_ns <= start_ns:
+        return "(empty window)"
+    bar_width = max(10, width - 4)
+    span_ns = end_ns - start_ns
+    in_window: List[Tuple[str, List[Tuple[int, float]]]] = []
+    overall_max = 0.0
+    for sender, samples in lag_series:
+        kept = [
+            (time_ns, lag_s)
+            for time_ns, lag_s in samples
+            if start_ns <= time_ns <= end_ns
+        ]
+        in_window.append((sender, kept))
+        for _time_ns, lag_s in kept:
+            overall_max = max(overall_max, lag_s)
+    if not any(kept for _sender, kept in in_window):
+        return "(no federation traffic)"
+    out: List[str] = []
+    for sender, kept in sorted(in_window):
+        cells: List[float] = [-1.0] * bar_width
+        for time_ns, lag_s in kept:
+            cell = min(
+                bar_width - 1, ((time_ns - start_ns) * bar_width) // span_ns
+            )
+            cells[cell] = max(cells[cell], lag_s)
+        bar = "".join(
+            CHAR_EMPTY if lag_s < 0.0 else RAMP[
+                min(len(RAMP) - 1,
+                    int(lag_s / overall_max * len(RAMP)) if overall_max else 0)
+            ]
+            for lag_s in cells
+        )
+        out.append(sender)
+        if kept:
+            last = kept[-1][1]
+            worst = max(lag_s for _time_ns, lag_s in kept)
+            out.append(
+                f"  |{bar}|  last {last:.1f}s  max {worst:.1f}s"
+            )
+        else:
+            out.append(f"  |{bar}|  no samples in window")
+    legend = (
+        f"legend: {CHAR_EMPTY} no measurement  {RAMP[0]}–{RAMP[-1]} lag "
+        f"relative to window max"
+    )
+    return "\n".join(out + [legend])

@@ -18,6 +18,7 @@ See :mod:`repro.teemon.deploy` for the deployment object and
 
 from repro.teemon.config import TeemonConfig
 from repro.teemon.deploy import TeemonDeployment, deploy
+from repro.teemon.federation import FederationTopology
 from repro.teemon.ha import HAMonitorPair, deploy_ha_pair
 from repro.teemon.session import MonitoringSession
 from repro.teemon.supervisor import MonitorSupervisor
@@ -26,6 +27,7 @@ __all__ = [
     "TeemonConfig",
     "deploy",
     "deploy_ha_pair",
+    "FederationTopology",
     "TeemonDeployment",
     "HAMonitorPair",
     "MonitoringSession",

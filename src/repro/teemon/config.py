@@ -24,8 +24,11 @@ def _profile() -> str:
 
 #: Profiles that run the suite against a 4-shard engine with the WAL on;
 #: ``sharded-executor`` additionally turns the shard executor on, so the
-#: concurrent fan-out path gets full-suite coverage too.
-_SHARDED_PROFILES = ("sharded", "sharded-executor")
+#: concurrent fan-out path gets full-suite coverage too.  ``federated``
+#: is the federation-stress profile: sharded engine + executor + small
+#: remote-write frames, so every uplink in the suite ships many frames
+#: per flush and the shard-routed receiver path gets full coverage.
+_SHARDED_PROFILES = ("sharded", "sharded-executor", "federated")
 
 
 def _default_storage_shards() -> int:
@@ -37,7 +40,11 @@ def _default_enable_wal() -> bool:
 
 
 def _default_storage_executor_workers() -> int:
-    return 4 if _profile() == "sharded-executor" else 0
+    return 4 if _profile() in ("sharded-executor", "federated") else 0
+
+
+def _default_remote_write_frame_samples() -> int:
+    return 50 if _profile() == "federated" else 500
 
 
 def _default_enable_tracing() -> bool:
@@ -211,7 +218,9 @@ class TeemonConfig:
     #: Remote-write flush cadence (collect-and-ship tick).
     remote_write_interval_s: float = 5.0
     #: Samples per frame; a flush ships as many frames as needed.
-    remote_write_frame_samples: int = 500
+    remote_write_frame_samples: int = field(
+        default_factory=_default_remote_write_frame_samples
+    )
     #: Bound of the send queue, in frames.  When the uplink is down the
     #: queue absorbs this much before the oldest frames are dropped
     #: (counted in ``teemon_remote_write_frames_dropped_total``).
@@ -229,6 +238,33 @@ class TeemonConfig:
     #: expose it on this deployment's network at
     #: ``http://{hostname}:9009/api/v1/write``.
     remote_write_receiver: bool = False
+    #: Additional receiver URLs shipped the same samples (an HA pair at
+    #: the next tier up: primary = replica 0, mirrors = the rest).  Each
+    #: mirror gets its own client with its own durable cursors; the
+    #: receivers deduplicate independently.  Requires
+    #: ``remote_write_url``.
+    remote_write_mirror_urls: Sequence[str] = ()
+    #: Federation tier of this monitor's uplink: 0 for a leaf, 1 for a
+    #: region relay, 2 for a relay of relays, …  Staggers the flush tick
+    #: by ``2ms * tier`` (beyond any HA-priority stagger) so at a shared
+    #: virtual instant a relay collects only *after* the tier below has
+    #: delivered — steady-state frames then ship exactly once per tier.
+    #: :class:`~repro.teemon.federation.FederationTopology` sets this
+    #: from the declared hierarchy.
+    remote_write_tier: int = 0
+    #: What the uplink ships.  ``"raw"`` (the default) ships every
+    #: series this monitor ingests.  ``"aggregate"`` is the leaf-side
+    #: recording-rule pushdown: ship only rule outputs (colon-namespaced
+    #: names, materialized incrementally by PR 7's evaluator) plus the
+    #: ``federation_raw_allowlist`` — the global tier still answers
+    #: aggregate-safe panels bit-identically, at a fraction of the
+    #: uplink bytes.
+    federation_mode: str = "raw"
+    #: Raw metric names still shipped in aggregate mode: exact names or
+    #: trailing-``*`` prefixes.  The default keeps target liveness
+    #: (``up``) and the monitor's own telemetry flowing so global-tier
+    #: alerting on leaf health keeps working.
+    federation_raw_allowlist: Sequence[str] = ("up", "teemon_*")
 
     def span_metrics_enabled(self) -> bool:
         """Resolved ``trace_span_metrics``: explicit value if set, else
@@ -330,6 +366,25 @@ class TeemonConfig:
             raise DeploymentError("remote_write_max_retries cannot be negative")
         if self.remote_write_priority < 0:
             raise DeploymentError("remote_write_priority cannot be negative")
+        if self.remote_write_tier < 0:
+            raise DeploymentError("remote_write_tier cannot be negative")
+        if self.remote_write_mirror_urls and self.remote_write_url is None:
+            raise DeploymentError(
+                "remote_write_mirror_urls requires remote_write_url"
+            )
+        if any(not url for url in self.remote_write_mirror_urls):
+            raise DeploymentError("empty remote_write mirror URL")
+        if self.federation_mode not in ("raw", "aggregate"):
+            raise DeploymentError(
+                f"federation_mode must be 'raw' or 'aggregate': "
+                f"{self.federation_mode!r}"
+            )
+        if any(not name or name == "*"
+               for name in self.federation_raw_allowlist):
+            raise DeploymentError(
+                "federation_raw_allowlist entries must be metric names "
+                "or non-empty prefixes ending in '*'"
+            )
         if self.downsample_after_s is not None:
             if self.downsample_after_s <= 0:
                 raise DeploymentError("downsample_after_s must be positive")

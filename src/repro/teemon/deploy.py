@@ -58,6 +58,7 @@ from repro.pmag.remote_write import (
     REMOTE_WRITE_PORT,
     RemoteWriteClient,
     RemoteWriteReceiver,
+    build_ship_filter,
     sequence_cursor_key,
     watermark_cursor_key,
 )
@@ -303,6 +304,7 @@ class TeemonDeployment:
             staleness_intervals=config.scrape_staleness_intervals,
             rng=kernel.rng,
             tracer=self.tracer,
+            host=kernel.hostname,
         )
         for job, exporter in self.exporters.items():
             self.scrape_manager.add_target(
@@ -311,27 +313,52 @@ class TeemonDeployment:
         for discoverer in self._discoverers:
             self.scrape_manager.add_discovery(discoverer)
         # Federation: the receiver ingests other monitors' remote-write
-        # frames into this TSDB; the client ships this TSDB's samples
-        # upstream.  Both are monitor memory — rebuilt per incarnation;
-        # the client's durable position is re-seeded by resurrect().
+        # frames into this TSDB; the client(s) ship this TSDB's samples
+        # upstream (the primary plus one mirror per extra URL — an HA
+        # pair at the next tier up).  All monitor memory — rebuilt per
+        # incarnation; durable positions are re-seeded by resurrect().
+        # A deployment with both is a *relay*: the receiver feeds the
+        # clients, which re-stamp everything under this monitor's own
+        # sender identity, epoch and sequence numbering.
+        sender = config.remote_write_source or kernel.hostname
         self.remote_write_receiver: Optional[RemoteWriteReceiver] = None
         if config.remote_write_receiver:
-            self.remote_write_receiver = RemoteWriteReceiver(self.tsdb)
+            self.remote_write_receiver = RemoteWriteReceiver(
+                self.tsdb, identity=sender
+            )
             self.remote_write_receiver.expose(self.network, kernel.hostname)
         self.remote_write_client: Optional[RemoteWriteClient] = None
+        self.remote_write_mirrors: List[RemoteWriteClient] = []
         if config.remote_write_url is not None:
-            self.remote_write_client = RemoteWriteClient(
-                kernel.clock, self.network, self.tsdb,
-                url=config.remote_write_url,
-                source=config.remote_write_source or kernel.hostname,
-                wal=self.wal,
-                max_frame_samples=config.remote_write_frame_samples,
-                queue_max_frames=config.remote_write_queue_frames,
-                timeout_budget_s=config.remote_write_timeout_s,
-                max_retries=config.remote_write_max_retries,
-                rng=kernel.rng,
-                priority=config.remote_write_priority,
+            ship_filter = build_ship_filter(
+                config.federation_mode, config.federation_raw_allowlist
             )
+
+            def uplink(url: str, cursor_name: str) -> RemoteWriteClient:
+                return RemoteWriteClient(
+                    kernel.clock, self.network, self.tsdb,
+                    url=url,
+                    source=sender,
+                    wal=self.wal,
+                    max_frame_samples=config.remote_write_frame_samples,
+                    queue_max_frames=config.remote_write_queue_frames,
+                    timeout_budget_s=config.remote_write_timeout_s,
+                    max_retries=config.remote_write_max_retries,
+                    rng=kernel.rng,
+                    priority=config.remote_write_priority,
+                    tier=config.remote_write_tier,
+                    ship_filter=ship_filter,
+                    cursor_name=cursor_name,
+                )
+
+            self.remote_write_client = uplink(config.remote_write_url, sender)
+            self.remote_write_mirrors = [
+                uplink(url, f"{sender}:mirror-{index}")
+                for index, url in enumerate(config.remote_write_mirror_urls)
+            ]
+            if self.remote_write_receiver is not None:
+                for client in self._remote_write_clients():
+                    self.remote_write_receiver.attach_relay(client)
         self.self_exporter: Optional[TeemonSelfExporter] = None
         if config.enable_self_telemetry:
             rules_on = config.enable_recording_rules or config.enable_alerting
@@ -505,15 +532,21 @@ class TeemonDeployment:
             self.rule_evaluator.stop()
         if self.notification_router is not None:
             self.notification_router.stop()
-        if self.remote_write_client is not None:
+        for client in self._remote_write_clients():
             # One last flush so a graceful stop ships everything ingested
             # so far, then park the retry timer.
-            self.remote_write_client.flush()
-            self.remote_write_client.stop()
+            client.flush()
+            client.stop()
         self._running = False
         self._cancel_maintenance_timers()
         if self.wal is not None:
             self.wal.flush()
+
+    def _remote_write_clients(self) -> List[RemoteWriteClient]:
+        """Every uplink client: the primary, then the mirrors in order."""
+        if self.remote_write_client is None:
+            return []
+        return [self.remote_write_client] + self.remote_write_mirrors
 
     def _rules_active(self) -> bool:
         """Whether the rule evaluator runs (recording rules or alerting)."""
@@ -568,9 +601,9 @@ class TeemonDeployment:
             self.rule_evaluator.stop()
         if self.notification_router is not None:
             self.notification_router.stop()
-        if self.remote_write_client is not None:
+        for client in self._remote_write_clients():
             # Abrupt: no final flush — queued frames die with the process.
-            self.remote_write_client.stop()
+            client.stop()
         if self.remote_write_receiver is not None:
             # A dead receiving process serves nothing: withdraw the write
             # endpoint so leaves fail fast and spill to their queues.
@@ -624,14 +657,15 @@ class TeemonDeployment:
             self.rule_evaluator.seed_cursors(cursors)
             if self.wal is not None:
                 self.wal.record_cursors(cursors)
-        if self.remote_write_client is not None:
-            # Resume the uplink from the last *acked* position.  The
-            # receiver deduplicates whatever the dead incarnation shipped
-            # past the last persisted cursor.
-            client = self.remote_write_client
+        for client in self._remote_write_clients():
+            # Resume each uplink from its last *acked* position (cursors
+            # are keyed per client: the primary under the sender name,
+            # mirrors under their own).  The receivers deduplicate
+            # whatever the dead incarnation shipped past the last
+            # persisted cursor.
             client.seed(
-                cursors.get(watermark_cursor_key(client.source)),
-                cursors.get(sequence_cursor_key(client.source)),
+                cursors.get(watermark_cursor_key(client.cursor_name)),
+                cursors.get(sequence_cursor_key(client.cursor_name)),
             )
         if self.config.enable_alerting:
             now_ns = self.kernel.clock.now_ns
@@ -773,13 +807,17 @@ class TeemonDeployment:
     def _schedule_remote_write(self) -> None:
         """Timed remote-write flushes on the virtual clock.
 
-        The first tick lands at ``interval + priority * stagger``:
-        HA replicas configured with distinct priorities never flush at
-        the same instant, so the receiver's first-frame-wins sample
-        dedup has a deterministic winner (the priority-0 replica).
-        Flush ticks trail the scrape tick at a shared instant (scheduled
-        later at deployment start), so each cycle's samples are ingested
-        before the collect that ships them.
+        The first tick lands at ``interval + (priority + 2*tier) *
+        stagger``: HA replicas configured with distinct priorities never
+        flush at the same instant, so the receiver's first-frame-wins
+        sample dedup has a deterministic winner (the priority-0
+        replica); relay tiers flush *after* the tier below delivered at
+        the shared instant, so in steady state each sample crosses each
+        tier exactly once.  Flush ticks trail the scrape tick at a
+        shared instant (scheduled later at deployment start), so each
+        cycle's samples are ingested before the collect that ships them.
+        The primary and its mirrors flush back-to-back on one tick
+        (primary first — its receiver is the HA pair's priority-0 side).
         """
         if self.remote_write_client is None:
             return
@@ -791,7 +829,8 @@ class TeemonDeployment:
         def tick() -> None:
             if not self._running:
                 return
-            self.remote_write_client.flush(clock.now_ns)
+            for client in self._remote_write_clients():
+                client.flush(clock.now_ns)
             self._remote_write_timer = clock.call_later(interval_ns, tick)
 
         self._remote_write_timer = clock.call_later(
@@ -841,8 +880,8 @@ class TeemonDeployment:
                 self.tsdb.append_sample(metric, now_ns, value, **identity)
             except TsdbError:
                 pass  # duplicate instant (manual tick + scheduled tick)
-        if self.remote_write_client is not None:
-            self.remote_write_client.record_self_series(now_ns)
+        for client in self._remote_write_clients():
+            client.record_self_series(now_ns)
         if self.remote_write_receiver is not None:
             self.remote_write_receiver.record_self_series(now_ns)
 

@@ -157,6 +157,26 @@ class HAMonitorPair:
         """The active replica's monitoring session."""
         return self.active.session
 
+    @property
+    def receiver_urls(self) -> List[str]:
+        """Both replicas' remote-write endpoints, priority-0 first.
+
+        What a downstream tier ships to when this pair sits above it:
+        the first URL is the primary uplink, the rest are mirrors
+        (:attr:`TeemonConfig.remote_write_mirror_urls`).  Both replicas
+        then hold the full stream, so a replica crash at *this* tier
+        loses nothing a downstream monitor shipped.
+        """
+        urls = []
+        for replica in self.replicas:
+            if replica.remote_write_receiver is None:
+                raise DeploymentError(
+                    "HA pair replicas run no remote-write receiver "
+                    "(set remote_write_receiver=True)"
+                )
+            urls.append(replica.remote_write_receiver.url)
+        return urls
+
     def query(self, expr: str):
         """Instant query against the lease holder."""
         return self.session.query(expr)

@@ -128,9 +128,57 @@ class MonitoringSession:
         stats: Dict[str, object] = {}
         if client is not None:
             stats["client"] = client.stats()
+        if deployment.remote_write_mirrors:
+            stats["mirrors"] = [
+                mirror.stats() for mirror in deployment.remote_write_mirrors
+            ]
         if receiver is not None:
             stats["receiver"] = receiver.stats()
         return stats
+
+    def federation_lag(self) -> Dict[str, float]:
+        """Per-sender uplink lag right now: virtual time minus the
+        newest sample timestamp this receiver applied from each."""
+        receiver = self._deployment.remote_write_receiver
+        if receiver is None:
+            raise DeploymentError(
+                "this deployment runs no remote-write receiver; deploy "
+                "with TeemonConfig(remote_write_receiver=True)"
+            )
+        return receiver.lag_seconds(self.now_ns)
+
+    def render_federation_timeline(self, window_s: Optional[float] = None,
+                                   width: int = 72) -> str:
+        """Per-sender federation-lag bars (the pmv federation view).
+
+        Reads the ``teemon_federation_lag_seconds`` self-series the
+        receiver appends each accounting tick, grouped by sender.
+        """
+        deployment = self._deployment
+        if deployment.remote_write_receiver is None:
+            raise DeploymentError(
+                "this deployment runs no remote-write receiver; deploy "
+                "with TeemonConfig(remote_write_receiver=True)"
+            )
+        from repro.pmv.federation_view import render_federation_timeline
+
+        end_ns = self.now_ns
+        start_ns = (
+            0 if window_s is None
+            else max(0, end_ns - int(window_s * NANOS_PER_SEC))
+        )
+        lag_series = [
+            (
+                series.labels.get("sender") or "?",
+                [(s.time_ns, s.value) for s in series.samples],
+            )
+            for series in deployment.tsdb.select_metric(
+                "teemon_federation_lag_seconds", start_ns, end_ns
+            )
+        ]
+        return render_federation_timeline(
+            lag_series, start_ns, end_ns, width=width
+        )
 
     # ------------------------------------------------------------------
     # Traces

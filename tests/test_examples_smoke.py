@@ -23,8 +23,9 @@ CASES = [
     ("slo_burn_rate_alerts.py",
      ["firing during burn", "all resolved", "legend"]),
     ("federated_fleet.py",
-     ["AnomalyDetected", "TargetDown,instance=node-5",
-      "failover", "partition-heal", "firing now:"]),
+     ["AnomalyDetected", "TargetDown,instance=r1-node-1",
+      "teemon-fed/region-0 crash", "failover", "partition-heal",
+      "federation lag timeline", "firing now:"]),
 ]
 
 

@@ -8,11 +8,14 @@ from repro.pmag.model import Labels
 from repro.pmag.remote_write import (
     RemoteWriteClient,
     RemoteWriteReceiver,
+    build_ship_filter,
     decode_frame,
+    decode_frame_blocks,
     encode_frame,
     sequence_cursor_key,
     watermark_cursor_key,
 )
+from repro.pmag.storage import ShardedTsdb, series_fingerprint
 from repro.pmag.tsdb import Tsdb
 from repro.simkernel.clock import VirtualClock, seconds
 from repro.simkernel.kernel import Kernel
@@ -36,6 +39,32 @@ def test_frame_roundtrip():
     sender, epoch, seq, decoded = decode_frame(body)
     assert sender == "leaf-0" and epoch == 42 and seq == 7
     assert decoded == entries
+
+
+def test_frame_blocks_are_shard_partitioned_per_series():
+    # v3 frames carry one block per series, stamped with the same CRC32
+    # fingerprint ShardedTsdb routes on, labels encoded once per frame.
+    entries = (
+        _entries(3, job="sgx", instance="n0")
+        + _entries(2, start_ns=10, metric="other_total", job="sgx",
+                   instance="n1")
+        + _entries(2, start_ns=20, job="sgx", instance="n0")
+    )
+    body = encode_frame("leaf-0", 1, 1, entries)
+    sender, epoch, seq, blocks = decode_frame_blocks(body)
+    assert (sender, epoch, seq) == ("leaf-0", 1, 1)
+    # Two series -> two blocks, first-appearance order, samples merged
+    # per series in shipped order.
+    assert len(blocks) == 2
+    by_labels = {labels: (fp, samples) for fp, labels, samples in blocks}
+    for labels, (fp, samples) in by_labels.items():
+        assert fp == series_fingerprint(labels)
+    first = blocks[0]
+    assert first[1].get("instance") == "n0"
+    assert len(first[2]) == 5  # both n0 runs merged into one block
+    # The flat decode preserves every (labels, ts, value) triple.
+    key = lambda e: (tuple(e[0].items()), e[1], e[2])  # noqa: E731
+    assert sorted(decode_frame(body)[3], key=key) == sorted(entries, key=key)
 
 
 def test_frame_rejects_damage():
@@ -299,6 +328,198 @@ def test_stagger_offset_follows_priority():
                              priority=3)
     assert low.stagger_offset_ns == 0
     assert high.stagger_offset_ns == 3_000_000
+
+
+def test_stagger_offset_puts_relay_tiers_after_replicas():
+    # A relay (tier 1) must collect after every replica of the tier
+    # below delivered at a shared instant: 2ms/tier > any priority
+    # stagger, and tiers compose additively.
+    clock, network, leaf, _gt, _receiver, _client = _rig()
+    relay = RemoteWriteClient(clock, network, leaf, "http://g:9009/w", "r",
+                              tier=1)
+    deep = RemoteWriteClient(clock, network, leaf, "http://g:9009/w", "d",
+                             tier=2, priority=1)
+    assert relay.stagger_offset_ns == 2_000_000
+    assert deep.stagger_offset_ns == 5_000_000
+
+
+def test_spill_queue_overflow_with_single_slot_drops_oldest_exactly():
+    # queue_max_frames=1: every flush under an outage evicts the one
+    # queued frame.  Drop accounting must match exactly — oldest-first,
+    # one frame and its samples per round past the first.
+    clock, network, leaf, _gt, receiver, client = _rig(
+        max_frame_samples=5, queue_max_frames=1, max_retries=0)
+    receiver.withdraw(network, "global-0")
+    for round_no in range(4):
+        clock.advance(seconds(1))
+        _fill(leaf, 5, clock.now_ns, metric=f"q{round_no}_total")
+        client.flush()
+    assert client.queue_depth == 1
+    assert client.frames_dropped == 3
+    assert client.samples_dropped == 15
+    # The survivor is the *newest* frame: heal and drain, and only the
+    # last round's metric arrives.
+    receiver.expose(network, "global-0")
+    client.flush()
+    assert client.queue_depth == 0
+    assert receiver.samples_applied == 5
+    assert receiver.stats()["samples_applied"] == 5
+    got = receiver._tsdb.select_metric("q3_total", 0, clock.now_ns + 1)
+    assert sum(len(s.samples) for s in got) == 5
+
+
+def test_epoch_tie_with_interleaved_old_incarnation_frames():
+    # After a recovery, stragglers from the dead incarnation (older
+    # epoch) interleave with the new incarnation's frames — including
+    # sequence numbers *beyond* anything the new epoch has used.  The
+    # epoch must dominate: old-epoch frames are replays no matter their
+    # sequence, while same-epoch (tie) frames follow sequence order.
+    clock, _net, _leaf, global_tsdb, receiver, _client = _rig()
+    old_epoch, new_epoch = 3, 7
+    receiver.handle(encode_frame("leaf-0", old_epoch, 1, _entries(2)))
+    # Recovery: the new incarnation starts shipping.
+    receiver.handle(encode_frame(
+        "leaf-0", new_epoch, 1, _entries(2, start_ns=10)))
+    # Straggler from the dead incarnation, seq far beyond the new one's.
+    stale = _entries(2, start_ns=50, metric="stale_total")
+    assert receiver.handle(
+        encode_frame("leaf-0", old_epoch, 9, stale)) == "ack 9 replayed=2"
+    assert not global_tsdb.select_metric("stale_total", 0, 1000)
+    # Epoch tie, lower-or-equal seq: replay.  Higher seq: applied.
+    assert receiver.handle(encode_frame(
+        "leaf-0", new_epoch, 1, _entries(2, start_ns=10),
+    )) == "ack 1 replayed=2"
+    ack = receiver.handle(encode_frame(
+        "leaf-0", new_epoch, 2, _entries(2, start_ns=20)))
+    assert ack == "ack 2 applied=2 deduped=0"
+    assert receiver.last_epoch("leaf-0") == new_epoch
+    assert receiver.frames_replayed == 2
+    # Ledger: applied + replay hits == everything shipped at it.
+    assert receiver.samples_applied + receiver.replay_dedup_hits == 10
+
+
+def test_receiver_rejects_frames_claiming_its_own_identity():
+    # The runtime half of the federation loop guard: a frame stamped
+    # with the receiver's own sender identity can only be this relay's
+    # output reflected back — fail it loudly instead of re-ingesting.
+    clock = VirtualClock()
+    network = HttpNetwork()
+    receiver = RemoteWriteReceiver(Tsdb(), identity="region-0")
+    receiver.expose(network, "region-0")
+    assert receiver.handle(
+        encode_frame("leaf-0", 0, 1, _entries(2))).startswith("ack 1")
+    with pytest.raises(WalError):
+        receiver.handle(encode_frame("region-0", 0, 1, _entries(2)))
+    assert receiver.frames_rejected == 1
+    assert receiver.samples_applied == 2
+
+
+def test_note_late_arrival_regresses_watermark_and_clamps_queue():
+    # The relay feed: samples landing *behind* the collected watermark
+    # (a healed downstream spill) must regress the collect window, clamp
+    # queued frames' durable watermarks, and be re-shipped on the next
+    # flush — nothing may hide in the watermark's shadow.
+    clock, network, leaf, global_tsdb, receiver, client = _rig(
+        max_frame_samples=10, max_retries=0)
+    clock.advance(seconds(10))
+    _fill(leaf, 5, clock.now_ns)
+    client.flush()
+    assert client.watermark_ns == clock.now_ns
+
+    # Queue a frame under an outage, then a late window lands in the
+    # leaf TSDB (timestamps far behind the watermark).
+    receiver.withdraw(network, "global-0")
+    clock.advance(seconds(1))
+    _fill(leaf, 5, clock.now_ns, metric="n_total")
+    client.flush()
+    assert client.queue_depth == 1
+    late_start = seconds(2)
+    for i in range(3):
+        leaf.append_sample("late_total", late_start + i, float(i),
+                           job="sgx", instance="n9")
+    client.note_late_arrival(late_start)
+    assert client.late_arrivals == 1
+    assert client.watermark_ns == late_start - 1
+    # The queued frame's ack must not persist a cursor past the late
+    # window either.
+    assert all(f.end_ns == late_start - 1 for f in client._queue)
+
+    # Heal and flush: the spill drains, then the regressed window
+    # re-collects — late samples ship, overlap dedupes upstream.
+    receiver.expose(network, "global-0")
+    clock.advance(seconds(1))
+    client.flush()
+    assert client.queue_depth == 0
+    got = global_tsdb.select_metric("late_total", 0, clock.now_ns + 1)
+    assert sum(len(s.samples) for s in got) == 3
+    assert client.watermark_ns == clock.now_ns
+    # A later arrival past the watermark is a no-op.
+    client.note_late_arrival(clock.now_ns + seconds(5))
+    assert client.late_arrivals == 1
+
+
+def test_ship_filter_aggregate_mode_selects_rules_and_allowlist():
+    assert build_ship_filter("raw") is None
+    ship = build_ship_filter("aggregate", ("up", "teemon_*"))
+
+    def labels_for(name):
+        return Labels({"__name__": name, "job": "sgx", "instance": "n0"})
+
+    assert ship(labels_for("job:syscalls:rate1m"))     # rule output
+    assert ship(labels_for("up"))                      # exact allowlist
+    assert ship(labels_for("teemon_scrape_duration"))  # prefix allowlist
+    assert not ship(labels_for("ebpf_syscalls_total"))
+    assert not ship(labels_for("sgx_epc_pages_evicted_total"))
+    with pytest.raises(Exception):
+        build_ship_filter("bogus")
+
+
+def test_aggregate_client_ships_only_filtered_series():
+    clock, network, leaf, global_tsdb, receiver, _unused = _rig()
+    client = RemoteWriteClient(
+        clock, network, leaf, receiver.url, "leaf-agg",
+        rng=DeterministicRng(3),
+        ship_filter=build_ship_filter("aggregate", ("up",)),
+    )
+    clock.advance(seconds(1))
+    now = clock.now_ns
+    leaf.append_sample("job:epc_evictions:rate1m", now, 4.0, job="sgx")
+    leaf.append_sample("up", now, 1.0, job="sgx", instance="n0")
+    leaf.append_sample("ebpf_syscalls_total", now, 900.0, job="sgx",
+                       instance="n0")
+    assert client.flush() == 2  # the raw series stayed home
+    assert receiver.samples_applied == 2
+    assert global_tsdb.select_metric("job:epc_evictions:rate1m", 0, now + 1)
+    assert not global_tsdb.select_metric("ebpf_syscalls_total", 0, now + 1)
+
+
+def test_sharded_receiver_ledger_matches_flat_ingest():
+    # The same frames applied to a sharded engine (fingerprint-routed
+    # blocks) and a monolith must accept/reject identically, so the
+    # dedup ledger reconciles regardless of layout.
+    entries = (
+        _entries(40, job="sgx", instance="n0")
+        + _entries(40, start_ns=1, metric="other_total", job="sgx",
+                   instance="n1")
+    )
+    frames = [
+        encode_frame("leaf-0", 0, seq + 1, entries[start:start + 25])
+        for seq, start in enumerate(range(0, len(entries), 25))
+    ]
+    duplicate = encode_frame("replica-1", 0, 1, entries[:30])
+    flat, sharded = RemoteWriteReceiver(Tsdb()), RemoteWriteReceiver(
+        ShardedTsdb(shards=4))
+    for receiver in (flat, sharded):
+        for body in frames:
+            receiver.handle(body)
+        receiver.handle(duplicate)
+    assert flat.stats() == sharded.stats()
+    assert sharded.samples_applied == len(entries)
+    assert sharded.samples_deduped == 30
+    # Ledger: applied + deduped + replay == total shipped samples.
+    shipped = len(entries) + 30
+    assert (sharded.samples_applied + sharded.samples_deduped
+            + sharded.replay_dedup_hits) == shipped
 
 
 # ---------------------------------------------------------------------------
